@@ -1,0 +1,154 @@
+// Root benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index). Each bench
+// runs the corresponding experiment at the Quick configuration so the full
+// suite completes in minutes; `go run ./cmd/ltsbench` regenerates the
+// full-scale tables.
+package main
+
+import (
+	"testing"
+
+	"golts/internal/experiments"
+	"golts/internal/lts"
+	"golts/internal/mesh"
+	"golts/internal/newmark"
+	"golts/internal/sem"
+)
+
+func benchCfg() experiments.Config {
+	cfg := experiments.Quick()
+	// Slightly larger than test-quick so benches exercise real work.
+	cfg.TrenchScale = 0.05
+	return cfg
+}
+
+func BenchmarkTable5MeshInventory(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5MeshInventory(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1Timeline(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1Timeline(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7LoadImbalance(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7LoadImbalance(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8CommVolume(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8CommMetrics(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9TrenchScaling(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig9TrenchScaling(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10EmbeddingScaling(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10EmbeddingScaling(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11CrustScaling(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11CrustScaling(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12CacheModel(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12CacheMetric(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13LargeTrench(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13LargeTrench(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvergenceStudy(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ConvergenceStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleThreadLTSEfficiency measures the real kernels: wall time
+// of one LTS cycle vs the equivalent global Newmark steps on a graded 3-D
+// acoustic mesh (§II-C's >90% single-thread efficiency claim).
+func BenchmarkSingleThreadLTSEfficiency(b *testing.B) {
+	xc := []float64{0, 1, 2, 3, 3.5, 3.75, 4.75, 5.75, 6.75}
+	yc := make([]float64, 7)
+	zc := make([]float64, 7)
+	for i := range yc {
+		yc[i] = float64(i)
+		zc[i] = float64(i)
+	}
+	m, err := mesh.New("bench-trench", xc, yc, zc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lv := mesh.AssignLevels(m, 0.4/16, 0)
+	op, err := sem.NewAcoustic3D(m, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("lts-cycle", func(b *testing.B) {
+		s, err := lts.FromMeshLevels(op, lv, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+		b.ReportMetric(s.ModelSpeedup(), "model-speedup")
+		b.ReportMetric(s.Efficiency()*100, "work-eff-%")
+	})
+	b.Run("newmark-equivalent", func(b *testing.B) {
+		g := newmark.New(op, lv.CoarseDt/float64(lv.PMax()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Run(lv.PMax())
+		}
+	})
+}

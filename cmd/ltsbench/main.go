@@ -1,0 +1,95 @@
+// Command ltsbench regenerates the paper's evaluation tables and figures
+// (Fig. 5 table, Figs. 7-13) as text tables.
+//
+// Usage:
+//
+//	ltsbench [-experiment all|table5|fig1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|single-thread]
+//	         [-quick] [-scale f] [-seed n]
+//
+// -quick runs reduced sizes (seconds instead of minutes); -scale
+// multiplies the default mesh scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"golts/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run")
+	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	scale := flag.Float64("scale", 1.0, "multiplier on the default mesh scales")
+	seed := flag.Int64("seed", 0, "partitioner seed (0 = default)")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.TrenchScale *= *scale
+	cfg.TrenchBigScale *= *scale
+	cfg.EmbeddingScale *= *scale
+	cfg.CrustScale *= *scale
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	type runner struct {
+		name string
+		run  func() ([]*experiments.Table, error)
+	}
+	one := func(f func(experiments.Config) (*experiments.Table, error)) func() ([]*experiments.Table, error) {
+		return func() ([]*experiments.Table, error) {
+			t, err := f(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{t}, nil
+		}
+	}
+	runners := []runner{
+		{"table5", one(experiments.Table5MeshInventory)},
+		{"fig1", one(experiments.Fig1Timeline)},
+		{"fig7", one(experiments.Fig7LoadImbalance)},
+		{"fig8", one(experiments.Fig8CommMetrics)},
+		{"fig9", func() ([]*experiments.Table, error) {
+			cpu, gpu, err := experiments.Fig9TrenchScaling(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return []*experiments.Table{cpu, gpu}, nil
+		}},
+		{"fig10", one(experiments.Fig10EmbeddingScaling)},
+		{"fig11", one(experiments.Fig11CrustScaling)},
+		{"fig12", one(experiments.Fig12CacheMetric)},
+		{"fig13", one(experiments.Fig13LargeTrench)},
+		{"single-thread", one(experiments.SingleThreadEfficiency)},
+		{"convergence", one(experiments.ConvergenceStudy)},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		t0 := time.Now()
+		tables, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ltsbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", r.name, time.Since(t0).Seconds())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ltsbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,73 @@
+// Cluster scaling: a Fig. 9-style experiment in miniature — simulate the
+// trench mesh on a CPU cluster (8 ranks/node) and a GPU cluster (1
+// rank/node) from 4 to 32 nodes, comparing partitioners against the LTS
+// ideal curve and the non-LTS baseline.
+//
+// Run with: go run ./examples/cluster_scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"golts/internal/cluster"
+	"golts/internal/mesh"
+	"golts/internal/partition"
+)
+
+func main() {
+	m := mesh.Trench(0.1)
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	model := lv.TheoreticalSpeedup()
+	nodes := []int{4, 8, 16, 32}
+	fmt.Printf("trench mesh: %d elements, model speedup %.2fx\n\n", m.NumElements(), model)
+
+	run := func(cm cluster.CostModel) {
+		fmt.Printf("--- %s cluster (%d rank(s)/node), performance vs non-LTS %s @ %d nodes ---\n",
+			cm.Name, cm.RanksPerNode, cm.Name, nodes[0])
+		fmt.Printf("%6s %9s %10s %10s %10s\n", "nodes", "non-LTS", "LTS ideal", "SCOTCH-P", "PaToH 0.01")
+		var base float64
+		for ni, nd := range nodes {
+			k := nd * cm.RanksPerNode
+			nonPart := mustPart(m, lv, partition.Scotch, k, 0.05)
+			non, err := cluster.SimulateNonLTS(m, lv, nonPart, k, cm)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ni == 0 {
+				base = non.Performance
+			}
+			spPart := mustPart(m, lv, partition.ScotchP, k, 0.03)
+			spA, err := cluster.NewAssignment(m, lv, spPart, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sp := cluster.Simulate(spA, cm)
+			ptPart := mustPart(m, lv, partition.Patoh, k, 0.01)
+			ptA, err := cluster.NewAssignment(m, lv, ptPart, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pt := cluster.Simulate(ptA, cm)
+			ideal := model * float64(nd) / float64(nodes[0])
+			fmt.Printf("%6d %9.2f %10.2f %10.2f %10.2f\n",
+				nd, non.Performance/base, ideal, sp.Performance/base, pt.Performance/base)
+		}
+		fmt.Println()
+	}
+	run(cluster.CPUModel)
+	run(cluster.GPUModel)
+	fmt.Println("expected shape (paper Fig. 9): LTS tracks the ideal curve on CPUs;")
+	fmt.Println("GPU LTS starts strong but strong-scaling efficiency decays with kernel")
+	fmt.Println("launch overhead on the small fine levels.")
+}
+
+func mustPart(m *mesh.Mesh, lv *mesh.Levels, method partition.Method, k int, imb float64) []int32 {
+	res, err := partition.PartitionMesh(m, lv, partition.Options{
+		K: k, Method: method, Imbalance: imb, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Part
+}

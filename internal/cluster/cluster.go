@@ -1,0 +1,356 @@
+// Package cluster is a deterministic performance simulator for LTS wave
+// propagation on CPU and GPU clusters, standing in for the paper's Piz
+// Daint measurements (§IV-C/D/E). It executes the LTS cycle schedule in
+// simulated time: at every substep the active levels compute on each rank,
+// neighbouring ranks exchange halos, and the cycle time is the sum over
+// substeps of the slowest rank — exactly the synchronisation structure of
+// Fig. 1's timeline.
+//
+// The machine models capture the effects the paper identifies:
+//
+//   - a two-level cache model (per-substep working set vs capacity) that
+//     produces the super-linear CPU scaling of Figs. 9/10 and the D1+D2
+//     hit behaviour of Fig. 12, including LTS's improved locality;
+//   - a GPU model with per-kernel launch overhead per active level, which
+//     reproduces the LTS-GPU strong-scaling collapse of Fig. 9 (bottom);
+//   - an α-β message model driven by the exact per-rank, per-level halo
+//     volumes of the partition (the hypergraph cut of §III-A.2).
+package cluster
+
+import (
+	"fmt"
+
+	"golts/internal/mesh"
+)
+
+// CostModel holds per-rank machine parameters. Times are in seconds;
+// element costs are per element per substep.
+type CostModel struct {
+	Name string
+	// ElemCost is the cache-friendly cost of one element-substep.
+	ElemCost float64
+	// MissPenalty multiplies ElemCost at a fully cache-missing working
+	// set: cost = ElemCost * (1 + MissPenalty * miss(ws)).
+	MissPenalty float64
+	// CacheElems is the number of elements whose working set fits in the
+	// rank's cache hierarchy.
+	CacheElems float64
+	// KernelLaunch is the fixed cost per active level per substep (kernel
+	// setup + launch on GPUs; effectively 0 on CPUs).
+	KernelLaunch float64
+	// Alpha is the per-message latency; Beta the per-unit-volume cost
+	// (volume in halo node-contributions, the hypergraph cut units).
+	Alpha, Beta float64
+	// RanksPerNode converts rank counts to node counts for reporting.
+	RanksPerNode int
+	// HitBase and HitMax bound the cache hit rate h(ws) = HitMax -
+	// (HitMax-HitBase) * miss(ws).
+	HitBase, HitMax float64
+}
+
+// CPUModel approximates one core of the paper's 8-core Intel E5-2670
+// nodes: ~10 µs per 125-node element-substep, a cache hierarchy worth a
+// few hundred elements per core, and a low-latency interconnect.
+// The α/β constants are calibrated to the repo's default scaled meshes
+// (~1/10 of the paper's element counts): per-rank surface-to-volume ratios
+// are larger at the reduced scale, so raw Cray-XC30 message costs would
+// overweight communication relative to the paper's setting.
+var CPUModel = CostModel{
+	Name:         "cpu",
+	ElemCost:     10e-6,
+	MissPenalty:  0.4,
+	CacheElems:   300,
+	KernelLaunch: 0,
+	Alpha:        0.5e-6,
+	Beta:         5e-9,
+	RanksPerNode: 8,
+	HitBase:      0.45,
+	HitMax:       0.97,
+}
+
+// GPUModel approximates one NVIDIA K20X per node: ~55x the per-element
+// throughput of a core (the paper's 6.9x node-to-node speedup times 8
+// cores), kernel launch overhead per active level per substep, and
+// PCIe-staged messages with higher latency. The GPU gets no cache-model
+// bonus (§IV-D: "the GPU version is unable to benefit from these cache
+// advantages").
+var GPUModel = CostModel{
+	Name:         "gpu",
+	ElemCost:     10e-6 / 40,
+	MissPenalty:  0,
+	CacheElems:   1,
+	KernelLaunch: 15e-6,
+	Alpha:        1.5e-6,
+	Beta:         1e-9,
+	RanksPerNode: 1,
+	HitBase:      0.3,
+	HitMax:       0.3,
+}
+
+// Assignment is a partitioned LTS workload: per-rank, per-level element
+// counts and halo communication requirements, derived exactly from the
+// mesh, levels and element partition.
+type Assignment struct {
+	K         int
+	NumLevels int
+	PMax      int
+	CoarseDt  float64
+	// N[r][li] is the number of level-li elements owned by rank r
+	// (0-based levels).
+	N [][]int64
+	// NHalo[r][li] is the number of rank-r elements of other levels that
+	// must be recomputed at level li's rate because they border level-li
+	// nodes (the gray halo of Fig. 2) — the implementation overhead that
+	// keeps single-thread LTS efficiency below 100% (§II-C).
+	NHalo [][]int64
+	// Vol[r][li] is the halo volume rank r sends per level-li substep (in
+	// node-contribution units, matching the hypergraph cost model).
+	Vol [][]int64
+	// Peers[r][li] is the number of distinct ranks r exchanges level-li
+	// halos with.
+	Peers [][]int
+}
+
+// NewAssignment derives the simulation workload from a partition.
+func NewAssignment(m *mesh.Mesh, lv *mesh.Levels, part []int32, k int) (*Assignment, error) {
+	if len(part) != m.NumElements() {
+		return nil, fmt.Errorf("cluster: partition has %d entries for %d elements", len(part), m.NumElements())
+	}
+	a := &Assignment{K: k, NumLevels: lv.NumLevels, PMax: lv.PMax(), CoarseDt: lv.CoarseDt}
+	a.N = make([][]int64, k)
+	a.NHalo = make([][]int64, k)
+	a.Vol = make([][]int64, k)
+	peerSets := make([]map[int32]struct{}, k*lv.NumLevels)
+	for r := 0; r < k; r++ {
+		a.N[r] = make([]int64, lv.NumLevels)
+		a.NHalo[r] = make([]int64, lv.NumLevels)
+		a.Vol[r] = make([]int64, lv.NumLevels)
+	}
+	for e := 0; e < m.NumElements(); e++ {
+		r := part[e]
+		if r < 0 || int(r) >= k {
+			return nil, fmt.Errorf("cluster: element %d in part %d (K=%d)", e, r, k)
+		}
+		a.N[r][int(lv.Lvl[e])-1]++
+	}
+	// Halo elements: a node's level is the max level of its incident
+	// elements (paper's P_k selection); an element participates in level
+	// li's substeps iff it touches a level-li node. Count participations
+	// beyond the element's own level.
+	nodeMax := make([]uint8, m.NumCornerNodes())
+	for e := 0; e < m.NumElements(); e++ {
+		i, j, kk := m.ECoords(e)
+		l := lv.Lvl[e]
+		for dk := 0; dk <= 1; dk++ {
+			for dj := 0; dj <= 1; dj++ {
+				for di := 0; di <= 1; di++ {
+					n := m.CornerIndex(i+di, j+dj, kk+dk)
+					if l > nodeMax[n] {
+						nodeMax[n] = l
+					}
+				}
+			}
+		}
+	}
+	for e := 0; e < m.NumElements(); e++ {
+		i, j, kk := m.ECoords(e)
+		var mask uint16
+		for dk := 0; dk <= 1; dk++ {
+			for dj := 0; dj <= 1; dj++ {
+				for di := 0; di <= 1; di++ {
+					mask |= 1 << (nodeMax[m.CornerIndex(i+di, j+dj, kk+dk)] - 1)
+				}
+			}
+		}
+		own := int(lv.Lvl[e]) - 1
+		r := part[e]
+		for li := 0; li < lv.NumLevels; li++ {
+			if li != own && mask&(1<<li) != 0 {
+				a.NHalo[r][li]++
+			}
+		}
+	}
+	// Halo volumes from the corner-node incidence (the hypergraph model):
+	// a node spanning λ parts forces each incident element to send its
+	// contribution to the λ-1 other parts, once per substep of the
+	// element's level.
+	off, elems := m.CornerIncidence()
+	var parts []int32
+	for n := 0; n < m.NumCornerNodes(); n++ {
+		lo, hi := off[n], off[n+1]
+		if hi-lo < 2 {
+			continue
+		}
+		parts = parts[:0]
+		multi := false
+		for i := lo; i < hi; i++ {
+			p := part[elems[i]]
+			found := false
+			for _, q := range parts {
+				if q == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				parts = append(parts, p)
+				if len(parts) > 1 {
+					multi = true
+				}
+			}
+		}
+		if !multi {
+			continue
+		}
+		lambda := int64(len(parts))
+		for i := lo; i < hi; i++ {
+			e := elems[i]
+			r := part[e]
+			li := int(lv.Lvl[e]) - 1
+			a.Vol[r][li] += lambda - 1
+			set := peerSets[int(r)*lv.NumLevels+li]
+			if set == nil {
+				set = make(map[int32]struct{})
+				peerSets[int(r)*lv.NumLevels+li] = set
+			}
+			for _, q := range parts {
+				if q != r {
+					set[q] = struct{}{}
+				}
+			}
+		}
+	}
+	a.Peers = make([][]int, k)
+	for r := 0; r < k; r++ {
+		a.Peers[r] = make([]int, lv.NumLevels)
+		for li := 0; li < lv.NumLevels; li++ {
+			a.Peers[r][li] = len(peerSets[r*lv.NumLevels+li])
+		}
+	}
+	return a, nil
+}
+
+// CycleStats reports the simulated execution of one LTS cycle (one coarse
+// Δt).
+type CycleStats struct {
+	// Time is the wall-clock seconds per coarse Δt.
+	Time float64
+	// Compute, Comm and Launch decompose the critical path.
+	Compute, Comm, Launch float64
+	// Hits accumulates the cache-hit metric (hits per cycle, machine
+	// wide); HitRate is the work-weighted average hit rate.
+	Hits    float64
+	HitRate float64
+	// Performance is simulated-time per wall-time: CoarseDt / Time.
+	Performance float64
+}
+
+// miss returns the cache-miss fraction for a working set of ws elements.
+func (cm CostModel) miss(ws float64) float64 {
+	if ws <= 0 {
+		return 0
+	}
+	return ws / (ws + cm.CacheElems)
+}
+
+// Simulate executes one LTS cycle in simulated time. The schedule follows
+// Eq. 16: level li substeps at rate Δt/2^li; substep i of the finest
+// schedule activates every level whose period divides i.
+func Simulate(a *Assignment, cm CostModel) CycleStats {
+	var st CycleStats
+	nlv := a.NumLevels
+	var workWeighted, workTotal float64
+	for i := 0; i < a.PMax; i++ {
+		// Levels active at this substep (0-based li steps 2^li times per
+		// cycle; it is active when i is a multiple of PMax/2^li).
+		var active []int
+		for li := 0; li < nlv; li++ {
+			period := a.PMax >> uint(li)
+			if i%period == 0 {
+				active = append(active, li)
+			}
+		}
+		var tMax, compMax, commMax, launchMax float64
+		for r := 0; r < a.K; r++ {
+			var ws int64
+			for _, li := range active {
+				ws += a.N[r][li] + a.NHalo[r][li]
+			}
+			msf := cm.miss(float64(ws))
+			perElem := cm.ElemCost * (1 + cm.MissPenalty*msf)
+			var comp, comm, launch float64
+			for _, li := range active {
+				ne := a.N[r][li] + a.NHalo[r][li]
+				comp += float64(ne) * perElem
+				if ne > 0 {
+					launch += cm.KernelLaunch
+				}
+				if a.Vol[r][li] > 0 {
+					comm += cm.Alpha*float64(a.Peers[r][li]) + cm.Beta*float64(a.Vol[r][li])
+				}
+			}
+			t := comp + comm + launch
+			if t > tMax {
+				tMax, compMax, commMax, launchMax = t, comp, comm, launch
+			}
+			// Cache metric: hits accumulated machine-wide.
+			h := cm.HitMax - (cm.HitMax-cm.HitBase)*msf
+			st.Hits += float64(ws) * h
+			workWeighted += float64(ws) * h
+			workTotal += float64(ws)
+		}
+		st.Time += tMax
+		st.Compute += compMax
+		st.Comm += commMax
+		st.Launch += launchMax
+	}
+	if workTotal > 0 {
+		st.HitRate = workWeighted / workTotal
+	}
+	if st.Time > 0 {
+		st.Performance = a.CoarseDt / st.Time
+	}
+	return st
+}
+
+// UniformLevels builds the degenerate single-level assignment the non-LTS
+// scheme uses: every element on level 1, but stepping pMax times per
+// coarse Δt (the global CFL bottleneck). The returned Levels reuses the
+// LTS coarse step so performance comparisons share the simulated-time
+// normalisation.
+func UniformLevels(m *mesh.Mesh, lv *mesh.Levels) *mesh.Levels {
+	u := &mesh.Levels{
+		NumLevels: 1,
+		Lvl:       make([]uint8, m.NumElements()),
+		P:         []int{1},
+		Count:     []int{m.NumElements()},
+		CoarseDt:  lv.CoarseDt,
+		CFL:       lv.CFL,
+	}
+	for i := range u.Lvl {
+		u.Lvl[i] = 1
+	}
+	return u
+}
+
+// SimulateNonLTS runs the global scheme over one coarse Δt: pMax full-mesh
+// substeps.
+func SimulateNonLTS(m *mesh.Mesh, lv *mesh.Levels, part []int32, k int, cm CostModel) (CycleStats, error) {
+	u := UniformLevels(m, lv)
+	a, err := NewAssignment(m, u, part, k)
+	if err != nil {
+		return CycleStats{}, err
+	}
+	st := Simulate(a, cm)
+	// The global scheme must take pMax substeps of Δt/pMax to cover Δt.
+	p := float64(lv.PMax())
+	st.Time *= p
+	st.Compute *= p
+	st.Comm *= p
+	st.Launch *= p
+	st.Hits *= p
+	if st.Time > 0 {
+		st.Performance = a.CoarseDt / st.Time
+	}
+	return st, nil
+}

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"golts/internal/hypergraph"
+	"golts/internal/mesh"
+	"golts/internal/partition"
+)
+
+func fixture(t testing.TB, scale float64) (*mesh.Mesh, *mesh.Levels) {
+	t.Helper()
+	m := mesh.Trench(scale)
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	return m, lv
+}
+
+func mustPartition(t testing.TB, m *mesh.Mesh, lv *mesh.Levels, k int) []int32 {
+	t.Helper()
+	res, err := partition.PartitionMesh(m, lv, partition.Options{K: k, Method: partition.ScotchP, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Part
+}
+
+func TestAssignmentConservation(t *testing.T) {
+	m, lv := fixture(t, 0.02)
+	k := 8
+	part := mustPartition(t, m, lv, k)
+	a, err := NewAssignment(m, lv, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 0; li < lv.NumLevels; li++ {
+		var sum int64
+		for r := 0; r < k; r++ {
+			sum += a.N[r][li]
+		}
+		if sum != int64(lv.Count[li]) {
+			t.Errorf("level %d: assigned %d elements, mesh has %d", li+1, sum, lv.Count[li])
+		}
+	}
+}
+
+// TestVolumeMatchesHypergraphCut: summing the per-substep volumes times
+// their substep counts must reproduce the hypergraph connectivity-1 cut —
+// the paper's exact MPI volume per LTS cycle.
+func TestVolumeMatchesHypergraphCut(t *testing.T) {
+	m, lv := fixture(t, 0.02)
+	k := 6
+	part := mustPartition(t, m, lv, k)
+	a, err := NewAssignment(m, lv, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for r := 0; r < k; r++ {
+		for li := 0; li < lv.NumLevels; li++ {
+			total += a.Vol[r][li] * int64(1<<uint(li))
+		}
+	}
+	h := hypergraph.FromMesh(m, lv)
+	if want := h.CutSize(part, k); total != want {
+		t.Errorf("cycle volume %d != hypergraph cut %d", total, want)
+	}
+}
+
+func TestAssignmentValidation(t *testing.T) {
+	m, lv := fixture(t, 0.02)
+	if _, err := NewAssignment(m, lv, []int32{0, 1}, 2); err == nil {
+		t.Error("expected error for short partition")
+	}
+	bad := make([]int32, m.NumElements())
+	bad[5] = 99
+	if _, err := NewAssignment(m, lv, bad, 2); err == nil {
+		t.Error("expected error for out-of-range part")
+	}
+}
+
+func TestSingleRankTimeMatchesWork(t *testing.T) {
+	m, lv := fixture(t, 0.02)
+	part := make([]int32, m.NumElements())
+	a, err := NewAssignment(m, lv, part, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := CPUModel
+	cm.MissPenalty = 0 // disable cache effects for exact accounting
+	st := Simulate(a, cm)
+	// Expected: own + halo work per cycle.
+	var steps int64
+	for li := 0; li < lv.NumLevels; li++ {
+		steps += (a.N[0][li] + a.NHalo[0][li]) * int64(1<<uint(li))
+	}
+	want := float64(steps) * cm.ElemCost
+	if math.Abs(st.Time-want) > 1e-9*want {
+		t.Errorf("single-rank cycle time %v, want %v", st.Time, want)
+	}
+	if steps < lv.WorkPerCycle() {
+		t.Errorf("work with halo %d below ideal %d", steps, lv.WorkPerCycle())
+	}
+	if st.Comm != 0 {
+		t.Errorf("single rank should not communicate: %v", st.Comm)
+	}
+}
+
+// TestLTSOutperformsNonLTS: on the trench mesh the simulated LTS cycle
+// must beat the global scheme by roughly the theoretical speedup.
+func TestLTSOutperformsNonLTS(t *testing.T) {
+	m, lv := fixture(t, 0.05)
+	k := 16
+	part := mustPartition(t, m, lv, k)
+	a, err := NewAssignment(m, lv, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := Simulate(a, CPUModel)
+	non, err := SimulateNonLTS(m, lv, part, k, CPUModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := non.Time / lts.Time
+	model := lv.TheoreticalSpeedup()
+	if speedup < 0.5*model || speedup > 1.3*model {
+		t.Errorf("simulated speedup %.2f vs model %.2f", speedup, model)
+	}
+}
+
+// TestImbalancedPartitionIsSlower: concentrating the fine levels on one
+// rank (the paper's Fig. 1 pathology) must cost wall-clock time.
+func TestImbalancedPartitionIsSlower(t *testing.T) {
+	m, lv := fixture(t, 0.05)
+	k := 8
+	good := mustPartition(t, m, lv, k)
+	// Pathological: slab partition along x, so the refined band lands
+	// entirely inside one rank — the Fig. 1 imbalance.
+	bad := make([]int32, m.NumElements())
+	for e := range bad {
+		i, _, _ := m.ECoords(e)
+		p := int32(i * k / m.NX)
+		if p >= int32(k) {
+			p = int32(k) - 1
+		}
+		bad[e] = p
+	}
+	ga, err := NewAssignment(m, lv, good, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := NewAssignment(m, lv, bad, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := Simulate(ga, CPUModel)
+	bt := Simulate(ba, CPUModel)
+	if bt.Time < gt.Time*1.1 {
+		t.Errorf("imbalanced partition time %.3g not clearly worse than balanced %.3g", bt.Time, gt.Time)
+	}
+}
+
+// TestGPULaunchOverheadLimitsStrongScaling: doubling GPU ranks on a fixed
+// mesh must show efficiency loss from kernel launch overhead on the tiny
+// fine levels (the paper's Fig. 9-bottom mechanism).
+func TestGPULaunchOverheadLimitsStrongScaling(t *testing.T) {
+	m, lv := fixture(t, 0.05)
+	perf := map[int]float64{}
+	for _, k := range []int{4, 32} {
+		part := mustPartition(t, m, lv, k)
+		a, err := NewAssignment(m, lv, part, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perf[k] = Simulate(a, GPUModel).Performance
+	}
+	eff := perf[32] / perf[4] / 8.0
+	if eff > 0.9 {
+		t.Errorf("GPU strong scaling efficiency %.2f, expected launch-overhead losses", eff)
+	}
+	if eff < 0.05 {
+		t.Errorf("GPU scaling efficiency %.2f unreasonably low", eff)
+	}
+}
+
+// TestCacheModelSuperlinearity: the CPU non-LTS scheme should scale
+// slightly super-linearly on a mesh whose per-rank working set crosses the
+// cache capacity (paper §IV-D).
+func TestCacheModelSuperlinearity(t *testing.T) {
+	m, lv := fixture(t, 0.1)
+	perf := map[int]float64{}
+	for _, k := range []int{64, 512} {
+		part := mustPartition(t, m, lv, k)
+		st, err := SimulateNonLTS(m, lv, part, k, CPUModel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perf[k] = st.Performance
+	}
+	eff := perf[512] / perf[64] / 8.0
+	if eff < 1.0 {
+		t.Errorf("non-LTS CPU scaling efficiency %.3f, expected super-linear (cache)", eff)
+	}
+	if eff > 1.6 {
+		t.Errorf("non-LTS CPU scaling efficiency %.3f implausibly high", eff)
+	}
+}
+
+// TestLTSHasBetterCacheHitRate (Fig. 12): LTS's small per-substep working
+// sets must raise the modelled hit rate above the non-LTS run.
+func TestLTSHasBetterCacheHitRate(t *testing.T) {
+	m, lv := fixture(t, 0.1)
+	k := 128
+	part := mustPartition(t, m, lv, k)
+	a, err := NewAssignment(m, lv, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := Simulate(a, CPUModel)
+	non, err := SimulateNonLTS(m, lv, part, k, CPUModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lts.HitRate <= non.HitRate {
+		t.Errorf("LTS hit rate %.3f not above non-LTS %.3f", lts.HitRate, non.HitRate)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	m, lv := fixture(t, 0.02)
+	part := mustPartition(t, m, lv, 4)
+	a, _ := NewAssignment(m, lv, part, 4)
+	s1 := Simulate(a, CPUModel)
+	s2 := Simulate(a, CPUModel)
+	if s1 != s2 {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func BenchmarkSimulateCycle(b *testing.B) {
+	m, lv := fixture(b, 0.05)
+	part := mustPartition(b, m, lv, 64)
+	a, err := NewAssignment(m, lv, part, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(a, CPUModel)
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline reproduces the paper's Fig. 1 (bottom): the per-substep
+// execution profile of an LTS cycle across ranks, showing where processors
+// stall waiting for the slowest rank at each synchronisation point.
+type Timeline struct {
+	// Substeps, in schedule order; each entry holds the active levels and
+	// the per-rank busy time for that substep.
+	Substeps []SubstepProfile
+	// CycleTime is the total wall time of the cycle (sum of substep
+	// maxima).
+	CycleTime float64
+	// BusyTime[r] is rank r's total busy time over the cycle.
+	BusyTime []float64
+}
+
+// SubstepProfile is the execution of one substep.
+type SubstepProfile struct {
+	// Index is the substep index within the cycle (0..pMax-1).
+	Index int
+	// ActiveLevels holds the 1-based levels stepping at this substep.
+	ActiveLevels []int
+	// Busy[r] is rank r's compute+comm time for this substep.
+	Busy []float64
+	// Duration is the substep wall time: max over ranks.
+	Duration float64
+}
+
+// StallFraction returns the fraction of total rank-time spent waiting:
+// 1 - Σ busy / (K * cycleTime). Zero means perfect balance at every
+// synchronisation point (the paper's goal); the Fig. 1 pathology gives
+// large values.
+func (t *Timeline) StallFraction() float64 {
+	if t.CycleTime == 0 || len(t.BusyTime) == 0 {
+		return 0
+	}
+	var busy float64
+	for _, b := range t.BusyTime {
+		busy += b
+	}
+	return 1 - busy/(float64(len(t.BusyTime))*t.CycleTime)
+}
+
+// Trace executes one LTS cycle like Simulate but records the full per-rank
+// profile.
+func Trace(a *Assignment, cm CostModel) *Timeline {
+	tl := &Timeline{BusyTime: make([]float64, a.K)}
+	for i := 0; i < a.PMax; i++ {
+		sp := SubstepProfile{Index: i, Busy: make([]float64, a.K)}
+		for li := 0; li < a.NumLevels; li++ {
+			if i%(a.PMax>>uint(li)) == 0 {
+				sp.ActiveLevels = append(sp.ActiveLevels, li+1)
+			}
+		}
+		for r := 0; r < a.K; r++ {
+			var ws int64
+			for _, l := range sp.ActiveLevels {
+				ws += a.N[r][l-1] + a.NHalo[r][l-1]
+			}
+			msf := cm.miss(float64(ws))
+			perElem := cm.ElemCost * (1 + cm.MissPenalty*msf)
+			var busy float64
+			for _, l := range sp.ActiveLevels {
+				li := l - 1
+				ne := a.N[r][li] + a.NHalo[r][li]
+				busy += float64(ne) * perElem
+				if ne > 0 {
+					busy += cm.KernelLaunch
+				}
+				if a.Vol[r][li] > 0 {
+					busy += cm.Alpha*float64(a.Peers[r][li]) + cm.Beta*float64(a.Vol[r][li])
+				}
+			}
+			sp.Busy[r] = busy
+			tl.BusyTime[r] += busy
+			if busy > sp.Duration {
+				sp.Duration = busy
+			}
+		}
+		tl.CycleTime += sp.Duration
+		tl.Substeps = append(tl.Substeps, sp)
+	}
+	return tl
+}
+
+// Render draws the timeline as ASCII art in the style of the paper's
+// Fig. 1: one row per rank, time flowing left to right, '#' for busy time
+// and '.' for stalling, with substep boundaries marked by '|'. width is
+// the total number of character columns for the cycle.
+func (t *Timeline) Render(width int) string {
+	if width < 2*len(t.Substeps) {
+		width = 2 * len(t.Substeps)
+	}
+	k := len(t.BusyTime)
+	var b strings.Builder
+	fmt.Fprintf(&b, "LTS cycle timeline: %d substeps, %d ranks, stall fraction %.0f%%\n",
+		len(t.Substeps), k, 100*t.StallFraction())
+	// Column budget per substep proportional to its duration.
+	cols := make([]int, len(t.Substeps))
+	for i, sp := range t.Substeps {
+		c := int(float64(width) * sp.Duration / t.CycleTime)
+		if c < 1 {
+			c = 1
+		}
+		cols[i] = c
+	}
+	for r := 0; r < k; r++ {
+		fmt.Fprintf(&b, "P%-3d ", r)
+		for i, sp := range t.Substeps {
+			busyCols := 0
+			if sp.Duration > 0 {
+				busyCols = int(float64(cols[i]) * sp.Busy[r] / sp.Duration)
+			}
+			if sp.Busy[r] > 0 && busyCols == 0 {
+				busyCols = 1
+			}
+			b.WriteString(strings.Repeat("#", busyCols))
+			b.WriteString(strings.Repeat(".", cols[i]-busyCols))
+			b.WriteByte('|')
+		}
+		b.WriteByte('\n')
+	}
+	// Level activity ruler.
+	b.WriteString("lvls ")
+	for i, sp := range t.Substeps {
+		lbl := fmt.Sprintf("%d", len(sp.ActiveLevels))
+		pad := cols[i] - len(lbl)
+		if pad < 0 {
+			pad = 0
+			lbl = lbl[:cols[i]]
+		}
+		b.WriteString(lbl)
+		b.WriteString(strings.Repeat(" ", pad))
+		b.WriteByte('|')
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

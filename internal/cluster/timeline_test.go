@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fig1Assignment reconstructs the paper's Fig. 1 example: a 1-D mesh of 8
+// elements, 4 fine (4 substeps per Δt, i.e. p=4) and 4 coarse, split
+// between two processors so that A holds 3 fine + 1 coarse and B holds 1
+// fine + 3 coarse. Level 2 is empty (the fine elements jump straight to
+// Δt/4, as drawn in the figure).
+func fig1Assignment() *Assignment {
+	return &Assignment{
+		K: 2, NumLevels: 3, PMax: 4, CoarseDt: 1,
+		N:     [][]int64{{1, 0, 3}, {3, 0, 1}},
+		NHalo: [][]int64{{0, 0, 0}, {0, 0, 0}},
+		Vol:   [][]int64{{1, 0, 1}, {1, 0, 1}},
+		Peers: [][]int{{1, 0, 1}, {1, 0, 1}},
+	}
+}
+
+func TestFig1TimelineShowsStall(t *testing.T) {
+	cm := CostModel{ElemCost: 1, RanksPerNode: 1} // pure work, no comm/cache
+	tl := Trace(fig1Assignment(), cm)
+	if len(tl.Substeps) != 4 {
+		t.Fatalf("substeps %d, want 4", len(tl.Substeps))
+	}
+	// Substep 0 activates all levels; substep 1 only the finest.
+	if got := tl.Substeps[0].ActiveLevels; len(got) != 3 {
+		t.Errorf("substep 0 active levels %v", got)
+	}
+	if got := tl.Substeps[1].ActiveLevels; len(got) != 1 || got[0] != 3 {
+		t.Errorf("substep 1 active levels %v", got)
+	}
+	// Fig. 1's pathology: processor A (rank 0 holds 3 fine) takes 3x
+	// longer than B on fine substeps; B stalls.
+	if tl.Substeps[1].Busy[0] <= tl.Substeps[1].Busy[1] {
+		t.Errorf("expected rank 0 to dominate fine substeps: %v", tl.Substeps[1].Busy)
+	}
+	if tl.StallFraction() < 0.2 {
+		t.Errorf("stall fraction %.2f, expected the Fig. 1 imbalance to stall >20%%", tl.StallFraction())
+	}
+	// A level-balanced assignment eliminates the stall.
+	bal := &Assignment{
+		K: 2, NumLevels: 3, PMax: 4, CoarseDt: 1,
+		N:     [][]int64{{2, 0, 2}, {2, 0, 2}},
+		NHalo: [][]int64{{0, 0, 0}, {0, 0, 0}},
+		Vol:   [][]int64{{0, 0, 0}, {0, 0, 0}},
+		Peers: [][]int{{0, 0, 0}, {0, 0, 0}},
+	}
+	tlb := Trace(bal, cm)
+	if tlb.StallFraction() > 1e-9 {
+		t.Errorf("balanced assignment stalls %.3f", tlb.StallFraction())
+	}
+	if tlb.CycleTime >= tl.CycleTime {
+		t.Errorf("balanced cycle %.1f not faster than unbalanced %.1f", tlb.CycleTime, tl.CycleTime)
+	}
+}
+
+func TestTraceConsistentWithSimulate(t *testing.T) {
+	m, lv := fixture(t, 0.02)
+	part := mustPartition(t, m, lv, 6)
+	a, err := NewAssignment(m, lv, part, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Simulate(a, CPUModel)
+	tl := Trace(a, CPUModel)
+	if math.Abs(st.Time-tl.CycleTime) > 1e-12*st.Time {
+		t.Errorf("Trace cycle %.6g != Simulate %.6g", tl.CycleTime, st.Time)
+	}
+	if len(tl.Substeps) != a.PMax {
+		t.Errorf("substeps %d, want %d", len(tl.Substeps), a.PMax)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	cm := CostModel{ElemCost: 1, RanksPerNode: 1}
+	tl := Trace(fig1Assignment(), cm)
+	out := tl.Render(60)
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Errorf("render missing rank rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("render missing busy/stall marks:\n%s", out)
+	}
+	if !strings.Contains(out, "stall fraction") {
+		t.Errorf("render missing header:\n%s", out)
+	}
+}

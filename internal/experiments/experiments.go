@@ -1,0 +1,200 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§IV) on the scaled benchmark meshes. Each experiment
+// returns a Table whose rows mirror the paper's presentation; cmd/ltsbench
+// renders them as text and bench_test.go wraps them as benchmarks.
+//
+// Per-experiment index (see DESIGN.md):
+//
+//	Table5  - benchmark mesh inventory (elements, DOF, speedup, levels)
+//	Fig7    - load imbalance of MeTiS / PaToH(.05/.01) / SCOTCH-P
+//	Fig9    - trench CPU + GPU scaling, 4 partitioners + ideal
+//	Fig8    - graph cut and MPI volume of the four partitioners
+//	Fig10   - embedding mesh CPU scaling
+//	Fig11   - crust mesh CPU scaling
+//	Fig12   - D1+D2 cache metric, LTS vs non-LTS
+//	Fig13   - large trench scaling (SCOTCH-P)
+//	SingleThread - measured single-thread LTS efficiency vs Eq. (9)
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"golts/internal/mesh"
+	"golts/internal/partition"
+)
+
+// Config controls experiment sizes. The zero value is replaced by
+// Default(); Quick() is small enough for unit tests.
+type Config struct {
+	// TrenchScale etc. scale the benchmark meshes (1.0 = the repo default
+	// of roughly 1/10 the paper's element counts).
+	TrenchScale    float64
+	TrenchBigScale float64
+	EmbeddingScale float64
+	CrustScale     float64
+	// Nodes are the cluster sizes (in nodes; CPUs use 8 ranks/node, GPUs
+	// 1) for the Fig. 9-11 scaling experiments.
+	Nodes []int
+	// BigNodes are the (scaled-down) node counts for Fig. 13.
+	BigNodes []int
+	// PartKs are the part counts of the Fig. 7/8 partition-quality tables.
+	PartKs []int
+	// Seed drives all randomised partitioners.
+	Seed int64
+	// CFL is the Courant number for level assignment.
+	CFL float64
+}
+
+// Default returns the standard configuration: ~1/10-scale meshes, the
+// paper's node counts for Figs. 9-12, and node counts reduced 8x for Fig.
+// 13 (the paper's 128-1024 nodes assume a 26M-element mesh).
+func Default() Config {
+	return Config{
+		TrenchScale:    0.3,
+		TrenchBigScale: 0.05,
+		EmbeddingScale: 0.3,
+		CrustScale:     0.3,
+		Nodes:          []int{16, 32, 64, 128},
+		BigNodes:       []int{16, 32, 64, 128},
+		PartKs:         []int{16, 32, 64},
+		Seed:           20150525, // IPDPS'15 conference date
+		CFL:            0.4,
+	}
+}
+
+// Quick returns a reduced configuration for tests and smoke benchmarks.
+func Quick() Config {
+	return Config{
+		TrenchScale:    0.02,
+		TrenchBigScale: 0.01,
+		EmbeddingScale: 0.05,
+		CrustScale:     0.05,
+		Nodes:          []int{2, 4},
+		BigNodes:       []int{2, 4},
+		PartKs:         []int{4, 8},
+		Seed:           1,
+		CFL:            0.4,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.TrenchScale == 0 {
+		c.TrenchScale = d.TrenchScale
+	}
+	if c.TrenchBigScale == 0 {
+		c.TrenchBigScale = d.TrenchBigScale
+	}
+	if c.EmbeddingScale == 0 {
+		c.EmbeddingScale = d.EmbeddingScale
+	}
+	if c.CrustScale == 0 {
+		c.CrustScale = d.CrustScale
+	}
+	if len(c.Nodes) == 0 {
+		c.Nodes = d.Nodes
+	}
+	if len(c.BigNodes) == 0 {
+		c.BigNodes = d.BigNodes
+	}
+	if len(c.PartKs) == 0 {
+		c.PartKs = d.PartKs
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.CFL == 0 {
+		c.CFL = d.CFL
+	}
+	return c
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Name   string // experiment id, e.g. "fig7"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.Name, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// benchMesh builds one of the four benchmark meshes with levels assigned.
+func benchMesh(name string, scale, cfl float64) (*mesh.Mesh, *mesh.Levels, error) {
+	gen, ok := mesh.Generators[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown mesh %q", name)
+	}
+	m := gen(scale)
+	lv := mesh.AssignLevels(m, cfl, 0)
+	if err := lv.Validate(m); err != nil {
+		return nil, nil, err
+	}
+	return m, lv, nil
+}
+
+// partitionFor runs one partitioner configuration.
+func partitionFor(m *mesh.Mesh, lv *mesh.Levels, method partition.Method, k int, imb float64, seed int64) ([]int32, error) {
+	res, err := partition.PartitionMesh(m, lv, partition.Options{
+		K: k, Method: method, Imbalance: imb, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Part, nil
+}
+
+// partitionerConfigs are the named configurations compared in Figs. 7-11.
+type partitionerConfig struct {
+	Label  string
+	Method partition.Method
+	Imbal  float64
+}
+
+var figPartitioners = []partitionerConfig{
+	{"MeTiS", partition.Metis, 0.05},
+	{"PaToH 0.05", partition.Patoh, 0.05},
+	{"PaToH 0.01", partition.Patoh, 0.01},
+	{"SCOTCH-P", partition.ScotchP, 0.03},
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+
+	"golts/internal/cluster"
+	"golts/internal/mesh"
+	"golts/internal/partition"
+)
+
+// scalingSeries simulates one mesh on the CPU or GPU cluster across node
+// counts, for each partitioner configuration, normalised to the non-LTS
+// CPU performance at the smallest node count — exactly the presentation of
+// Figs. 9-11 and 13.
+func scalingSeries(m *mesh.Mesh, lv *mesh.Levels, nodes []int, cm cluster.CostModel,
+	baseline float64, configs []partitionerConfig, seed int64) (rows [][]string, base float64, err error) {
+	model := lv.TheoreticalSpeedup()
+	for ni, nd := range nodes {
+		k := nd * cm.RanksPerNode
+		// Non-LTS reference uses the standard unweighted partitioner.
+		nonPart, err := partitionFor(m, lv, partition.Scotch, k, 0.05, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		non, err := cluster.SimulateNonLTS(m, lv, nonPart, k, cm)
+		if err != nil {
+			return nil, 0, err
+		}
+		if baseline == 0 && ni == 0 {
+			baseline = non.Performance
+		}
+		row := []string{
+			fmt.Sprintf("%d", nd),
+			fmt.Sprintf("%.2f", non.Performance/baseline),
+		}
+		// Ideal LTS: model speedup with perfect scaling from the first
+		// node count.
+		ideal := model * float64(nd) / float64(nodes[0])
+		row = append(row, fmt.Sprintf("%.2f", ideal))
+		for _, pc := range configs {
+			part, err := partitionFor(m, lv, pc.Method, k, pc.Imbal, seed)
+			if err != nil {
+				return nil, 0, err
+			}
+			a, err := cluster.NewAssignment(m, lv, part, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			st := cluster.Simulate(a, cm)
+			row = append(row, fmt.Sprintf("%.2f", st.Performance/baseline))
+		}
+		rows = append(rows, row)
+	}
+	return rows, baseline, nil
+}
+
+var scalingConfigs = []partitionerConfig{
+	{"SCOTCH-P", partition.ScotchP, 0.03},
+	{"PaToH 0.01", partition.Patoh, 0.01},
+	{"PaToH 0.05", partition.Patoh, 0.05},
+}
+
+func scalingHeader() []string {
+	h := []string{"nodes", "non-LTS", "LTS ideal"}
+	for _, pc := range scalingConfigs {
+		h = append(h, pc.Label)
+	}
+	return h
+}
+
+// Fig9TrenchScaling regenerates Fig. 9: normalized performance of the
+// trench mesh on the CPU cluster (8 ranks/node, top panel) and the GPU
+// cluster (1 rank/node, bottom panel), all relative to the non-LTS CPU
+// run at the smallest node count.
+func Fig9TrenchScaling(cfg Config) (cpu, gpu *Table, err error) {
+	cfg = cfg.withDefaults()
+	m, lv, err := benchMesh("trench", cfg.TrenchScale, cfg.CFL)
+	if err != nil {
+		return nil, nil, err
+	}
+	cpu = &Table{
+		Name:   "fig9-cpu",
+		Title:  fmt.Sprintf("CPU performance, trench mesh (%d elements, %.1fx model speedup)", m.NumElements(), lv.TheoreticalSpeedup()),
+		Header: scalingHeader(),
+	}
+	var base float64
+	cpu.Rows, base, err = scalingSeries(m, lv, cfg.Nodes, cluster.CPUModel, 0, scalingConfigs, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cpu.Notes = append(cpu.Notes,
+		"normalised to the non-LTS CPU run at the smallest node count",
+		"paper shape: LTS-CPU tracks the ideal curve within ~10%; non-LTS CPU slightly super-linear (cache)")
+	gpu = &Table{
+		Name:   "fig9-gpu",
+		Title:  "GPU performance, trench mesh (vs non-LTS CPU baseline)",
+		Header: scalingHeader(),
+	}
+	gpu.Rows, _, err = scalingSeries(m, lv, cfg.Nodes, cluster.GPUModel, base, scalingConfigs, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	gpu.Notes = append(gpu.Notes,
+		"paper shape: non-LTS GPU ~6.9x the CPU baseline at 16 nodes; LTS-GPU starts near the model speedup but loses strong-scaling efficiency to kernel launch overhead on the small fine levels (45% at 128 nodes)")
+	return cpu, gpu, nil
+}
+
+// Fig10EmbeddingScaling regenerates Fig. 10: embedding mesh CPU scaling.
+func Fig10EmbeddingScaling(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m, lv, err := benchMesh("embedding", cfg.EmbeddingScale, cfg.CFL)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "fig10",
+		Title:  fmt.Sprintf("CPU performance, embedding mesh (%d elements, %.1fx model speedup)", m.NumElements(), lv.TheoreticalSpeedup()),
+		Header: scalingHeader(),
+	}
+	t.Rows, _, err = scalingSeries(m, lv, cfg.Nodes, cluster.CPUModel, 0, scalingConfigs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: SCOTCH-P reaches 95% of the 7.9x theoretical speedup at 16 nodes; super-linear non-LTS scaling (123%)")
+	return t, nil
+}
+
+// Fig11CrustScaling regenerates Fig. 11: crust mesh CPU scaling (limited
+// 1.9x speedup).
+func Fig11CrustScaling(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m, lv, err := benchMesh("crust", cfg.CrustScale, cfg.CFL)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "fig11",
+		Title:  fmt.Sprintf("CPU performance, crust mesh (%d elements, %.1fx model speedup)", m.NumElements(), lv.TheoreticalSpeedup()),
+		Header: scalingHeader(),
+	}
+	t.Rows, _, err = scalingSeries(m, lv, cfg.Nodes, cluster.CPUModel, 0, scalingConfigs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "paper: PaToH 0.01 and SCOTCH-P nearly identical, 96% scaling efficiency at 128 nodes; the stricter PaToH balance matters most here")
+	return t, nil
+}
+
+// Fig12CacheMetric regenerates Fig. 12: the D1+D2 cache-hit metric of the
+// LTS and non-LTS runs on the trench mesh across node counts (model
+// units: hits per second, machine-wide).
+func Fig12CacheMetric(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m, lv, err := benchMesh("trench", cfg.TrenchScale, cfg.CFL)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "fig12",
+		Title:  "Cache hit metric (D1+D2 analogue), trench mesh",
+		Header: []string{"nodes", "non-LTS hits", "LTS hits", "non-LTS hit rate", "LTS hit rate"},
+	}
+	for _, nd := range cfg.Nodes {
+		k := nd * cluster.CPUModel.RanksPerNode
+		nonPart, err := partitionFor(m, lv, partition.Scotch, k, 0.05, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		non, err := cluster.SimulateNonLTS(m, lv, nonPart, k, cluster.CPUModel)
+		if err != nil {
+			return nil, err
+		}
+		ltsPart, err := partitionFor(m, lv, partition.ScotchP, k, 0.03, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		a, err := cluster.NewAssignment(m, lv, ltsPart, k)
+		if err != nil {
+			return nil, err
+		}
+		lts := cluster.Simulate(a, cluster.CPUModel)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", nd),
+			fmt.Sprintf("%.1f", non.Hits/non.Time/1e6),
+			fmt.Sprintf("%.1f", lts.Hits/lts.Time/1e6),
+			fmt.Sprintf("%.2f", non.HitRate),
+			fmt.Sprintf("%.2f", lts.HitRate),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper Fig. 12: hits rise with node count (smaller working sets) and the LTS version achieves higher utilisation than non-LTS; the absolute craypat units are not reproducible")
+	return t, nil
+}
+
+// Fig13LargeTrench regenerates Fig. 13: the large trench mesh (6 levels,
+// ~21.7x model speedup) with the SCOTCH-P partitioner, CPU cluster. The
+// paper runs 128-1024 nodes on 26M elements; at our reduced mesh scale the
+// node counts are reduced 8x to keep per-rank element counts comparable.
+func Fig13LargeTrench(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m, lv, err := benchMesh("trench-big", cfg.TrenchBigScale, cfg.CFL)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:   "fig13",
+		Title:  fmt.Sprintf("CPU performance, large trench mesh (%d elements, %.1fx model speedup)", m.NumElements(), lv.TheoreticalSpeedup()),
+		Header: []string{"nodes", "non-LTS", "LTS ideal", "SCOTCH-P", "LTS scaling eff"},
+	}
+	model := lv.TheoreticalSpeedup()
+	var base, ltsBase float64
+	for ni, nd := range cfg.BigNodes {
+		k := nd * cluster.CPUModel.RanksPerNode
+		nonPart, err := partitionFor(m, lv, partition.Scotch, k, 0.05, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		non, err := cluster.SimulateNonLTS(m, lv, nonPart, k, cluster.CPUModel)
+		if err != nil {
+			return nil, err
+		}
+		part, err := partitionFor(m, lv, partition.ScotchP, k, 0.03, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		a, err := cluster.NewAssignment(m, lv, part, k)
+		if err != nil {
+			return nil, err
+		}
+		lts := cluster.Simulate(a, cluster.CPUModel)
+		if ni == 0 {
+			base = non.Performance
+			ltsBase = lts.Performance
+		}
+		ideal := model * float64(nd) / float64(cfg.BigNodes[0])
+		eff := lts.Performance / ltsBase / (float64(nd) / float64(cfg.BigNodes[0])) * 100
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", nd),
+			fmt.Sprintf("%.2f", non.Performance/base),
+			fmt.Sprintf("%.1f", ideal),
+			fmt.Sprintf("%.1f", lts.Performance/base),
+			fmt.Sprintf("%.0f%%", eff),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper Fig. 13: LTS scaling efficiency near 100% until 512 nodes, dropping to 67% at 1024 nodes (93% for non-LTS)",
+		"node counts reduced 8x to match the reduced mesh scale (comparable elements per rank)")
+	return t, nil
+}

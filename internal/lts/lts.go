@@ -1,0 +1,400 @@
+// Package lts implements the paper's core contribution: the recursive,
+// multi-level local time-stepping Newmark scheme (LTS-Newmark, §II,
+// Algorithm 1) for semi-discrete wave equations M ü = -K u + F with
+// diagonal mass matrix.
+//
+// Elements are grouped into levels k = 1..N with substep multipliers
+// p_k = 2^(k-1) (Eq. 16); level-k degrees of freedom advance with step
+// Δt/p_k, and all levels synchronise every coarse step Δt (one "LTS
+// cycle"). The recursion freezes each coarser level's stiffness
+// contribution A·P_k·u while the finer levels substep (Eqs. 10-14), then
+// reconstructs the staggered velocity from the time-symmetric auxiliary
+// solution (the factor-2 update of Eq. 14).
+//
+// Two engines share the code path:
+//
+//   - the reference engine (Optimized=false) advances full vectors exactly
+//     as Algorithm 1 is written, and
+//   - the optimised engine (Optimized=true) restricts substepping to the
+//     active node sets (fine regions plus the coarse halo of Fig. 2) and
+//     updates far coarse nodes with the exact closed-form quadratic, which
+//     is what makes LTS actually save work (§II-C).
+//
+// Both produce the same trajectories to floating-point roundoff; the test
+// suite checks this, plus exact equivalence with global Newmark when only
+// one level exists.
+package lts
+
+import (
+	"fmt"
+
+	"golts/internal/mesh"
+	"golts/internal/sem"
+)
+
+// Work accumulates operation counts for efficiency accounting.
+type Work struct {
+	// ElemApplies is the total number of element stiffness applications.
+	ElemApplies int64
+	// PerLevel[li] is the element-application count of level li.
+	PerLevel []int64
+	// Cycles is the number of completed LTS cycles (coarse steps).
+	Cycles int64
+}
+
+// Scheme is an LTS-Newmark time stepper.
+type Scheme struct {
+	Op sem.Operator
+	// Dt is the coarse (level 1) step: the LTS cycle length.
+	Dt float64
+	// Optimized selects the active-set engine.
+	Optimized bool
+	// Sources are point forces; each is injected at its node's level, at
+	// that level's local substep times.
+	Sources []sem.Source
+	// Sigma is an optional per-node sponge damping profile applied to the
+	// velocity once per coarse step.
+	Sigma []float64
+
+	// U is the displacement at t_n; V the velocity at t_{n-1/2}.
+	U, V []float64
+	// Work holds operation counters.
+	Work Work
+
+	sets   *sets
+	nlv    int
+	t      float64
+	cycleT float64 // anchor t_n of the cycle in progress (source symmetrization)
+	n      int64
+	start  bool
+
+	// Per-level scratch (indexed by 0-based level):
+	zbuf  [][]float64 // A P_k u (support forceNodes[li])
+	fbuf  [][]float64 // accumulated frozen force through level li
+	vbuf  [][]float64 // auxiliary staggered velocity of level li
+	usnap [][]float64 // parent-field snapshot for the factor-2 update
+	// Shared scratch with all-zero invariants between uses:
+	mask []float64 // masked copy of u (support levelNodes[li])
+	kbuf []float64 // stiffness accumulation (support forceNodes[li])
+
+	srcLevel []uint8 // 0-based node level of each source's node
+}
+
+// New builds an LTS scheme. elemLevel holds 1-based p-levels per element
+// (level k steps with Δt/2^(k-1)); dt is the coarse step.
+func New(op sem.Operator, elemLevel []uint8, numLevels int, dt float64, optimized bool) (*Scheme, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("lts: dt must be positive, got %g", dt)
+	}
+	st, err := buildSets(op, elemLevel, numLevels)
+	if err != nil {
+		return nil, err
+	}
+	if !optimized {
+		st.referenceSets()
+	}
+	nd := op.NDof()
+	s := &Scheme{
+		Op: op, Dt: dt, Optimized: optimized,
+		U: make([]float64, nd), V: make([]float64, nd),
+		sets: st, nlv: numLevels,
+		mask: make([]float64, nd), kbuf: make([]float64, nd),
+	}
+	s.Work.PerLevel = make([]int64, numLevels)
+	s.zbuf = make([][]float64, numLevels)
+	s.fbuf = make([][]float64, numLevels)
+	s.vbuf = make([][]float64, numLevels)
+	s.usnap = make([][]float64, numLevels)
+	for li := 0; li < numLevels; li++ {
+		s.zbuf[li] = make([]float64, nd)
+		s.fbuf[li] = make([]float64, nd)
+		s.vbuf[li] = make([]float64, nd)
+		s.usnap[li] = make([]float64, nd)
+	}
+	return s, nil
+}
+
+// FromMeshLevels builds a scheme directly from a mesh level assignment,
+// using its coarse step.
+func FromMeshLevels(op sem.Operator, lv *mesh.Levels, optimized bool) (*Scheme, error) {
+	return New(op, lv.Lvl, lv.NumLevels, lv.CoarseDt, optimized)
+}
+
+// SetInitial sets u(0) and v(0), both at t = 0. Must precede stepping.
+func (s *Scheme) SetInitial(u0, v0 []float64) error {
+	if s.start {
+		return fmt.Errorf("lts: SetInitial after stepping started")
+	}
+	if len(u0) != len(s.U) || len(v0) != len(s.V) {
+		return fmt.Errorf("lts: initial condition length mismatch")
+	}
+	copy(s.U, u0)
+	copy(s.V, v0)
+	return nil
+}
+
+// SetSources installs point sources (must be called before stepping so the
+// per-source levels can be resolved).
+func (s *Scheme) SetSources(src []sem.Source) {
+	s.Sources = src
+	s.srcLevel = make([]uint8, len(src))
+	nc := s.Op.Comps()
+	for i, sc := range src {
+		s.srcLevel[i] = s.sets.nodeLevel[sc.Dof/nc]
+	}
+}
+
+// Time returns the simulation time t_n.
+func (s *Scheme) Time() float64 { return s.t }
+
+// CycleCount returns the number of completed coarse steps.
+func (s *Scheme) CycleCount() int64 { return s.n }
+
+// NumLevels returns the number of LTS levels.
+func (s *Scheme) NumLevels() int { return s.nlv }
+
+// dtAt returns the substep of 0-based level li: Δt / 2^li.
+func (s *Scheme) dtAt(li int) float64 { return s.Dt / float64(int64(1)<<uint(li)) }
+
+// applyAP computes dst = A·P_li·u - M⁻¹F_li(t) on the support of level li:
+// the input is masked to the level's P nodes, the stiffness restricted to
+// the level's force elements, and sources living on level-li nodes are
+// injected at local time t. dst is fully overwritten on forceNodes[li] and
+// untouched (zero by invariant) elsewhere.
+func (s *Scheme) applyAP(li int, u []float64, t float64, dst []float64) {
+	nc := s.Op.Comps()
+	minv := s.Op.MInv()
+	// Mask input to P_li nodes.
+	for _, n := range s.sets.levelNodes[li] {
+		for c := 0; c < nc; c++ {
+			s.mask[int(n)*nc+c] = u[int(n)*nc+c]
+		}
+	}
+	s.Op.AddKu(s.kbuf, s.mask, s.sets.forceElems[li])
+	s.Work.ElemApplies += int64(len(s.sets.forceElems[li]))
+	s.Work.PerLevel[li] += int64(len(s.sets.forceElems[li]))
+	for _, n := range s.sets.forceNodes[li] {
+		mi := minv[n]
+		for c := 0; c < nc; c++ {
+			d := int(n)*nc + c
+			dst[d] = mi * s.kbuf[d]
+			s.kbuf[d] = 0
+		}
+	}
+	// Restore the all-zero invariant of the mask buffer.
+	for _, n := range s.sets.levelNodes[li] {
+		for c := 0; c < nc; c++ {
+			s.mask[int(n)*nc+c] = 0
+		}
+	}
+	// Sources on this level enter with a minus sign: the schemes step with
+	// v -= δ (F_frozen + A P u - M⁻¹F_src). The auxiliary solves of the
+	// LTS recursion compute the time-symmetric (even) part of the
+	// evolution about the cycle anchor t_n, so the source must enter as
+	// its even extension ½(f(t_n+ξ) + f(t_n-ξ)) (Diaz & Grote's source
+	// treatment); this preserves second-order accuracy. At the top level
+	// ξ = 0 and the expression reduces to f(t_n).
+	for i, sc := range s.Sources {
+		if int(s.srcLevel[i]) == li {
+			xi := t - s.cycleT
+			amp := 0.5 * (sc.W.Amp(s.cycleT+xi) + sc.W.Amp(s.cycleT-xi))
+			dst[sc.Dof] -= amp * minv[sc.Dof/nc]
+		}
+	}
+}
+
+// eachStepNode calls f for every dof in the active update set of level li
+// (nodes with stepLvl >= li). Kept for tests and non-hot paths; the
+// stepping loops below are specialised inline for speed.
+func (s *Scheme) eachStepNode(li int, f func(d int)) {
+	nc := s.Op.Comps()
+	for j := li; j < s.nlv; j++ {
+		for _, n := range s.sets.stepNodesAt[j] {
+			base := int(n) * nc
+			for c := 0; c < nc; c++ {
+				f(base + c)
+			}
+		}
+	}
+}
+
+// advance performs the two level-li substeps that make up one step of
+// level li-1, operating on s.U in place (the auxiliary field ũ of Eqs.
+// 11/17). tStart is the local time at entry. On return, nodes with
+// stepLvl >= li-1 carry the field advanced by Δt_{li-1}.
+func (s *Scheme) advance(li int, tStart float64) {
+	dt := s.dtAt(li)
+	last := li == s.nlv-1
+	v := s.vbuf[li]
+	f := s.fbuf[li-1]
+	nc := s.Op.Comps()
+	u := s.U
+	for m := 0; m < 2; m++ {
+		tm := tStart + float64(m)*dt
+		s.applyAP(li, u, tm, s.zbuf[li])
+		z := s.zbuf[li]
+		if last {
+			// Finest level: plain leap-frog substeps against the frozen
+			// coarser forces (innermost loop of Algorithm 1). The
+			// auxiliary velocity restarts from v(0) = 0, so the first
+			// substep is the half-step Taylor start.
+			if m == 0 {
+				for j := li; j < s.nlv; j++ {
+					for _, n := range s.sets.stepNodesAt[j] {
+						for d := int(n) * nc; d < int(n)*nc+nc; d++ {
+							v[d] = -dt / 2 * (f[d] + z[d])
+							u[d] += dt * v[d]
+						}
+					}
+				}
+			} else {
+				for j := li; j < s.nlv; j++ {
+					for _, n := range s.sets.stepNodesAt[j] {
+						for d := int(n) * nc; d < int(n)*nc+nc; d++ {
+							v[d] -= dt * (f[d] + z[d])
+							u[d] += dt * v[d]
+						}
+					}
+				}
+			}
+		} else {
+			// Intermediate level: freeze this level's contribution, let
+			// the finer levels advance one Δt_li, then reconstruct the
+			// staggered velocity from the time-symmetric solution
+			// (Eq. 14 / the ṽ update of Algorithm 1).
+			us := s.usnap[li]
+			fl := s.fbuf[li]
+			for j := li; j < s.nlv; j++ {
+				for _, n := range s.sets.stepNodesAt[j] {
+					for d := int(n) * nc; d < int(n)*nc+nc; d++ {
+						fl[d] = f[d] + z[d]
+						us[d] = u[d]
+					}
+				}
+			}
+			s.advance(li+1, tm)
+			if m == 0 {
+				for j := li; j < s.nlv; j++ {
+					for _, n := range s.sets.stepNodesAt[j] {
+						for d := int(n) * nc; d < int(n)*nc+nc; d++ {
+							v[d] = (u[d] - us[d]) / dt
+							u[d] = us[d] + dt*v[d]
+						}
+					}
+				}
+			} else {
+				for j := li; j < s.nlv; j++ {
+					for _, n := range s.sets.stepNodesAt[j] {
+						for d := int(n) * nc; d < int(n)*nc+nc; d++ {
+							v[d] += 2 * (u[d] - us[d]) / dt
+							u[d] = us[d] + dt*v[d]
+						}
+					}
+				}
+			}
+		}
+	}
+	// Far coarse nodes of the parent's active set saw a constant force f
+	// during both substeps; their evolution from v(0)=0 is exactly
+	// quadratic: u -= (2 dt)²/2 · f. This closed form is what the
+	// optimised engine saves; with reference sets the list is empty at
+	// every level except the finest, reproducing full-vector Algorithm 1.
+	dur := 2 * dt
+	half := dur * dur / 2
+	for _, n := range s.sets.stepNodesAt[li-1] {
+		base := int(n) * nc
+		for c := 0; c < nc; c++ {
+			u[base+c] -= half * f[base+c]
+		}
+	}
+}
+
+// Step advances one LTS cycle (one coarse Δt).
+func (s *Scheme) Step() {
+	nd := s.Op.NDof()
+	s.cycleT = s.t
+	if s.nlv == 1 {
+		// Degenerate single-level case: global leap-frog, identical
+		// arithmetic to package newmark.
+		s.applyAP(0, s.U, s.t, s.zbuf[0])
+		z := s.zbuf[0]
+		dt := s.Dt
+		if !s.start {
+			for d := 0; d < nd; d++ {
+				s.V[d] -= dt / 2 * z[d]
+			}
+			s.start = true
+		} else {
+			for d := 0; d < nd; d++ {
+				s.V[d] -= dt * z[d]
+			}
+		}
+		s.damp()
+		for d := 0; d < nd; d++ {
+			s.U[d] += dt * s.V[d]
+		}
+		s.t += s.Dt
+		s.n++
+		s.Work.Cycles++
+		return
+	}
+	// w = A P_1 u_n (+ level-1 sources), frozen for the whole cycle.
+	s.applyAP(0, s.U, s.t, s.zbuf[0])
+	us := s.usnap[0]
+	copy(us, s.U)
+	copy(s.fbuf[0], s.zbuf[0])
+	s.advance(1, s.t)
+	dtInv := 1 / s.Dt
+	if !s.start {
+		// First cycle: v(0) is unstaggered; u_1 = ũ(Δt) + Δt v(0).
+		for d := 0; d < nd; d++ {
+			s.V[d] += (s.U[d] - us[d]) * dtInv
+		}
+		s.start = true
+	} else {
+		for d := 0; d < nd; d++ {
+			s.V[d] += 2 * (s.U[d] - us[d]) * dtInv
+		}
+	}
+	s.damp()
+	for d := 0; d < nd; d++ {
+		s.U[d] = us[d] + s.Dt*s.V[d]
+	}
+	s.t += s.Dt
+	s.n++
+	s.Work.Cycles++
+}
+
+func (s *Scheme) damp() {
+	if s.Sigma == nil {
+		return
+	}
+	nc := s.Op.Comps()
+	for n, sg := range s.Sigma {
+		if sg == 0 {
+			continue
+		}
+		fac := 1 / (1 + sg*s.Dt)
+		for c := 0; c < nc; c++ {
+			s.V[n*nc+c] *= fac
+		}
+	}
+}
+
+// Run advances n cycles.
+func (s *Scheme) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Energy returns the instantaneous discrete energy ½vᵀMv + ½uᵀKu.
+func (s *Scheme) Energy() float64 {
+	return sem.Energy(s.Op, s.U, s.V, sem.AllElements(s.Op), s.kbuf2())
+}
+
+func (s *Scheme) kbuf2() []float64 {
+	// Energy is diagnostic-only; allocate a fresh buffer so the kbuf
+	// all-zero invariant is preserved.
+	return make([]float64, s.Op.NDof())
+}

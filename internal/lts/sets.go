@@ -1,0 +1,156 @@
+package lts
+
+import (
+	"fmt"
+
+	"golts/internal/sem"
+)
+
+// sets holds the per-level index sets that drive the LTS recursion. All
+// level indices here are 0-based (level 0 = coarsest, step Δt; level li
+// steps Δt/2^li). The paper's 1-based p-levels map as k = li+1.
+//
+// Definitions (paper §II-C and Fig. 2):
+//
+//   - nodeLevel[n]: the finest (max) level of the elements sharing node n.
+//     This realises the selection matrices P_k: node n belongs to P_k iff
+//     nodeLevel[n] = k. The "gray halo" nodes of Fig. 2 are coarse-element
+//     nodes that sit next to fine elements and therefore inherit the fine
+//     level.
+//   - levelNodes[li]: the P_k node list (nodeLevel == li).
+//   - forceElems[li]: elements with at least one P_k node — exactly the
+//     elements whose stiffness contributions A·P_k·u can be nonzero.
+//   - forceNodes[li]: all nodes of forceElems[li] — the support of A·P_k·u.
+//   - stepLvl[n]: the fastest rate at which node n's force can change
+//     = max level li such that n ∈ forceNodes[li]. Nodes outside
+//     forceNodes[li] for all li >= k see a constant force during level-k
+//     substepping and admit a closed-form (quadratic-in-time) update.
+//   - stepNodesAt[li]: nodes with stepLvl == li. The active update set of
+//     level k is ∪_{li >= k} stepNodesAt[li].
+type sets struct {
+	numLevels   int
+	elemLevel   []uint8 // 0-based per element
+	nodeLevel   []uint8
+	stepLvl     []uint8
+	levelNodes  [][]int32
+	forceElems  [][]int32
+	forceNodes  [][]int32
+	stepNodesAt [][]int32
+}
+
+// buildSets computes all index sets from the operator topology and the
+// element level assignment (1-based, as produced by mesh.AssignLevels).
+func buildSets(op sem.Operator, elemLevel1 []uint8, numLevels int) (*sets, error) {
+	ne := op.NumElements()
+	if len(elemLevel1) != ne {
+		return nil, fmt.Errorf("lts: %d element levels for %d elements", len(elemLevel1), ne)
+	}
+	if numLevels < 1 || numLevels > 16 {
+		return nil, fmt.Errorf("lts: numLevels %d outside [1, 16]", numLevels)
+	}
+	s := &sets{numLevels: numLevels}
+	s.elemLevel = make([]uint8, ne)
+	for e, l := range elemLevel1 {
+		if l < 1 || int(l) > numLevels {
+			return nil, fmt.Errorf("lts: element %d has level %d outside [1, %d]", e, l, numLevels)
+		}
+		s.elemLevel[e] = l - 1
+	}
+	nn := op.NumNodes()
+	s.nodeLevel = make([]uint8, nn)
+	var nb []int32
+	for e := 0; e < ne; e++ {
+		nb = op.ElemNodes(e, nb[:0])
+		le := s.elemLevel[e]
+		for _, n := range nb {
+			if le > s.nodeLevel[n] {
+				s.nodeLevel[n] = le
+			}
+		}
+	}
+	// forceMask[n] bit li set <=> n is a node of an element that has a
+	// level-li node.
+	forceMask := make([]uint16, nn)
+	elemForce := make([]uint16, ne) // bitmask of node levels present in e
+	for e := 0; e < ne; e++ {
+		nb = op.ElemNodes(e, nb[:0])
+		var m uint16
+		for _, n := range nb {
+			m |= 1 << s.nodeLevel[n]
+		}
+		elemForce[e] = m
+		for _, n := range nb {
+			forceMask[n] |= m
+		}
+	}
+	s.stepLvl = make([]uint8, nn)
+	for n, m := range forceMask {
+		l := 0
+		for b := m; b > 1; b >>= 1 {
+			l++
+		}
+		s.stepLvl[n] = uint8(l)
+	}
+	s.levelNodes = make([][]int32, numLevels)
+	s.stepNodesAt = make([][]int32, numLevels)
+	for n := 0; n < nn; n++ {
+		s.levelNodes[s.nodeLevel[n]] = append(s.levelNodes[s.nodeLevel[n]], int32(n))
+		s.stepNodesAt[s.stepLvl[n]] = append(s.stepNodesAt[s.stepLvl[n]], int32(n))
+	}
+	s.forceElems = make([][]int32, numLevels)
+	for e := 0; e < ne; e++ {
+		for li := 0; li < numLevels; li++ {
+			if elemForce[e]&(1<<li) != 0 {
+				s.forceElems[li] = append(s.forceElems[li], int32(e))
+			}
+		}
+	}
+	s.forceNodes = make([][]int32, numLevels)
+	seen := make([]int32, nn)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for li := 0; li < numLevels; li++ {
+		for _, e := range s.forceElems[li] {
+			nb = op.ElemNodes(int(e), nb[:0])
+			for _, n := range nb {
+				if seen[n] != int32(li) {
+					seen[n] = int32(li)
+					s.forceNodes[li] = append(s.forceNodes[li], n)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// referenceSets widens the update sets so that every node substeps at every
+// level — the full-vector Algorithm 1 semantics, used as the verification
+// oracle. Force sets are unchanged (restricting them is mathematically
+// lossless).
+func (s *sets) referenceSets() {
+	all := make([]int32, len(s.stepLvl))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	for li := range s.stepNodesAt {
+		s.stepNodesAt[li] = nil
+	}
+	s.stepNodesAt[s.numLevels-1] = all
+	for i := range s.stepLvl {
+		s.stepLvl[i] = uint8(s.numLevels - 1)
+	}
+}
+
+// haloElems returns, for level li, how many of forceElems[li] are not
+// themselves level-li elements — the halo overhead the optimised
+// implementation pays at level interfaces.
+func (s *sets) haloElems(li int) int {
+	h := 0
+	for _, e := range s.forceElems[li] {
+		if int(s.elemLevel[e]) != li {
+			h++
+		}
+	}
+	return h
+}

@@ -1,0 +1,211 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Levels records the LTS refinement-level (p-level) assignment of a mesh:
+// level k elements advance with time step Δt / P[k-1], P[k-1] = 2^(k-1)
+// (paper Eq. 16). Level 1 is the coarsest.
+type Levels struct {
+	// NumLevels is N, the number of distinct p-levels in use.
+	NumLevels int
+	// Lvl[e] is the 1-based level of element e.
+	Lvl []uint8
+	// P[k-1] = 2^(k-1) is the substep multiplier of level k.
+	P []int
+	// Count[k-1] is the number of elements in level k.
+	Count []int
+	// CoarseDt is the level-1 step Δt (the LTS cycle length).
+	CoarseDt float64
+	// CFL is the Courant number used for the assignment.
+	CFL float64
+}
+
+// AssignLevels computes the p-level of every element from the per-element
+// CFL-stable step (Eq. 7): the coarsest level takes the largest stable step
+// found in the mesh, and each element is assigned the smallest power-of-two
+// subdivision that makes its own step stable. maxLevels caps the number of
+// levels (0 = unlimited); elements below the cap are clamped to the finest
+// allowed level, which then needs a smaller coarse Δt to stay stable.
+func AssignLevels(m *Mesh, cfl float64, maxLevels int) *Levels {
+	n := m.NumElements()
+	if n == 0 {
+		return &Levels{NumLevels: 0, CFL: cfl}
+	}
+	dts := make([]float64, n)
+	maxDt := 0.0
+	for e := 0; e < n; e++ {
+		dts[e] = m.StableDt(e, cfl)
+		if dts[e] > maxDt {
+			maxDt = dts[e]
+		}
+	}
+	lv := &Levels{Lvl: make([]uint8, n), CFL: cfl}
+	// Small relative slack so that exact power-of-two size/velocity ratios
+	// land on the intended level rather than one finer due to roundoff.
+	const slack = 1 - 1e-9
+	maxK := 1
+	for e := 0; e < n; e++ {
+		ratio := maxDt / dts[e] * slack
+		k := 1
+		for p := 1.0; p < ratio && k < 32; p *= 2 {
+			k++
+		}
+		if maxLevels > 0 && k > maxLevels {
+			k = maxLevels
+		}
+		lv.Lvl[e] = uint8(k)
+		if k > maxK {
+			maxK = k
+		}
+	}
+	lv.NumLevels = maxK
+	lv.P = make([]int, maxK)
+	lv.Count = make([]int, maxK)
+	for k := 0; k < maxK; k++ {
+		lv.P[k] = 1 << k
+	}
+	for e := 0; e < n; e++ {
+		lv.Count[lv.Lvl[e]-1]++
+	}
+	// The coarse step must keep every element stable given its assigned
+	// subdivision: Δt = min_e p_e * dt_e. Without a level cap this equals a
+	// value in [maxDt/2, maxDt]; with a cap it may be smaller.
+	coarse := math.Inf(1)
+	for e := 0; e < n; e++ {
+		if d := float64(lv.P[lv.Lvl[e]-1]) * dts[e]; d < coarse {
+			coarse = d
+		}
+	}
+	lv.CoarseDt = coarse
+	return lv
+}
+
+// PFor returns the substep multiplier p of element e.
+func (l *Levels) PFor(e int) int { return l.P[l.Lvl[e]-1] }
+
+// PMax returns the finest multiplier p_N (the non-LTS scheme must step at
+// Δt / p_N everywhere).
+func (l *Levels) PMax() int {
+	if l.NumLevels == 0 {
+		return 1
+	}
+	return l.P[l.NumLevels-1]
+}
+
+// WorkPerCycle returns Σ_e p_e: the number of element-steps one LTS cycle
+// (one coarse Δt) performs. The non-LTS scheme performs p_N * numElements
+// element-steps over the same simulated time.
+func (l *Levels) WorkPerCycle() int64 {
+	var w int64
+	for _, c := range l.Lvl {
+		w += int64(l.P[c-1])
+	}
+	return w
+}
+
+// TheoreticalSpeedup evaluates the paper's speedup model (Eq. 9),
+// generalised to N levels:
+//
+//	speedup = p_N * numElements / Σ_e p_e .
+//
+// For two levels this reduces exactly to Eq. (9).
+func (l *Levels) TheoreticalSpeedup() float64 {
+	if len(l.Lvl) == 0 {
+		return 1
+	}
+	return float64(l.PMax()) * float64(len(l.Lvl)) / float64(l.WorkPerCycle())
+}
+
+// LevelElements returns, for each level k (1-based index k-1), the sorted
+// list of element ids on that level.
+func (l *Levels) LevelElements() [][]int32 {
+	out := make([][]int32, l.NumLevels)
+	for k := range out {
+		out[k] = make([]int32, 0, l.Count[k])
+	}
+	for e, c := range l.Lvl {
+		out[c-1] = append(out[c-1], int32(e))
+	}
+	return out
+}
+
+// Validate checks internal consistency (counts, level range, power-of-two
+// multipliers) and that the assignment is CFL-stable for mesh m.
+func (l *Levels) Validate(m *Mesh) error {
+	if len(l.Lvl) != m.NumElements() {
+		return fmt.Errorf("levels: %d entries for %d elements", len(l.Lvl), m.NumElements())
+	}
+	counts := make([]int, l.NumLevels)
+	for e, c := range l.Lvl {
+		if c < 1 || int(c) > l.NumLevels {
+			return fmt.Errorf("levels: element %d has level %d outside [1, %d]", e, c, l.NumLevels)
+		}
+		counts[c-1]++
+		// Stability: the element's substep CoarseDt/p_e must not exceed its
+		// own stable step.
+		sub := l.CoarseDt / float64(l.P[c-1])
+		if sub > m.StableDt(e, l.CFL)*(1+1e-9) {
+			return fmt.Errorf("levels: element %d unstable: substep %g > stable %g", e, sub, m.StableDt(e, l.CFL))
+		}
+	}
+	for k, c := range counts {
+		if c != l.Count[k] {
+			return fmt.Errorf("levels: count[%d] = %d, recomputed %d", k, l.Count[k], c)
+		}
+	}
+	for k, p := range l.P {
+		if p != 1<<k {
+			return fmt.Errorf("levels: P[%d] = %d, want %d", k, p, 1<<k)
+		}
+	}
+	if l.Count[0] == 0 {
+		return fmt.Errorf("levels: coarsest level empty")
+	}
+	return nil
+}
+
+// Smooth enforces that face-adjacent elements differ by at most maxJump
+// levels by promoting coarse elements near fine ones. This reduces the halo
+// work at level interfaces at the cost of extra fine elements; the paper's
+// scheme does not require it, so it is optional. Returns the number of
+// promoted elements.
+func (l *Levels) Smooth(m *Mesh, maxJump int) int {
+	if maxJump < 1 {
+		maxJump = 1
+	}
+	promoted := 0
+	var buf []int32
+	changed := true
+	for changed {
+		changed = false
+		for e := 0; e < m.NumElements(); e++ {
+			buf = m.FaceNeighbors(e, buf[:0])
+			for _, nb := range buf {
+				if int(l.Lvl[nb])-int(l.Lvl[e]) > maxJump {
+					l.Count[l.Lvl[e]-1]--
+					l.Lvl[e] = l.Lvl[nb] - uint8(maxJump)
+					l.Count[l.Lvl[e]-1]++
+					promoted++
+					changed = true
+				}
+			}
+		}
+	}
+	// Promotion may empty the coarsest level(s); renormalise so level 1 is
+	// nonempty again. Shifting every level down by one halves all
+	// multipliers, so the coarse step must halve too (each element keeps
+	// its absolute substep, preserving stability).
+	for l.NumLevels > 1 && l.Count[0] == 0 {
+		for e := range l.Lvl {
+			l.Lvl[e]--
+		}
+		l.Count = l.Count[1:]
+		l.P = l.P[:l.NumLevels-1]
+		l.NumLevels--
+		l.CoarseDt /= 2
+	}
+	return promoted
+}

@@ -1,0 +1,243 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAssignLevelsUniformMeshHasOneLevel(t *testing.T) {
+	m := Uniform(4, 4, 4, 1, 1)
+	lv := AssignLevels(m, 0.5, 0)
+	if lv.NumLevels != 1 {
+		t.Fatalf("uniform mesh got %d levels, want 1", lv.NumLevels)
+	}
+	if lv.TheoreticalSpeedup() != 1 {
+		t.Errorf("speedup %v, want 1", lv.TheoreticalSpeedup())
+	}
+	if err := lv.Validate(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignLevelsTwoSizes(t *testing.T) {
+	// 3 coarse columns of size 1 and 1 fine column of size 0.5 in x.
+	xc := []float64{0, 1, 2, 3, 3.5}
+	m, err := New("two", xc, []float64{0, 1, 2}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := AssignLevels(m, 0.4, 0)
+	if lv.NumLevels != 2 {
+		t.Fatalf("got %d levels, want 2", lv.NumLevels)
+	}
+	// 4 elements per column layer * 3 coarse columns vs 1 fine column.
+	if lv.Count[0] != 12 || lv.Count[1] != 4 {
+		t.Fatalf("counts %v, want [12 4]", lv.Count)
+	}
+	// Eq. (9): p*E / (p*fine + coarse) = 2*16/(2*4+12) = 32/20 = 1.6
+	if got := lv.TheoreticalSpeedup(); math.Abs(got-1.6) > 1e-12 {
+		t.Errorf("speedup %v, want 1.6", got)
+	}
+	if err := lv.Validate(m); err != nil {
+		t.Error(err)
+	}
+	// Coarse step = CFL * 1 / 1.
+	if math.Abs(lv.CoarseDt-0.4) > 1e-12 {
+		t.Errorf("coarse dt %v, want 0.4", lv.CoarseDt)
+	}
+}
+
+func TestAssignLevelsVelocityDriven(t *testing.T) {
+	// Uniform sizes but one element with c = 4 must land on level 3 (p=4).
+	m := Uniform(3, 3, 3, 1, 1)
+	m.C[13] = 4
+	lv := AssignLevels(m, 0.5, 0)
+	if lv.NumLevels != 3 {
+		t.Fatalf("got %d levels, want 3", lv.NumLevels)
+	}
+	if lv.Lvl[13] != 3 {
+		t.Errorf("fast element level %d, want 3", lv.Lvl[13])
+	}
+	if lv.Count[1] != 0 {
+		t.Errorf("level 2 should be empty, has %d", lv.Count[1])
+	}
+	if err := lv.Validate(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignLevelsMaxLevelsCap(t *testing.T) {
+	m := Uniform(3, 1, 1, 1, 1)
+	m.C[0] = 16 // would be level 5
+	lv := AssignLevels(m, 0.5, 3)
+	if lv.NumLevels != 3 {
+		t.Fatalf("got %d levels, want 3 (capped)", lv.NumLevels)
+	}
+	// With the cap, the coarse step must shrink so the clamped element
+	// remains stable: Δt = p_e * dt_e = 4 * (0.5/16) = 0.125.
+	if math.Abs(lv.CoarseDt-0.125) > 1e-12 {
+		t.Errorf("coarse dt %v, want 0.125", lv.CoarseDt)
+	}
+	if err := lv.Validate(m); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowersOfTwoExactRatiosStable(t *testing.T) {
+	// Element exactly 2x smaller must get p=2, not p=4 (roundoff slack).
+	xc := []float64{0, 1, 1.5}
+	m, err := New("exact", xc, []float64{0, 1}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := AssignLevels(m, 0.3, 0)
+	if lv.NumLevels != 2 || lv.Lvl[1] != 2 {
+		t.Fatalf("exact 2x ratio: levels=%d lvl=%v", lv.NumLevels, lv.Lvl)
+	}
+}
+
+func TestWorkPerCycle(t *testing.T) {
+	m := Uniform(2, 1, 1, 1, 1)
+	m.C[1] = 2
+	lv := AssignLevels(m, 0.5, 0)
+	// One p=1 element and one p=2 element: 3 element-steps per cycle.
+	if got := lv.WorkPerCycle(); got != 3 {
+		t.Errorf("work per cycle %d, want 3", got)
+	}
+	// Speedup: 2*2 / 3.
+	if got, want := lv.TheoreticalSpeedup(), 4.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("speedup %v, want %v", got, want)
+	}
+}
+
+func TestLevelElementsPartition(t *testing.T) {
+	m := Trench(0.05)
+	lv := AssignLevels(m, 0.4, 0)
+	le := lv.LevelElements()
+	total := 0
+	seen := make([]bool, m.NumElements())
+	for k, es := range le {
+		if len(es) != lv.Count[k] {
+			t.Fatalf("level %d has %d elements, count says %d", k+1, len(es), lv.Count[k])
+		}
+		total += len(es)
+		for _, e := range es {
+			if seen[e] {
+				t.Fatalf("element %d in two levels", e)
+			}
+			seen[e] = true
+			if int(lv.Lvl[e]) != k+1 {
+				t.Fatalf("element %d in list %d but level %d", e, k+1, lv.Lvl[e])
+			}
+		}
+	}
+	if total != m.NumElements() {
+		t.Fatalf("levels cover %d of %d elements", total, m.NumElements())
+	}
+}
+
+func TestSmoothLimitsLevelJumps(t *testing.T) {
+	m := Uniform(5, 1, 1, 1, 1)
+	m.C[2] = 8 // level 4 next to level 1 neighbors
+	lv := AssignLevels(m, 0.5, 0)
+	if lv.Lvl[2] != 4 || lv.Lvl[1] != 1 {
+		t.Fatalf("setup wrong: %v", lv.Lvl)
+	}
+	n := lv.Smooth(m, 1)
+	if n == 0 {
+		t.Fatal("smoothing promoted nothing")
+	}
+	var buf []int32
+	for e := 0; e < m.NumElements(); e++ {
+		buf = m.FaceNeighbors(e, buf[:0])
+		for _, nb := range buf {
+			d := int(lv.Lvl[nb]) - int(lv.Lvl[e])
+			if d > 1 || d < -1 {
+				t.Fatalf("jump of %d between %d and %d after smoothing", d, e, nb)
+			}
+		}
+	}
+	// Counts stay consistent.
+	counts := make([]int, lv.NumLevels)
+	for _, c := range lv.Lvl {
+		counts[c-1]++
+	}
+	for k := range counts {
+		if counts[k] != lv.Count[k] {
+			t.Fatalf("count[%d]=%d, recomputed %d", k, lv.Count[k], counts[k])
+		}
+	}
+}
+
+// TestBenchmarkMeshProperties pins the paper's Fig. 5 table shape for the
+// scaled benchmark meshes: number of levels and theoretical speedups.
+func TestBenchmarkMeshProperties(t *testing.T) {
+	const cfl = 0.4
+	cases := []struct {
+		name     string
+		gen      func(float64) *Mesh
+		scale    float64
+		levels   int
+		minSpd   float64
+		maxSpd   float64
+		paperSpd float64
+		minElems int
+	}{
+		{"trench", Trench, 0.3, 4, 5.5, 7.5, 6.7, 50000},
+		{"trench-big", TrenchBig, 0.05, 6, 18, 25, 21.7, 80000},
+		{"embedding", Embedding, 0.3, 4, 7.0, 8.0, 7.9, 30000},
+		{"crust", Crust, 0.3, 2, 1.7, 2.0, 1.9, 60000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.gen(tc.scale)
+			if m.NumElements() < tc.minElems {
+				t.Errorf("%s: only %d elements at scale %v", tc.name, m.NumElements(), tc.scale)
+			}
+			lv := AssignLevels(m, cfl, 0)
+			if err := lv.Validate(m); err != nil {
+				t.Fatal(err)
+			}
+			if lv.NumLevels != tc.levels {
+				t.Errorf("%s: %d levels, want %d (paper Fig. 5)", tc.name, lv.NumLevels, tc.levels)
+			}
+			spd := lv.TheoreticalSpeedup()
+			if spd < tc.minSpd || spd > tc.maxSpd {
+				t.Errorf("%s: theoretical speedup %.2f outside [%.1f, %.1f] (paper: %.1fx)",
+					tc.name, spd, tc.minSpd, tc.maxSpd, tc.paperSpd)
+			}
+			// All levels nonempty.
+			for k, c := range lv.Count {
+				if c == 0 {
+					t.Errorf("%s: level %d empty", tc.name, k+1)
+				}
+			}
+		})
+	}
+}
+
+// TestSpeedupScaleInvariance: the generators are designed so the p-level
+// fractions (and thus the theoretical speedup) barely move with scale.
+func TestSpeedupScaleInvariance(t *testing.T) {
+	s1 := AssignLevels(Trench(0.1), 0.4, 0).TheoreticalSpeedup()
+	s2 := AssignLevels(Trench(0.8), 0.4, 0).TheoreticalSpeedup()
+	if math.Abs(s1-s2)/s2 > 0.25 {
+		t.Errorf("trench speedup varies too much with scale: %.2f vs %.2f", s1, s2)
+	}
+}
+
+func BenchmarkAssignLevelsTrench(b *testing.B) {
+	m := Trench(0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AssignLevels(m, 0.4, 0)
+	}
+}
+
+func BenchmarkCornerIncidence(b *testing.B) {
+	m := Trench(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CornerIncidence()
+	}
+}

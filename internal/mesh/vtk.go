@@ -1,0 +1,62 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteVTK writes the mesh as a legacy-ASCII VTK unstructured grid with
+// optional per-element (cell) data arrays — enough to recreate the paper's
+// Fig. 4 (p-level colouring) and Fig. 6 (partition colouring) in ParaView.
+func WriteVTK(w io.Writer, m *Mesh, cellData map[string][]float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintf(bw, "golts mesh %s\n", m.Name)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET UNSTRUCTURED_GRID")
+	np := m.NumCornerNodes()
+	fmt.Fprintf(bw, "POINTS %d double\n", np)
+	for k := 0; k <= m.NZ; k++ {
+		for j := 0; j <= m.NY; j++ {
+			for i := 0; i <= m.NX; i++ {
+				fmt.Fprintf(bw, "%g %g %g\n", m.XC[i], m.YC[j], m.ZC[k])
+			}
+		}
+	}
+	ne := m.NumElements()
+	fmt.Fprintf(bw, "CELLS %d %d\n", ne, ne*9)
+	for e := 0; e < ne; e++ {
+		i, j, k := m.ECoords(e)
+		// VTK_HEXAHEDRON ordering: bottom face CCW, then top face CCW.
+		fmt.Fprintf(bw, "8 %d %d %d %d %d %d %d %d\n",
+			m.CornerIndex(i, j, k), m.CornerIndex(i+1, j, k),
+			m.CornerIndex(i+1, j+1, k), m.CornerIndex(i, j+1, k),
+			m.CornerIndex(i, j, k+1), m.CornerIndex(i+1, j, k+1),
+			m.CornerIndex(i+1, j+1, k+1), m.CornerIndex(i, j+1, k+1))
+	}
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", ne)
+	for e := 0; e < ne; e++ {
+		fmt.Fprintln(bw, 12) // VTK_HEXAHEDRON
+	}
+	if len(cellData) > 0 {
+		fmt.Fprintf(bw, "CELL_DATA %d\n", ne)
+		names := make([]string, 0, len(cellData))
+		for name := range cellData {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			data := cellData[name]
+			if len(data) != ne {
+				return fmt.Errorf("mesh: cell data %q has %d values for %d elements", name, len(data), ne)
+			}
+			fmt.Fprintf(bw, "SCALARS %s double 1\nLOOKUP_TABLE default\n", name)
+			for _, v := range data {
+				fmt.Fprintf(bw, "%g\n", v)
+			}
+		}
+	}
+	return bw.Flush()
+}

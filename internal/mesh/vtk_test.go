@@ -1,0 +1,69 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteVTKStructure(t *testing.T) {
+	m := Uniform(2, 2, 2, 1, 1)
+	lv := AssignLevels(m, 0.4, 0)
+	levels := make([]float64, m.NumElements())
+	for e := range levels {
+		levels[e] = float64(lv.Lvl[e])
+	}
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, map[string][]float64{"plevel": levels}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"DATASET UNSTRUCTURED_GRID",
+		"POINTS 27 double",
+		"CELLS 8 72",
+		"CELL_TYPES 8",
+		"CELL_DATA 8",
+		"SCALARS plevel double 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	// Exactly 8 hexahedron type markers.
+	count := 0
+	for _, line := range strings.Split(out, "\n") {
+		if line == "12" {
+			count++
+		}
+	}
+	if count != 8 {
+		t.Errorf("found %d hexahedron markers, want 8", count)
+	}
+}
+
+func TestWriteVTKBadCellData(t *testing.T) {
+	m := Uniform(2, 1, 1, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, map[string][]float64{"x": {1}}); err == nil {
+		t.Error("expected error for wrong-length cell data")
+	}
+}
+
+func TestWriteVTKDeterministicOrder(t *testing.T) {
+	m := Uniform(2, 1, 1, 1, 1)
+	data := map[string][]float64{"b": {1, 2}, "a": {3, 4}}
+	var b1, b2 bytes.Buffer
+	if err := WriteVTK(&b1, m, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVTK(&b2, m, data); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("VTK output not deterministic")
+	}
+	if strings.Index(b1.String(), "SCALARS a") > strings.Index(b1.String(), "SCALARS b") {
+		t.Error("cell data not sorted by name")
+	}
+}

@@ -1,0 +1,63 @@
+package newmark
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEstimateCriticalDtBracketsStability: stepping just below the
+// estimated limit stays bounded; stepping 5% above it blows up. This
+// brackets the true stability boundary around the power-iteration
+// estimate.
+func TestEstimateCriticalDtBracketsStability(t *testing.T) {
+	op := uniform1D(12, 1, 1, 4)
+	dtc := EstimateCriticalDt(op, 100)
+	if dtc <= 0 || math.IsInf(dtc, 1) {
+		t.Fatalf("critical dt estimate %v", dtc)
+	}
+	blowsUp := func(dt float64) bool {
+		s := New(op, dt)
+		u0 := make([]float64, op.NDof())
+		for i := range u0 {
+			u0[i] = math.Sin(7 * op.NodeX(i))
+		}
+		if err := s.SetInitial(u0, make([]float64, op.NDof())); err != nil {
+			t.Fatal(err)
+		}
+		s.Run(3000)
+		norm := 0.0
+		for _, v := range s.U {
+			norm += v * v
+		}
+		return math.IsNaN(norm) || norm > 1e8
+	}
+	if blowsUp(0.98 * dtc) {
+		t.Errorf("dt = 0.98 dtc unstable (dtc = %v)", dtc)
+	}
+	if !blowsUp(1.05 * dtc) {
+		t.Errorf("dt = 1.05 dtc unexpectedly stable (dtc = %v)", dtc)
+	}
+}
+
+// TestCriticalDtScalesWithMesh: halving the element size must halve the
+// critical step (the CFL proportionality of Eq. 7).
+func TestCriticalDtScalesWithMesh(t *testing.T) {
+	coarse := uniform1D(8, 1, 1, 4)
+	fine := uniform1D(16, 1, 1, 4)
+	dc := EstimateCriticalDt(coarse, 80)
+	df := EstimateCriticalDt(fine, 80)
+	ratio := dc / df
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("critical dt ratio %v, want ~2", ratio)
+	}
+}
+
+// TestCriticalDtVelocityScaling: doubling the wave speed halves the limit.
+func TestCriticalDtVelocityScaling(t *testing.T) {
+	slow := uniform1D(10, 1, 1, 4)
+	fast := uniform1D(10, 1, 2, 4)
+	ratio := EstimateCriticalDt(slow, 80) / EstimateCriticalDt(fast, 80)
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("velocity scaling ratio %v, want 2", ratio)
+	}
+}

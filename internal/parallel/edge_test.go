@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"golts/internal/sem"
+)
+
+// TestEmptyRank: a rank that owns no elements must not deadlock or corrupt
+// results.
+func TestEmptyRank(t *testing.T) {
+	op, _, part, _ := setup3D(t)
+	// Rebuild the partition with rank 3 emptied into rank 0.
+	p2 := append([]int32(nil), part...)
+	for i, p := range p2 {
+		if p == 3 {
+			p2[i] = 0
+		}
+	}
+	pop, err := NewOperator(op, p2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pop.Close()
+	u := make([]float64, op.NDof())
+	for i := range u {
+		u[i] = math.Cos(0.1 * float64(i))
+	}
+	seq := make([]float64, op.NDof())
+	par := make([]float64, op.NDof())
+	elems := sem.AllElements(op)
+	op.AddKu(seq, u, elems)
+	pop.AddKu(par, u, elems)
+	if d := maxDiff(seq, par); d > 1e-10 {
+		t.Errorf("empty-rank result differs by %v", d)
+	}
+}
+
+// TestEmptyElementList: applying zero elements is a no-op.
+func TestEmptyElementList(t *testing.T) {
+	op, _, part, k := setup3D(t)
+	pop, err := NewOperator(op, part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pop.Close()
+	u := make([]float64, op.NDof())
+	dst := make([]float64, op.NDof())
+	pop.AddKu(dst, u, nil)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("no-op apply wrote to %d: %v", i, v)
+		}
+	}
+}
+
+// TestSingleRankDegeneratesToSequential: K=1 funnels everything through
+// one worker and must match exactly (same element order).
+func TestSingleRankDegeneratesToSequential(t *testing.T) {
+	op, _, _, _ := setup3D(t)
+	part := make([]int32, op.NumElements())
+	pop, err := NewOperator(op, part, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pop.Close()
+	u := make([]float64, op.NDof())
+	for i := range u {
+		u[i] = float64((i*7)%13) - 6
+	}
+	seq := make([]float64, op.NDof())
+	par := make([]float64, op.NDof())
+	elems := sem.AllElements(op)
+	op.AddKu(seq, u, elems)
+	pop.AddKu(par, u, elems)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("K=1 differs at %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"testing"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the
+// coarse-cut-only alternative the paper rejects, and the mapping-refined
+// SCOTCH-P variant the paper defers to future work.
+
+// TestCoarseCutOnlyNeverCutsFine: the defining property — no refined
+// element may sit on a partition boundary against a different part's
+// refined element of the same region; equivalently, every face-connected
+// refined region lives in exactly one part.
+func TestCoarseCutOnlyNeverCutsFine(t *testing.T) {
+	m, lv := trenchFixture(0.05)
+	res, err := PartitionMesh(m, lv, Options{K: 8, Method: CoarseOnly, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []int32
+	for e := 0; e < m.NumElements(); e++ {
+		if lv.PFor(e) == 1 {
+			continue
+		}
+		buf = m.FaceNeighbors(e, buf[:0])
+		for _, u := range buf {
+			if lv.PFor(int(u)) > 1 && res.Part[u] != res.Part[e] {
+				t.Fatalf("refined elements %d and %d split across parts %d/%d",
+					e, u, res.Part[e], res.Part[u])
+			}
+		}
+	}
+}
+
+// TestCoarseCutOnlyScalabilityLimit demonstrates the paper's objection:
+// at small K the approach balances acceptably, but past the point where a
+// single refined region outweighs the ideal per-part load, imbalance
+// explodes while the LTS-aware methods stay controlled.
+func TestCoarseCutOnlyScalabilityLimit(t *testing.T) {
+	m, lv := trenchFixture(0.05)
+	// The trench's refined band is one connected region: its work is a
+	// hard floor on the heaviest part.
+	imb := func(method Method, k int) float64 {
+		res, err := PartitionMesh(m, lv, Options{K: k, Method: method, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Evaluate(m, lv, res.Part, k).TotalImbalance
+	}
+	smallK := imb(CoarseOnly, 4)
+	bigK := imb(CoarseOnly, 64)
+	if bigK < 2*smallK {
+		t.Errorf("coarse-only imbalance did not degrade with K: %.1f%% -> %.1f%%", smallK, bigK)
+	}
+	if ref := imb(ScotchP, 64); ref >= bigK {
+		t.Errorf("scotch-p at K=64 (%.1f%%) should beat coarse-only (%.1f%%)", ref, bigK)
+	}
+}
+
+// TestScotchPMappingRefinementHelpsOrMatches: the swap-refined coupling
+// must never produce more communication volume than the greedy coupling
+// (it only accepts affinity-improving swaps), and per-level balance is
+// untouched.
+func TestScotchPMappingRefinement(t *testing.T) {
+	m, lv := trenchFixture(0.1)
+	for _, k := range []int{8, 16} {
+		greedy, err := PartitionMesh(m, lv, Options{K: k, Method: ScotchP, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := PartitionMesh(m, lv, Options{K: k, Method: ScotchPM, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg := Evaluate(m, lv, greedy.Part, k)
+		mr := Evaluate(m, lv, refined.Part, k)
+		// Same per-level loads: the mapping is a permutation per level.
+		for li := range mg.PerLevelImbalance {
+			if mg.PerLevelImbalance[li] != mr.PerLevelImbalance[li] {
+				t.Errorf("K=%d level %d: refinement changed balance %.2f -> %.2f",
+					k, li+1, mg.PerLevelImbalance[li], mr.PerLevelImbalance[li])
+			}
+		}
+		// The refined coupling should not lose on volume by more than
+		// noise (the swap objective is the dual-graph affinity, a proxy).
+		if float64(mr.CommVolume) > 1.05*float64(mg.CommVolume) {
+			t.Errorf("K=%d: refined volume %d much worse than greedy %d",
+				k, mr.CommVolume, mg.CommVolume)
+		}
+	}
+}
+
+// BenchmarkAblationPartitioners times all six strategies, including the
+// two paper-discussed variants.
+func BenchmarkAblationPartitioners(b *testing.B) {
+	m, lv := trenchFixture(0.05)
+	for _, method := range AllMethods {
+		b.Run(string(method), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := PartitionMesh(m, lv, Options{K: 16, Method: method, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mt := Evaluate(m, lv, res.Part, 16)
+				b.ReportMetric(mt.TotalImbalance, "imbalance-%")
+				b.ReportMetric(float64(mt.CommVolume), "mpi-volume")
+			}
+		})
+	}
+}

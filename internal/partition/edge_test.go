@@ -1,0 +1,104 @@
+package partition
+
+import (
+	"testing"
+
+	"golts/internal/mesh"
+)
+
+// Edge cases and failure injection for the partitioning stack.
+
+// TestUniformMeshAllMethods: with a single level the multi-constraint
+// machinery degenerates gracefully (one constraint, one level list).
+func TestUniformMeshAllMethods(t *testing.T) {
+	m := mesh.Uniform(6, 6, 6, 1, 1)
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	if lv.NumLevels != 1 {
+		t.Fatal("setup: expected 1 level")
+	}
+	for _, method := range AllMethods {
+		res, err := PartitionMesh(m, lv, Options{K: 4, Method: method, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		checkValidPartition(t, res.Part, m.NumElements(), 4)
+		mt := Evaluate(m, lv, res.Part, 4)
+		if mt.TotalImbalance > 20 {
+			t.Errorf("%s: uniform mesh imbalance %.1f%%", method, mt.TotalImbalance)
+		}
+	}
+}
+
+// TestKEqualsElements: one element per part must still produce a full
+// cover (every part nonempty).
+func TestKEqualsElements(t *testing.T) {
+	m := mesh.Uniform(2, 2, 2, 1, 1)
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	for _, method := range []Method{Scotch, Metis, Patoh} {
+		res, err := PartitionMesh(m, lv, Options{K: 8, Method: method, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		seen := map[int32]bool{}
+		for _, p := range res.Part {
+			seen[p] = true
+		}
+		if len(seen) != 8 {
+			t.Errorf("%s: only %d of 8 parts used", method, len(seen))
+		}
+	}
+}
+
+// TestKOne: trivial partition.
+func TestKOne(t *testing.T) {
+	m := mesh.Uniform(3, 3, 3, 1, 1)
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	for _, method := range AllMethods {
+		res, err := PartitionMesh(m, lv, Options{K: 1, Method: method, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		for _, p := range res.Part {
+			if p != 0 {
+				t.Fatalf("%s: K=1 produced part %d", method, p)
+			}
+		}
+	}
+}
+
+// TestTinyLevelsSpreadRoundRobin: when a level has fewer elements than
+// parts, SCOTCH-P must not crash and must still assign them.
+func TestTinyLevelsSpreadRoundRobin(t *testing.T) {
+	// One very fast element creates a singleton level.
+	m := mesh.Uniform(5, 5, 5, 1, 1)
+	m.C[62] = 4
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	if lv.Count[lv.NumLevels-1] != 1 {
+		t.Fatal("setup: expected a singleton finest level")
+	}
+	res, err := PartitionMesh(m, lv, Options{K: 8, Method: ScotchP, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidPartition(t, res.Part, m.NumElements(), 8)
+}
+
+// TestEmptyMiddleLevel: velocity-driven assignments can skip levels; all
+// partitioners must cope with a zero-weight constraint.
+func TestEmptyMiddleLevel(t *testing.T) {
+	m := mesh.Uniform(6, 4, 4, 1, 1)
+	for i := 0; i < 8; i++ {
+		m.C[i] = 4 // level 3; level 2 stays empty
+	}
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	if lv.NumLevels != 3 || lv.Count[1] != 0 {
+		t.Fatalf("setup: levels %v", lv.Count)
+	}
+	for _, method := range Methods {
+		res, err := PartitionMesh(m, lv, Options{K: 4, Method: method, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		checkValidPartition(t, res.Part, m.NumElements(), 4)
+	}
+}

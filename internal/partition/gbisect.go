@@ -1,0 +1,488 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"golts/internal/graph"
+)
+
+// Multilevel 2-way graph bisection: heavy-edge-matching coarsening, greedy
+// graph growing on the coarsest graph, and boundary FM refinement during
+// uncoarsening. Supports multi-constraint vertex weight vectors: balance
+// must hold for every constraint (paper Eq. 19).
+
+const gCoarseTarget = 140 // stop coarsening below this many vertices
+
+// gState tracks a 2-way partition of a graph with per-side, per-constraint
+// weights.
+type gState struct {
+	g     *graph.Graph
+	part  []int8
+	w     [2][]int64 // w[side][constraint]
+	total []int64
+	tf    [2]float64
+	eps   float64
+	cut   int64
+}
+
+func newGState(g *graph.Graph, part []int8, tf [2]float64, eps float64) *gState {
+	s := &gState{g: g, part: part, tf: tf, eps: eps, total: g.TotalWeight()}
+	nc := g.NC()
+	s.w[0] = make([]int64, nc)
+	s.w[1] = make([]int64, nc)
+	for v := 0; v < g.N; v++ {
+		for c := 0; c < nc; c++ {
+			s.w[part[v]][c] += int64(g.VW[c][v])
+		}
+	}
+	s.cut = 0
+	for v := 0; v < g.N; v++ {
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			if part[g.Adj[i]] != part[v] {
+				s.cut += int64(g.EW[i])
+			}
+		}
+	}
+	s.cut /= 2
+	return s
+}
+
+// cap returns the balance cap for side s, constraint c: (1+ε)·tf_s·total_c.
+func (s *gState) cap(side int, c int) int64 {
+	return int64((1 + s.eps) * s.tf[side] * float64(s.total[c]))
+}
+
+// violation returns the total overload across sides and constraints.
+func (s *gState) violation() int64 {
+	var v int64
+	for side := 0; side < 2; side++ {
+		for c := range s.total {
+			if over := s.w[side][c] - s.cap(side, c); over > 0 {
+				v += over
+			}
+		}
+	}
+	return v
+}
+
+// moveDeltaViolation returns the violation change if v moves to the other
+// side.
+func (s *gState) moveDeltaViolation(v int32) int64 {
+	from := int(s.part[v])
+	to := 1 - from
+	var d int64
+	for c := range s.total {
+		wv := int64(s.g.VW[c][v])
+		if wv == 0 {
+			continue
+		}
+		// From side loses wv.
+		overF0 := max64(0, s.w[from][c]-s.cap(from, c))
+		overF1 := max64(0, s.w[from][c]-wv-s.cap(from, c))
+		overT0 := max64(0, s.w[to][c]-s.cap(to, c))
+		overT1 := max64(0, s.w[to][c]+wv-s.cap(to, c))
+		d += (overF1 - overF0) + (overT1 - overT0)
+	}
+	return d
+}
+
+// gain returns the cut reduction of moving v.
+func (s *gState) gain(v int32) int64 {
+	var g int64
+	for i := s.g.Xadj[v]; i < s.g.Xadj[v+1]; i++ {
+		if s.part[s.g.Adj[i]] == s.part[v] {
+			g -= int64(s.g.EW[i])
+		} else {
+			g += int64(s.g.EW[i])
+		}
+	}
+	return g
+}
+
+// apply moves v to the other side, updating weights and cut.
+func (s *gState) apply(v int32) {
+	s.cut -= s.gain(v)
+	from := int(s.part[v])
+	to := 1 - from
+	for c := range s.total {
+		wv := int64(s.g.VW[c][v])
+		s.w[from][c] -= wv
+		s.w[to][c] += wv
+	}
+	s.part[v] = int8(to)
+}
+
+// fmItem is a heap entry with lazy invalidation via version stamps.
+type fmItem struct {
+	v    int32
+	gain int64
+	ver  int32
+}
+
+type fmHeap []fmItem
+
+func (h fmHeap) Len() int            { return len(h) }
+func (h fmHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h fmHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fmHeap) Push(x interface{}) { *h = append(*h, x.(fmItem)) }
+func (h *fmHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// refineFM runs boundary FM passes with rollback until no pass improves
+// (violation, cut) lexicographically. maxNeg bounds hill-climbing.
+func refineFM(s *gState, passes int, rng *rand.Rand) {
+	n := s.g.N
+	locked := make([]bool, n)
+	version := make([]int32, n)
+	for p := 0; p < passes; p++ {
+		for i := range locked {
+			locked[i] = false
+		}
+		var h fmHeap
+		push := func(v int32) {
+			version[v]++
+			heap.Push(&h, fmItem{v, s.gain(v), version[v]})
+		}
+		// Seed with boundary vertices; when the pass starts unbalanced,
+		// seed everything so balance repair can reach interior vertices.
+		seedAll := n <= 64 || s.violation() > 0
+		for v := int32(0); v < int32(n); v++ {
+			boundary := seedAll
+			if !boundary {
+				for i := s.g.Xadj[v]; i < s.g.Xadj[v+1]; i++ {
+					if s.part[s.g.Adj[i]] != s.part[v] {
+						boundary = true
+						break
+					}
+				}
+			}
+			if boundary {
+				push(v)
+			}
+		}
+		type mv struct{ v int32 }
+		var seq []mv
+		bestIdx := 0
+		bestViol := s.violation()
+		bestCut := s.cut
+		neg := 0
+		maxNeg := 50 + n/20
+		for h.Len() > 0 && neg < maxNeg {
+			it := heap.Pop(&h).(fmItem)
+			v := it.v
+			if locked[v] || it.ver != version[v] {
+				continue
+			}
+			// Re-check gain freshness.
+			if g := s.gain(v); g != it.gain {
+				push(v)
+				continue
+			}
+			dv := s.moveDeltaViolation(v)
+			viol := s.violation()
+			if viol > 0 {
+				// Balance repair mode: only accept violation-reducing
+				// moves.
+				if dv >= 0 {
+					continue
+				}
+			} else if dv > 0 {
+				// Would break balance; skip.
+				continue
+			}
+			s.apply(v)
+			locked[v] = true
+			seq = append(seq, mv{v})
+			// Requeue affected neighbours.
+			for i := s.g.Xadj[v]; i < s.g.Xadj[v+1]; i++ {
+				u := s.g.Adj[i]
+				if !locked[u] {
+					push(u)
+				}
+			}
+			curViol := s.violation()
+			if curViol < bestViol || (curViol == bestViol && s.cut < bestCut) {
+				bestViol, bestCut = curViol, s.cut
+				bestIdx = len(seq)
+				neg = 0
+			} else {
+				neg++
+			}
+		}
+		// Roll back to the best prefix.
+		improved := bestIdx > 0
+		for i := len(seq) - 1; i >= bestIdx; i-- {
+			s.apply(seq[i].v)
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// growInitial creates an initial bisection by greedy graph growing from a
+// random seed: part 1 grows until its scalarised weight reaches the target
+// fraction. Multiple tries keep the best (violation, cut).
+func growInitial(g *graph.Graph, tf [2]float64, eps float64, rng *rand.Rand) []int8 {
+	n := g.N
+	tries := 4
+	if n < 32 {
+		tries = 8
+	}
+	var bestPart []int8
+	var bestViol, bestCut int64 = 1 << 62, 1 << 62
+	total := g.TotalWeight()
+	nc := g.NC()
+	for t := 0; t < tries; t++ {
+		part := make([]int8, n)
+		w1 := make([]int64, nc)
+		// Scalar progress: mean of per-constraint fractions.
+		progress := func() float64 {
+			s := 0.0
+			cnt := 0
+			for c := 0; c < nc; c++ {
+				if total[c] > 0 {
+					s += float64(w1[c]) / float64(total[c])
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				return 1
+			}
+			return s / float64(cnt)
+		}
+		seed := int32(rng.Intn(n))
+		inOne := make([]bool, n)
+		moveTo1 := func(v int32) {
+			part[v] = 1
+			inOne[v] = true
+			for c := 0; c < nc; c++ {
+				w1[c] += int64(g.VW[c][v])
+			}
+		}
+		// fits keeps every constraint within its side-1 cap during growth.
+		fits := func(v int32) bool {
+			for c := 0; c < nc; c++ {
+				wv := int64(g.VW[c][v])
+				if wv > 0 && w1[c]+wv > int64((1+eps)*tf[1]*float64(total[c])) {
+					return false
+				}
+			}
+			return true
+		}
+		moveTo1(seed)
+		// Frontier scored by gain.
+		gain := func(v int32) int64 {
+			var gn int64
+			for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+				if inOne[g.Adj[i]] {
+					gn += int64(g.EW[i])
+				} else {
+					gn -= int64(g.EW[i])
+				}
+			}
+			return gn
+		}
+		var h fmHeap
+		ver := make([]int32, n)
+		push := func(v int32) {
+			ver[v]++
+			heap.Push(&h, fmItem{v, gain(v), ver[v]})
+		}
+		for i := g.Xadj[seed]; i < g.Xadj[seed+1]; i++ {
+			push(g.Adj[i])
+		}
+		for progress() < tf[1] && h.Len() > 0 {
+			it := heap.Pop(&h).(fmItem)
+			if inOne[it.v] || it.ver != ver[it.v] {
+				continue
+			}
+			if gn := gain(it.v); gn != it.gain {
+				push(it.v)
+				continue
+			}
+			if !fits(it.v) {
+				continue
+			}
+			moveTo1(it.v)
+			for i := g.Xadj[it.v]; i < g.Xadj[it.v+1]; i++ {
+				if u := g.Adj[i]; !inOne[u] {
+					push(u)
+				}
+			}
+		}
+		// If the frontier died (disconnected graph or cap-blocked) before
+		// reaching the target, add random fitting vertices, giving up
+		// after a bounded number of misses (FM repairs the rest).
+		for misses := 0; progress() < tf[1] && misses < 4*n; {
+			v := int32(rng.Intn(n))
+			if !inOne[v] && fits(v) {
+				moveTo1(v)
+			} else {
+				misses++
+			}
+		}
+		st := newGState(g, part, tf, eps)
+		refineFM(st, 2, rng)
+		if v := st.violation(); v < bestViol || (v == bestViol && st.cut < bestCut) {
+			bestViol, bestCut = v, st.cut
+			bestPart = append(bestPart[:0], part...)
+		}
+	}
+	return bestPart
+}
+
+// coarsenGraph contracts a heavy-edge matching, returning the coarse graph
+// and the fine-to-coarse vertex map. Matching respects per-constraint
+// weight caps so no coarse vertex becomes unsplittable.
+func coarsenGraph(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int32) {
+	n := g.N
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	total := g.TotalWeight()
+	nc := g.NC()
+	caps := make([]int64, nc)
+	for c := range caps {
+		caps[c] = total[c]/8 + 1
+	}
+	order := rng.Perm(n)
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var nCoarse int32
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int64 = -1
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			u := g.Adj[i]
+			if match[u] >= 0 {
+				continue
+			}
+			ok := true
+			for c := 0; c < nc; c++ {
+				if int64(g.VW[c][v])+int64(g.VW[c][u]) > caps[c] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if int64(g.EW[i]) > bestW {
+				bestW = int64(g.EW[i])
+				best = u
+			}
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+			cmap[v] = nCoarse
+			cmap[best] = nCoarse
+		} else {
+			match[v] = v
+			cmap[v] = nCoarse
+		}
+		nCoarse++
+	}
+	// Build coarse graph.
+	cg := &graph.Graph{N: int(nCoarse)}
+	cg.VW = make([][]int32, nc)
+	for c := range cg.VW {
+		cg.VW[c] = make([]int32, nCoarse)
+	}
+	for v := 0; v < n; v++ {
+		for c := 0; c < nc; c++ {
+			cg.VW[c][cmap[v]] += g.VW[c][v]
+		}
+	}
+	// Aggregate edges with a per-coarse-vertex accumulator.
+	type centry struct {
+		to int32
+		w  int64
+	}
+	adjLists := make([][]centry, nCoarse)
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		for i := g.Xadj[v]; i < g.Xadj[v+1]; i++ {
+			cu := cmap[g.Adj[i]]
+			if cu == cv {
+				continue
+			}
+			// Linear scan of the (short) coarse adjacency list.
+			found := false
+			for j := range adjLists[cv] {
+				if adjLists[cv][j].to == cu {
+					adjLists[cv][j].w += int64(g.EW[i])
+					found = true
+					break
+				}
+			}
+			if !found {
+				adjLists[cv] = append(adjLists[cv], centry{cu, int64(g.EW[i])})
+			}
+		}
+	}
+	cg.Xadj = make([]int32, nCoarse+1)
+	for cv := int32(0); cv < nCoarse; cv++ {
+		cg.Xadj[cv+1] = cg.Xadj[cv] + int32(len(adjLists[cv]))
+	}
+	cg.Adj = make([]int32, cg.Xadj[nCoarse])
+	cg.EW = make([]int32, cg.Xadj[nCoarse])
+	for cv := int32(0); cv < nCoarse; cv++ {
+		off := cg.Xadj[cv]
+		for j, e := range adjLists[cv] {
+			cg.Adj[off+int32(j)] = e.to
+			w := e.w
+			if w > (1 << 30) {
+				w = 1 << 30
+			}
+			cg.EW[off+int32(j)] = int32(w)
+		}
+	}
+	return cg, cmap
+}
+
+// bisectGraph performs the full multilevel bisection.
+func bisectGraph(g *graph.Graph, tf [2]float64, eps float64, rng *rand.Rand) []int8 {
+	if g.N <= gCoarseTarget {
+		part := growInitial(g, tf, eps, rng)
+		st := newGState(g, part, tf, eps)
+		refineFM(st, 3, rng)
+		return part
+	}
+	cg, cmap := coarsenGraph(g, rng)
+	if cg.N > g.N*19/20 {
+		// Coarsening stalled; partition directly.
+		part := growInitial(g, tf, eps, rng)
+		st := newGState(g, part, tf, eps)
+		refineFM(st, 3, rng)
+		return part
+	}
+	cpart := bisectGraph(cg, tf, eps, rng)
+	part := make([]int8, g.N)
+	for v := 0; v < g.N; v++ {
+		part[v] = cpart[cmap[v]]
+	}
+	st := newGState(g, part, tf, eps)
+	refineFM(st, 2, rng)
+	return part
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,509 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"golts/internal/hypergraph"
+)
+
+// Multilevel 2-way hypergraph bisection with multi-constraint balance and
+// the cut-net objective (for two parts, connectivity-1 and cut-net
+// coincide). This is the PaToH stand-in: because the net costs encode the
+// per-level communication frequency, minimizing this cut minimizes true
+// MPI volume (paper §III-A.2).
+
+const hCoarseTarget = 120
+
+type hState struct {
+	h     *hypergraph.Hypergraph
+	part  []int8
+	pc    [][2]int32 // pins per side, per net
+	w     [2][]int64
+	total []int64
+	tf    [2]float64
+	eps   float64
+	cut   int64
+}
+
+func newHState(h *hypergraph.Hypergraph, part []int8, tf [2]float64, eps float64) *hState {
+	s := &hState{h: h, part: part, tf: tf, eps: eps, total: h.TotalWeight()}
+	nc := h.NC()
+	s.w[0] = make([]int64, nc)
+	s.w[1] = make([]int64, nc)
+	for v := 0; v < h.NV; v++ {
+		for c := 0; c < nc; c++ {
+			s.w[part[v]][c] += int64(h.VW[c][v])
+		}
+	}
+	s.pc = make([][2]int32, h.NumNets())
+	for n := 0; n < h.NumNets(); n++ {
+		for i := h.Xpins[n]; i < h.Xpins[n+1]; i++ {
+			s.pc[n][part[h.Pins[i]]]++
+		}
+		if s.pc[n][0] > 0 && s.pc[n][1] > 0 {
+			s.cut += int64(h.Cost[n])
+		}
+	}
+	return s
+}
+
+func (s *hState) cap(side, c int) int64 {
+	return int64((1 + s.eps) * s.tf[side] * float64(s.total[c]))
+}
+
+func (s *hState) violation() int64 {
+	var v int64
+	for side := 0; side < 2; side++ {
+		for c := range s.total {
+			if over := s.w[side][c] - s.cap(side, c); over > 0 {
+				v += over
+			}
+		}
+	}
+	return v
+}
+
+func (s *hState) moveDeltaViolation(v int32) int64 {
+	from := int(s.part[v])
+	to := 1 - from
+	var d int64
+	for c := range s.total {
+		wv := int64(s.h.VW[c][v])
+		if wv == 0 {
+			continue
+		}
+		overF0 := max64(0, s.w[from][c]-s.cap(from, c))
+		overF1 := max64(0, s.w[from][c]-wv-s.cap(from, c))
+		overT0 := max64(0, s.w[to][c]-s.cap(to, c))
+		overT1 := max64(0, s.w[to][c]+wv-s.cap(to, c))
+		d += (overF1 - overF0) + (overT1 - overT0)
+	}
+	return d
+}
+
+// gain returns the cut reduction of moving v: nets that become internal
+// gain +cost, nets that become cut gain -cost.
+func (s *hState) gain(v int32) int64 {
+	from := s.part[v]
+	to := 1 - from
+	var g int64
+	for i := s.h.Xnets[v]; i < s.h.Xnets[v+1]; i++ {
+		n := s.h.VNets[i]
+		if s.pc[n][to] == 0 {
+			g -= int64(s.h.Cost[n]) // becomes cut
+		}
+		if s.pc[n][from] == 1 {
+			g += int64(s.h.Cost[n]) // becomes uncut
+		}
+	}
+	return g
+}
+
+func (s *hState) apply(v int32) {
+	s.cut -= s.gain(v)
+	from := int(s.part[v])
+	to := 1 - from
+	for c := range s.total {
+		wv := int64(s.h.VW[c][v])
+		s.w[from][c] -= wv
+		s.w[to][c] += wv
+	}
+	for i := s.h.Xnets[v]; i < s.h.Xnets[v+1]; i++ {
+		n := s.h.VNets[i]
+		s.pc[n][from]--
+		s.pc[n][to]++
+	}
+	s.part[v] = int8(to)
+}
+
+// boundary reports whether v touches any cut net.
+func (s *hState) boundary(v int32) bool {
+	for i := s.h.Xnets[v]; i < s.h.Xnets[v+1]; i++ {
+		n := s.h.VNets[i]
+		if s.pc[n][0] > 0 && s.pc[n][1] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func refineHFM(s *hState, passes int, rng *rand.Rand) {
+	n := s.h.NV
+	locked := make([]bool, n)
+	version := make([]int32, n)
+	for p := 0; p < passes; p++ {
+		for i := range locked {
+			locked[i] = false
+		}
+		var h fmHeap
+		push := func(v int32) {
+			version[v]++
+			heap.Push(&h, fmItem{v, s.gain(v), version[v]})
+		}
+		// Seed with boundary vertices; when the pass starts unbalanced,
+		// seed everything so balance repair can reach interior vertices
+		// even if the overloaded region's boundary is unproductive.
+		seedAll := n <= 64 || s.violation() > 0
+		for v := int32(0); v < int32(n); v++ {
+			if seedAll || s.boundary(v) {
+				push(v)
+			}
+		}
+		var seq []int32
+		bestIdx := 0
+		bestViol := s.violation()
+		bestCut := s.cut
+		neg := 0
+		maxNeg := 50 + n/20
+		for h.Len() > 0 && neg < maxNeg {
+			it := heap.Pop(&h).(fmItem)
+			v := it.v
+			if locked[v] || it.ver != version[v] {
+				continue
+			}
+			if g := s.gain(v); g != it.gain {
+				push(v)
+				continue
+			}
+			dv := s.moveDeltaViolation(v)
+			viol := s.violation()
+			if viol > 0 {
+				if dv >= 0 {
+					continue
+				}
+			} else if dv > 0 {
+				continue
+			}
+			s.apply(v)
+			locked[v] = true
+			seq = append(seq, v)
+			// Requeue pins of v's nets.
+			for i := s.h.Xnets[v]; i < s.h.Xnets[v+1]; i++ {
+				nt := s.h.VNets[i]
+				for j := s.h.Xpins[nt]; j < s.h.Xpins[nt+1]; j++ {
+					u := s.h.Pins[j]
+					if u != v && !locked[u] {
+						push(u)
+					}
+				}
+			}
+			curViol := s.violation()
+			if curViol < bestViol || (curViol == bestViol && s.cut < bestCut) {
+				bestViol, bestCut = curViol, s.cut
+				bestIdx = len(seq)
+				neg = 0
+			} else {
+				neg++
+			}
+		}
+		improved := bestIdx > 0
+		for i := len(seq) - 1; i >= bestIdx; i-- {
+			s.apply(seq[i])
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+func growInitialH(h *hypergraph.Hypergraph, tf [2]float64, eps float64, rng *rand.Rand) []int8 {
+	n := h.NV
+	tries := 4
+	var bestPart []int8
+	var bestViol, bestCut int64 = 1 << 62, 1 << 62
+	total := h.TotalWeight()
+	nc := h.NC()
+	for t := 0; t < tries; t++ {
+		part := make([]int8, n)
+		st := newHState(h, part, tf, eps)
+		seed := int32(rng.Intn(n))
+		progress := func() float64 {
+			s, cnt := 0.0, 0
+			for c := 0; c < nc; c++ {
+				if total[c] > 0 {
+					s += float64(st.w[1][c]) / float64(total[c])
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				return 1
+			}
+			return s / float64(cnt)
+		}
+		// fits reports whether adding v to side 1 keeps every constraint
+		// within its cap, so a high-cost dominant constraint cannot be
+		// starved while small constraints saturate.
+		fits := func(v int32) bool {
+			for c := 0; c < nc; c++ {
+				wv := int64(h.VW[c][v])
+				if wv > 0 && st.w[1][c]+wv > st.cap(1, c) {
+					return false
+				}
+			}
+			return true
+		}
+		var hp fmHeap
+		ver := make([]int32, n)
+		push := func(v int32) {
+			ver[v]++
+			heap.Push(&hp, fmItem{v, st.gain(v), ver[v]})
+		}
+		st.apply(seed)
+		for i := h.Xnets[seed]; i < h.Xnets[seed+1]; i++ {
+			nt := h.VNets[i]
+			for j := h.Xpins[nt]; j < h.Xpins[nt+1]; j++ {
+				if u := h.Pins[j]; st.part[u] == 0 {
+					push(u)
+				}
+			}
+		}
+		for progress() < tf[1] && hp.Len() > 0 {
+			it := heap.Pop(&hp).(fmItem)
+			if st.part[it.v] == 1 || it.ver != ver[it.v] {
+				continue
+			}
+			if g := st.gain(it.v); g != it.gain {
+				push(it.v)
+				continue
+			}
+			if !fits(it.v) {
+				continue
+			}
+			st.apply(it.v)
+			for i := h.Xnets[it.v]; i < h.Xnets[it.v+1]; i++ {
+				nt := h.VNets[i]
+				for j := h.Xpins[nt]; j < h.Xpins[nt+1]; j++ {
+					if u := h.Pins[j]; st.part[u] == 0 {
+						push(u)
+					}
+				}
+			}
+		}
+		// Fill any residual deficit with random fitting vertices; give up
+		// after a bounded number of misses (FM repairs the rest).
+		for misses := 0; progress() < tf[1] && misses < 4*n; {
+			v := int32(rng.Intn(n))
+			if st.part[v] == 0 && fits(v) {
+				st.apply(v)
+			} else {
+				misses++
+			}
+		}
+		refineHFM(st, 2, rng)
+		if v := st.violation(); v < bestViol || (v == bestViol && st.cut < bestCut) {
+			bestViol, bestCut = v, st.cut
+			bestPart = append(bestPart[:0], part...)
+		}
+	}
+	return bestPart
+}
+
+// coarsenH contracts a heavy-connectivity matching: each vertex prefers the
+// unmatched neighbour with which it shares the highest total net cost.
+func coarsenH(h *hypergraph.Hypergraph, rng *rand.Rand) (*hypergraph.Hypergraph, []int32) {
+	n := h.NV
+	match := make([]int32, n)
+	cmap := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+		cmap[i] = -1
+	}
+	total := h.TotalWeight()
+	nc := h.NC()
+	caps := make([]int64, nc)
+	for c := range caps {
+		caps[c] = total[c]/8 + 1
+	}
+	score := make(map[int32]int64, 32)
+	order := rng.Perm(n)
+	var nCoarse int32
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		for k := range score {
+			delete(score, k)
+		}
+		for i := h.Xnets[v]; i < h.Xnets[v+1]; i++ {
+			nt := h.VNets[i]
+			cost := int64(h.Cost[nt])
+			for j := h.Xpins[nt]; j < h.Xpins[nt+1]; j++ {
+				u := h.Pins[j]
+				if u != v && match[u] < 0 {
+					score[u] += cost
+				}
+			}
+		}
+		var best int32 = -1
+		var bestS int64 = -1
+		for u, sc := range score {
+			ok := true
+			for c := 0; c < nc; c++ {
+				if int64(h.VW[c][v])+int64(h.VW[c][u]) > caps[c] {
+					ok = false
+					break
+				}
+			}
+			if ok && (sc > bestS || (sc == bestS && u < best)) {
+				bestS, best = sc, u
+			}
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+			cmap[v], cmap[best] = nCoarse, nCoarse
+		} else {
+			match[v] = v
+			cmap[v] = nCoarse
+		}
+		nCoarse++
+	}
+	ch := &hypergraph.Hypergraph{NV: int(nCoarse)}
+	ch.VW = make([][]int32, nc)
+	for c := range ch.VW {
+		ch.VW[c] = make([]int32, nCoarse)
+	}
+	for v := 0; v < n; v++ {
+		for c := 0; c < nc; c++ {
+			ch.VW[c][cmap[v]] += h.VW[c][v]
+		}
+	}
+	// Rebuild nets: map pins, dedupe within each net, drop singletons.
+	// Pins are sorted so the construction is order-deterministic.
+	ch.Xpins = append(ch.Xpins, 0)
+	var pinBuf []int32
+	for nt := 0; nt < h.NumNets(); nt++ {
+		pinBuf = pinBuf[:0]
+		for i := h.Xpins[nt]; i < h.Xpins[nt+1]; i++ {
+			pinBuf = append(pinBuf, cmap[h.Pins[i]])
+		}
+		sort.Slice(pinBuf, func(a, b int) bool { return pinBuf[a] < pinBuf[b] })
+		u := pinBuf[:0]
+		var prev int32 = -1
+		for _, p := range pinBuf {
+			if p != prev {
+				u = append(u, p)
+				prev = p
+			}
+		}
+		if len(u) < 2 {
+			continue
+		}
+		ch.Pins = append(ch.Pins, u...)
+		ch.Xpins = append(ch.Xpins, int32(len(ch.Pins)))
+		ch.Cost = append(ch.Cost, h.Cost[nt])
+	}
+	ch.BuildVertexIncidence()
+	return ch, cmap
+}
+
+func bisectH(h *hypergraph.Hypergraph, tf [2]float64, eps float64, rng *rand.Rand) []int8 {
+	if h.NV <= hCoarseTarget {
+		part := growInitialH(h, tf, eps, rng)
+		st := newHState(h, part, tf, eps)
+		refineHFM(st, 3, rng)
+		return part
+	}
+	ch, cmap := coarsenH(h, rng)
+	if ch.NV > h.NV*19/20 {
+		part := growInitialH(h, tf, eps, rng)
+		st := newHState(h, part, tf, eps)
+		refineHFM(st, 3, rng)
+		return part
+	}
+	cpart := bisectH(ch, tf, eps, rng)
+	part := make([]int8, h.NV)
+	for v := 0; v < h.NV; v++ {
+		part[v] = cpart[cmap[v]]
+	}
+	st := newHState(h, part, tf, eps)
+	refineHFM(st, 2, rng)
+	return part
+}
+
+// inducedSubhypergraph extracts the hypergraph on the given vertices,
+// keeping only nets with >= 2 remaining pins.
+func inducedSubhypergraph(h *hypergraph.Hypergraph, vertices []int32) (*hypergraph.Hypergraph, []int32) {
+	old2new := make(map[int32]int32, len(vertices))
+	for i, v := range vertices {
+		old2new[v] = int32(i)
+	}
+	sub := &hypergraph.Hypergraph{NV: len(vertices)}
+	sub.VW = make([][]int32, h.NC())
+	for c := range sub.VW {
+		sub.VW[c] = make([]int32, len(vertices))
+	}
+	for i, v := range vertices {
+		for c := range h.VW {
+			sub.VW[c][i] = h.VW[c][v]
+		}
+	}
+	sub.Xpins = append(sub.Xpins, 0)
+	var pinBuf []int32
+	for nt := 0; nt < h.NumNets(); nt++ {
+		pinBuf = pinBuf[:0]
+		for i := h.Xpins[nt]; i < h.Xpins[nt+1]; i++ {
+			if nv, ok := old2new[h.Pins[i]]; ok {
+				pinBuf = append(pinBuf, nv)
+			}
+		}
+		if len(pinBuf) < 2 {
+			continue
+		}
+		sub.Pins = append(sub.Pins, pinBuf...)
+		sub.Xpins = append(sub.Xpins, int32(len(sub.Pins)))
+		sub.Cost = append(sub.Cost, h.Cost[nt])
+	}
+	sub.BuildVertexIncidence()
+	newToOld := append([]int32(nil), vertices...)
+	return sub, newToOld
+}
+
+// RecursiveBisectHypergraph partitions h into k parts by recursive
+// bisection with per-bisection tolerance eps.
+func RecursiveBisectHypergraph(h *hypergraph.Hypergraph, k int, eps float64, rng *rand.Rand) []int32 {
+	part := make([]int32, h.NV)
+	if k <= 1 {
+		return part
+	}
+	all := make([]int32, h.NV)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	rbH(h, all, k, 0, eps, rng, part)
+	return part
+}
+
+func rbH(h *hypergraph.Hypergraph, vertices []int32, k int, base int32, eps float64, rng *rand.Rand, out []int32) {
+	if k == 1 || len(vertices) <= 1 {
+		for _, v := range vertices {
+			out[v] = base
+		}
+		return
+	}
+	k1 := (k + 1) / 2
+	k2 := k - k1
+	tf := [2]float64{float64(k1) / float64(k), float64(k2) / float64(k)}
+	sub, toOld := inducedSubhypergraph(h, vertices)
+	p := bisectH(sub, tf, eps, rng)
+	var side0, side1 []int32
+	for i, s := range p {
+		if s == 0 {
+			side0 = append(side0, toOld[i])
+		} else {
+			side1 = append(side1, toOld[i])
+		}
+	}
+	for len(side0) == 0 && len(side1) > 1 {
+		side0 = append(side0, side1[len(side1)-1])
+		side1 = side1[:len(side1)-1]
+	}
+	for len(side1) == 0 && len(side0) > 1 {
+		side1 = append(side1, side0[len(side0)-1])
+		side0 = side0[:len(side0)-1]
+	}
+	rbH(h, side0, k1, base, eps, rng, out)
+	rbH(h, side1, k2, base+int32(k1), eps, rng, out)
+}

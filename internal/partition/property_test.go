@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"golts/internal/hypergraph"
+	"golts/internal/mesh"
+)
+
+// Property: Eq. 21 imbalance is always in [0, 100] and zero iff all loads
+// equal.
+func TestImbalanceProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]int64, len(raw))
+		allEq := true
+		for i, v := range raw {
+			loads[i] = int64(v)
+			if v != raw[0] {
+				allEq = false
+			}
+		}
+		p := imbalancePct(loads)
+		if p < 0 || p > 100 {
+			return false
+		}
+		if allEq && p != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any random partition, the hypergraph cut is bounded by
+// Σ cost(n)·(min(pins, K)-1) and is zero for the all-in-one partition.
+func TestCutBoundsProperty(t *testing.T) {
+	m := mesh.Trench(0.01)
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	h := hypergraph.FromMesh(m, lv)
+	zero := make([]int32, h.NV)
+	if h.CutSize(zero, 4) != 0 {
+		t.Fatal("all-in-one partition has nonzero cut")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const k = 5
+		part := make([]int32, h.NV)
+		for i := range part {
+			part[i] = int32(rng.Intn(k))
+		}
+		cut := h.CutSize(part, k)
+		var bound int64
+		for n := 0; n < h.NumNets(); n++ {
+			pins := int(h.Xpins[n+1] - h.Xpins[n])
+			lim := pins
+			if k < lim {
+				lim = k
+			}
+			bound += int64(h.Cost[n]) * int64(lim-1)
+		}
+		return cut >= 0 && cut <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every partitioner covers all elements with parts in [0, K).
+func TestPartitionRangeProperty(t *testing.T) {
+	m := mesh.Trench(0.01)
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	f := func(seed int64, kRaw uint8, mi uint8) bool {
+		k := 2 + int(kRaw%7)
+		method := Methods[int(mi)%len(Methods)]
+		res, err := PartitionMesh(m, lv, Options{K: k, Method: method, Seed: seed})
+		if err != nil {
+			t.Logf("%s: %v", method, err)
+			return false
+		}
+		for _, p := range res.Part {
+			if p < 0 || int(p) >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: moving one element between parts changes the evaluated total
+// load by exactly its work weight (metric consistency).
+func TestEvaluateMoveConsistencyProperty(t *testing.T) {
+	m := mesh.Trench(0.01)
+	lv := mesh.AssignLevels(m, 0.4, 0)
+	base, err := PartitionMesh(m, lv, Options{K: 4, Method: ScotchP, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(eRaw uint16) bool {
+		e := int(eRaw) % m.NumElements()
+		part := append([]int32(nil), base.Part...)
+		from := part[e]
+		to := (from + 1) % 4
+		m0 := Evaluate(m, lv, part, 4)
+		part[e] = to
+		m1 := Evaluate(m, lv, part, 4)
+		w := int64(lv.PFor(e))
+		return m1.Loads[from] == m0.Loads[from]-w && m1.Loads[to] == m0.Loads[to]+w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

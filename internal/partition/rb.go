@@ -1,0 +1,59 @@
+package partition
+
+import (
+	"math/rand"
+
+	"golts/internal/graph"
+)
+
+// RecursiveBisectGraph partitions g into k parts by recursive bisection:
+// each bisection targets fractions proportional to the number of leaf parts
+// on each side, so any k (not just powers of two) is balanced. eps is the
+// per-bisection balance tolerance for every constraint.
+func RecursiveBisectGraph(g *graph.Graph, k int, eps float64, rng *rand.Rand) []int32 {
+	part := make([]int32, g.N)
+	if k <= 1 {
+		return part
+	}
+	all := make([]int32, g.N)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	rbGraph(g, all, k, 0, eps, rng, part)
+	return part
+}
+
+// rbGraph assigns parts [base, base+k) to the given vertices of g.
+func rbGraph(g *graph.Graph, vertices []int32, k int, base int32, eps float64, rng *rand.Rand, out []int32) {
+	if k == 1 || len(vertices) <= 1 {
+		for _, v := range vertices {
+			out[v] = base
+		}
+		return
+	}
+	k1 := (k + 1) / 2
+	k2 := k - k1
+	tf := [2]float64{float64(k1) / float64(k), float64(k2) / float64(k)}
+	sub, toOld := g.InducedSubgraph(vertices)
+	p := bisectGraph(sub, tf, eps, rng)
+	var side0, side1 []int32
+	for i, s := range p {
+		if s == 0 {
+			side0 = append(side0, toOld[i])
+		} else {
+			side1 = append(side1, toOld[i])
+		}
+	}
+	// Guard against degenerate empty sides (tiny subgraphs): steal
+	// vertices to keep every part nonempty.
+	for len(side0) == 0 && len(side1) > 1 {
+		side0 = append(side0, side1[len(side1)-1])
+		side1 = side1[:len(side1)-1]
+	}
+	for len(side1) == 0 && len(side0) > 1 {
+		side1 = append(side1, side0[len(side0)-1])
+		side0 = side0[:len(side0)-1]
+	}
+	rbGraph(g, side0, k1, base, eps, rng, out)
+	rbGraph(g, side1, k2, base+int32(k1), eps, rng, out)
+}

@@ -1,0 +1,152 @@
+package partition
+
+import (
+	"math/rand"
+
+	"golts/internal/graph"
+	"golts/internal/mesh"
+)
+
+// SCOTCH-P (paper §III-B.b): each p-level is partitioned separately into K
+// parts with a standard single-constraint partitioner, giving per-level
+// balance by construction; the per-level parts are then greedily mapped
+// onto processors so that parts with high mutual connectivity land on the
+// same processor, reducing communication. The paper notes a
+// weighted-matching mapping as future work; the greedy coupling below is
+// their published variant.
+
+// scotchP partitions each level independently and merges. refineMapping
+// additionally improves the greedy coupling with pairwise swaps (the
+// paper's future-work mapping upgrade).
+func scotchP(m *mesh.Mesh, lv *mesh.Levels, g *graph.Graph, k int, eps float64, rng *rand.Rand, refineMapping bool) []int32 {
+	part := make([]int32, m.NumElements())
+	levelElems := lv.LevelElements()
+	// Order levels by descending element count: the largest level anchors
+	// the processor identities.
+	order := make([]int, lv.NumLevels)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if len(levelElems[order[j]]) > len(levelElems[order[i]]) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	// The per-level graphs are partitioned with unit weights (all elements
+	// of a level share the same cost).
+	unitG := &graph.Graph{N: g.N, Xadj: g.Xadj, Adj: g.Adj, EW: g.EW}
+	unit := make([]int32, g.N)
+	for i := range unit {
+		unit[i] = 1
+	}
+	unitG.VW = [][]int32{unit}
+
+	assignedAny := false
+	// accum[e] = true once element e has a processor.
+	for oi, li := range order {
+		elems := levelElems[li]
+		if len(elems) == 0 {
+			continue
+		}
+		var lp []int32
+		if len(elems) <= k {
+			// Fewer elements than processors: spread round-robin.
+			lp = make([]int32, len(elems))
+			for i := range lp {
+				lp[i] = int32(i % k)
+			}
+		} else {
+			sub, _ := unitG.InducedSubgraph(elems)
+			lp = RecursiveBisectGraph(sub, k, eps, rng)
+		}
+		if !assignedAny {
+			// First (largest) level: its parts define the processors.
+			for i, e := range elems {
+				part[e] = lp[i]
+			}
+			assignedAny = true
+			continue
+		}
+		// Greedy coupling: affinity[q][r] = dual-graph edge weight between
+		// level part q and the elements already assigned to processor r.
+		aff := make([][]int64, k)
+		for q := range aff {
+			aff[q] = make([]int64, k)
+		}
+		inLevel := make(map[int32]int32, len(elems)) // element -> level part
+		for i, e := range elems {
+			inLevel[e] = lp[i]
+		}
+		for i, e := range elems {
+			_ = i
+			q := inLevel[e]
+			for j := g.Xadj[e]; j < g.Xadj[e+1]; j++ {
+				u := g.Adj[j]
+				if _, ok := inLevel[u]; ok {
+					continue // same level, not yet mapped
+				}
+				if isAssigned(u, part, lv, levelElems, order, oi) {
+					aff[q][part[u]] += int64(g.EW[j])
+				}
+			}
+		}
+		// Greedy max assignment: repeatedly take the best (q, r) pair.
+		usedQ := make([]bool, k)
+		usedR := make([]bool, k)
+		mapQ := make([]int32, k)
+		for n := 0; n < k; n++ {
+			bq, br, bv := -1, -1, int64(-1)
+			for q := 0; q < k; q++ {
+				if usedQ[q] {
+					continue
+				}
+				for r := 0; r < k; r++ {
+					if usedR[r] {
+						continue
+					}
+					if aff[q][r] > bv {
+						bq, br, bv = q, r, aff[q][r]
+					}
+				}
+			}
+			usedQ[bq] = true
+			usedR[br] = true
+			mapQ[bq] = int32(br)
+		}
+		if refineMapping {
+			// Pairwise-swap (2-opt) improvement of the coupling: swap two
+			// level parts' processors whenever total affinity improves.
+			improved := true
+			for pass := 0; improved && pass < 8; pass++ {
+				improved = false
+				for q1 := 0; q1 < k; q1++ {
+					for q2 := q1 + 1; q2 < k; q2++ {
+						r1, r2 := mapQ[q1], mapQ[q2]
+						if aff[q1][r2]+aff[q2][r1] > aff[q1][r1]+aff[q2][r2] {
+							mapQ[q1], mapQ[q2] = r2, r1
+							improved = true
+						}
+					}
+				}
+			}
+		}
+		for i, e := range elems {
+			part[e] = mapQ[lp[i]]
+		}
+	}
+	return part
+}
+
+// isAssigned reports whether element u belongs to a level mapped before
+// position oi in the processing order.
+func isAssigned(u int32, part []int32, lv *mesh.Levels, levelElems [][]int32, order []int, oi int) bool {
+	lu := int(lv.Lvl[u]) - 1
+	for i := 0; i < oi; i++ {
+		if order[i] == lu {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package sem
+
+import (
+	"fmt"
+
+	"golts/internal/gll"
+	"golts/internal/mesh"
+)
+
+// Acoustic3D is the scalar wave operator ρ ü = ∇·(μ ∇u), μ = ρ c², on a
+// structured hexahedral mesh with tensor-product GLL bases (degree 4 gives
+// the paper's 125-node elements). Because the mesh elements are axis-aligned
+// boxes, the Jacobian is diagonal, and the stiffness action reduces to six
+// 1-D tensor contractions per element — the same computational structure as
+// SPECFEM3D's kernels.
+type Acoustic3D struct {
+	M    *mesh.Mesh
+	Rule *gll.Rule
+	// Periodic selects periodic boundary conditions in all directions
+	// (nodes on opposite faces are identified); otherwise all boundaries
+	// are free surfaces (natural/Neumann), as on the paper's top surface.
+	Periodic bool
+
+	deg           int
+	nxn, nyn, nzn int // global node counts per axis
+	minv          []float64
+	fixed         []int32 // Dirichlet nodes (minv zeroed)
+}
+
+// NewAcoustic3D builds the operator on mesh m with basis degree deg.
+func NewAcoustic3D(m *mesh.Mesh, deg int, periodic bool) (*Acoustic3D, error) {
+	r, err := gll.New(deg)
+	if err != nil {
+		return nil, err
+	}
+	op := &Acoustic3D{M: m, Rule: r, Periodic: periodic, deg: deg}
+	op.nxn, op.nyn, op.nzn = deg*m.NX+1, deg*m.NY+1, deg*m.NZ+1
+	if periodic {
+		op.nxn, op.nyn, op.nzn = deg*m.NX, deg*m.NY, deg*m.NZ
+	}
+	op.assembleMass()
+	return op, nil
+}
+
+func (op *Acoustic3D) assembleMass() {
+	mass := make([]float64, op.NumNodes())
+	w := op.Rule.Weights
+	nq := op.deg + 1
+	var nb []int32
+	for e := 0; e < op.M.NumElements(); e++ {
+		dx, dy, dz := op.M.ElemSize(e)
+		jdet := dx * dy * dz / 8
+		rho := op.M.Rho[e]
+		nb = op.ElemNodes(e, nb[:0])
+		idx := 0
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					mass[nb[idx]] += rho * w[a] * w[b] * w[c] * jdet
+					idx++
+				}
+			}
+		}
+	}
+	op.minv = make([]float64, len(mass))
+	for i, m := range mass {
+		op.minv[i] = 1 / m
+	}
+}
+
+// FixNodes imposes homogeneous Dirichlet conditions at the given nodes by
+// zeroing their inverse mass.
+func (op *Acoustic3D) FixNodes(nodes []int32) {
+	op.fixed = append(op.fixed, nodes...)
+	for _, n := range nodes {
+		op.minv[n] = 0
+	}
+}
+
+// NumNodes returns the unique global GLL node count.
+func (op *Acoustic3D) NumNodes() int { return op.nxn * op.nyn * op.nzn }
+
+// Comps returns 1.
+func (op *Acoustic3D) Comps() int { return 1 }
+
+// NDof returns the degree-of-freedom count.
+func (op *Acoustic3D) NDof() int { return op.NumNodes() }
+
+// NumElements returns the mesh element count.
+func (op *Acoustic3D) NumElements() int { return op.M.NumElements() }
+
+// MInv returns the inverse lumped mass.
+func (op *Acoustic3D) MInv() []float64 { return op.minv }
+
+// NodeIndex maps global per-axis GLL indices to the node id, wrapping when
+// periodic.
+func (op *Acoustic3D) NodeIndex(i, j, k int) int32 {
+	if op.Periodic {
+		if i == op.deg*op.M.NX {
+			i = 0
+		}
+		if j == op.deg*op.M.NY {
+			j = 0
+		}
+		if k == op.deg*op.M.NZ {
+			k = 0
+		}
+	}
+	return int32((k*op.nyn+j)*op.nxn + i)
+}
+
+// NodeCoords returns the physical coordinates of global node id n (for
+// receivers and initial conditions). Only valid for non-periodic operators
+// when n lies on a wrapped face; interior nodes are always exact.
+func (op *Acoustic3D) NodeCoords(n int32) (x, y, z float64) {
+	i := int(n) % op.nxn
+	j := (int(n) / op.nxn) % op.nyn
+	k := int(n) / (op.nxn * op.nyn)
+	return op.axisCoord(op.M.XC, i), op.axisCoord(op.M.YC, j), op.axisCoord(op.M.ZC, k)
+}
+
+func (op *Acoustic3D) axisCoord(bc []float64, gi int) float64 {
+	e := gi / op.deg
+	a := gi % op.deg
+	if e == len(bc)-1 {
+		e, a = len(bc)-2, op.deg
+	}
+	return bc[e] + (bc[e+1]-bc[e])*(op.Rule.Points[a]+1)/2
+}
+
+// ClosestNode returns the global node nearest to (x, y, z), snapping each
+// axis independently (exact for tensor grids).
+func (op *Acoustic3D) ClosestNode(x, y, z float64) int32 {
+	return op.NodeIndex(op.closestAxis(op.M.XC, op.M.NX, x),
+		op.closestAxis(op.M.YC, op.M.NY, y),
+		op.closestAxis(op.M.ZC, op.M.NZ, z))
+}
+
+func (op *Acoustic3D) closestAxis(bc []float64, ne int, x float64) int {
+	best, bd := 0, -1.0
+	for gi := 0; gi <= op.deg*ne; gi++ {
+		d := x - op.axisCoord(bc, gi)
+		if d < 0 {
+			d = -d
+		}
+		if bd < 0 || d < bd {
+			best, bd = gi, d
+		}
+	}
+	return best
+}
+
+// ElemNodes appends the (deg+1)³ global node ids of element e in
+// (a fastest, then b, then c) order.
+func (op *Acoustic3D) ElemNodes(e int, buf []int32) []int32 {
+	i, j, k := op.M.ECoords(e)
+	nq := op.deg + 1
+	for c := 0; c < nq; c++ {
+		for b := 0; b < nq; b++ {
+			for a := 0; a < nq; a++ {
+				buf = append(buf, op.NodeIndex(op.deg*i+a, op.deg*j+b, op.deg*k+c))
+			}
+		}
+	}
+	return buf
+}
+
+// AddKu accumulates dst += K u for the listed elements. Per element:
+// gather nodal values, differentiate along each axis with the 1-D
+// derivative matrix, scale by metric terms and quadrature weights, and
+// scatter back with the transposed derivative.
+func (op *Acoustic3D) AddKu(dst, u []float64, elems []int32) {
+	checkLens(op, "dst", dst)
+	checkLens(op, "u", u)
+	nq := op.deg + 1
+	n3 := nq * nq * nq
+	d := op.Rule.D
+	w := op.Rule.Weights
+	ue := make([]float64, n3)
+	fx := make([]float64, n3)
+	fy := make([]float64, n3)
+	fz := make([]float64, n3)
+	nb := make([]int32, 0, n3)
+	idx := func(a, b, c int) int { return (c*nq+b)*nq + a }
+	for _, e := range elems {
+		dx, dy, dz := op.M.ElemSize(int(e))
+		jdet := dx * dy * dz / 8
+		ax, ay, az := 2/dx, 2/dy, 2/dz
+		mu := op.M.Rho[e] * op.M.C[e] * op.M.C[e]
+		sx, sy, sz := mu*jdet*ax*ax, mu*jdet*ay*ay, mu*jdet*az*az
+		nb = op.ElemNodes(int(e), nb[:0])
+		for i, n := range nb {
+			ue[i] = u[n]
+		}
+		// Forward derivatives scaled by weights and metric.
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				wbc := w[b] * w[c]
+				for a := 0; a < nq; a++ {
+					var dxu, dyu, dzu float64
+					for m := 0; m < nq; m++ {
+						dxu += d[a][m] * ue[idx(m, b, c)]
+						dyu += d[b][m] * ue[idx(a, m, c)]
+						dzu += d[c][m] * ue[idx(a, b, m)]
+					}
+					wa := w[a]
+					fx[idx(a, b, c)] = sx * wa * wbc * dxu
+					fy[idx(a, b, c)] = sy * wa * wbc * dyu
+					fz[idx(a, b, c)] = sz * wa * wbc * dzu
+				}
+			}
+		}
+		// Transposed scatter: dst_l += Σ_a D[a][l] f(a).
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					var acc float64
+					for m := 0; m < nq; m++ {
+						acc += d[m][a]*fx[idx(m, b, c)] + d[m][b]*fy[idx(a, m, c)] + d[m][c]*fz[idx(a, b, m)]
+					}
+					dst[nb[idx(a, b, c)]] += acc
+				}
+			}
+		}
+	}
+}
+
+var _ Operator = (*Acoustic3D)(nil)
+
+func (op *Acoustic3D) String() string {
+	return fmt.Sprintf("Acoustic3D(%s, deg=%d, nodes=%d, periodic=%v)", op.M.Name, op.deg, op.NumNodes(), op.Periodic)
+}

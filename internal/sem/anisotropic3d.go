@@ -1,0 +1,275 @@
+package sem
+
+import (
+	"fmt"
+
+	"golts/internal/gll"
+	"golts/internal/mesh"
+)
+
+// VoigtC is the elasticity tensor of Hooke's law (paper Eq. 2) in Voigt
+// notation: a symmetric 6x6 matrix with up to 21 independent parameters
+// (the fully anisotropic / triclinic case the paper mentions). Index order
+// is the seismological convention [xx, yy, zz, yz, xz, xy], with
+// engineering shear strains (γ = 2ε) on the strain side.
+type VoigtC [6][6]float64
+
+// IsotropicC builds the two-parameter isotropic tensor from the Lamé
+// constants.
+func IsotropicC(lam, mu float64) VoigtC {
+	var c VoigtC
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			c[i][j] = lam
+		}
+		c[i][i] = lam + 2*mu
+		c[i+3][i+3] = mu
+	}
+	return c
+}
+
+// VTIC builds a transversely isotropic tensor with a vertical symmetry
+// axis from the five Love parameters (A, C, L, N, F) — the standard
+// anisotropy model for layered Earth media.
+func VTIC(a, cc, l, n, f float64) VoigtC {
+	var c VoigtC
+	c[0][0], c[1][1] = a, a
+	c[2][2] = cc
+	c[0][1], c[1][0] = a-2*n, a-2*n
+	c[0][2], c[2][0] = f, f
+	c[1][2], c[2][1] = f, f
+	c[3][3], c[4][4] = l, l
+	c[5][5] = n
+	return c
+}
+
+// Symmetric reports whether the tensor has the required major symmetry.
+func (c VoigtC) Symmetric() bool {
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if c[i][j] != c[j][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Anisotropic3D is the 3-component elastic wave operator with a general
+// (up to triclinic) elasticity tensor per element: T = C : ε(u), the
+// unrestricted form of paper Eq. 2. It generalises Elastic3D, which it
+// reproduces exactly when every element carries IsotropicC.
+type Anisotropic3D struct {
+	M    *mesh.Mesh
+	Rule *gll.Rule
+	// Periodic selects periodic boundaries (otherwise free surfaces).
+	Periodic bool
+	// C is the per-element elasticity tensor.
+	C []VoigtC
+
+	deg           int
+	nxn, nyn, nzn int
+	minv          []float64
+}
+
+// NewAnisotropic3D builds the operator; c must hold one symmetric tensor
+// per element.
+func NewAnisotropic3D(m *mesh.Mesh, deg int, periodic bool, c []VoigtC) (*Anisotropic3D, error) {
+	if len(c) != m.NumElements() {
+		return nil, fmt.Errorf("sem: %d tensors for %d elements", len(c), m.NumElements())
+	}
+	for e := range c {
+		if !c[e].Symmetric() {
+			return nil, fmt.Errorf("sem: element %d elasticity tensor not symmetric", e)
+		}
+	}
+	r, err := gll.New(deg)
+	if err != nil {
+		return nil, err
+	}
+	op := &Anisotropic3D{M: m, Rule: r, Periodic: periodic, C: c, deg: deg}
+	op.nxn, op.nyn, op.nzn = deg*m.NX+1, deg*m.NY+1, deg*m.NZ+1
+	if periodic {
+		op.nxn, op.nyn, op.nzn = deg*m.NX, deg*m.NY, deg*m.NZ
+	}
+	op.assembleMass()
+	return op, nil
+}
+
+func (op *Anisotropic3D) assembleMass() {
+	mass := make([]float64, op.NumNodes())
+	w := op.Rule.Weights
+	nq := op.deg + 1
+	var nb []int32
+	for e := 0; e < op.M.NumElements(); e++ {
+		dx, dy, dz := op.M.ElemSize(e)
+		jdet := dx * dy * dz / 8
+		rho := op.M.Rho[e]
+		nb = op.ElemNodes(e, nb[:0])
+		idx := 0
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					mass[nb[idx]] += rho * w[a] * w[b] * w[c] * jdet
+					idx++
+				}
+			}
+		}
+	}
+	op.minv = make([]float64, len(mass))
+	for i, m := range mass {
+		op.minv[i] = 1 / m
+	}
+}
+
+// NumNodes returns the unique GLL node count.
+func (op *Anisotropic3D) NumNodes() int { return op.nxn * op.nyn * op.nzn }
+
+// Comps returns 3.
+func (op *Anisotropic3D) Comps() int { return 3 }
+
+// NDof returns 3 * NumNodes().
+func (op *Anisotropic3D) NDof() int { return 3 * op.NumNodes() }
+
+// NumElements returns the element count.
+func (op *Anisotropic3D) NumElements() int { return op.M.NumElements() }
+
+// MInv returns the per-node inverse lumped mass.
+func (op *Anisotropic3D) MInv() []float64 { return op.minv }
+
+// NodeIndex maps per-axis GLL indices to the node id.
+func (op *Anisotropic3D) NodeIndex(i, j, k int) int32 {
+	if op.Periodic {
+		if i == op.deg*op.M.NX {
+			i = 0
+		}
+		if j == op.deg*op.M.NY {
+			j = 0
+		}
+		if k == op.deg*op.M.NZ {
+			k = 0
+		}
+	}
+	return int32((k*op.nyn+j)*op.nxn + i)
+}
+
+// NodeCoords returns the physical coordinates of node n.
+func (op *Anisotropic3D) NodeCoords(n int32) (x, y, z float64) {
+	i := int(n) % op.nxn
+	j := (int(n) / op.nxn) % op.nyn
+	k := int(n) / (op.nxn * op.nyn)
+	return axisCoord(op.Rule, op.deg, op.M.XC, i), axisCoord(op.Rule, op.deg, op.M.YC, j), axisCoord(op.Rule, op.deg, op.M.ZC, k)
+}
+
+// ElemNodes appends the (deg+1)³ node ids of element e.
+func (op *Anisotropic3D) ElemNodes(e int, buf []int32) []int32 {
+	i, j, k := op.M.ECoords(e)
+	nq := op.deg + 1
+	for c := 0; c < nq; c++ {
+		for b := 0; b < nq; b++ {
+			for a := 0; a < nq; a++ {
+				buf = append(buf, op.NodeIndex(op.deg*i+a, op.deg*j+b, op.deg*k+c))
+			}
+		}
+	}
+	return buf
+}
+
+// AddKu accumulates dst += K u: per GLL point, the strain in Voigt form,
+// the stress s = C e, and the transposed-gradient scatter.
+func (op *Anisotropic3D) AddKu(dst, u []float64, elems []int32) {
+	checkLens(op, "dst", dst)
+	checkLens(op, "u", u)
+	nq := op.deg + 1
+	n3 := nq * nq * nq
+	d := op.Rule.D
+	w := op.Rule.Weights
+	ue := make([][]float64, 3)
+	var tf [3][3][]float64
+	for c := 0; c < 3; c++ {
+		ue[c] = make([]float64, n3)
+		for dd := 0; dd < 3; dd++ {
+			tf[c][dd] = make([]float64, n3)
+		}
+	}
+	nb := make([]int32, 0, n3)
+	idx := func(a, b, c int) int { return (c*nq+b)*nq + a }
+	for _, e := range elems {
+		dx, dy, dz := op.M.ElemSize(int(e))
+		jdet := dx * dy * dz / 8
+		alpha := [3]float64{2 / dx, 2 / dy, 2 / dz}
+		cm := &op.C[e]
+		nb = op.ElemNodes(int(e), nb[:0])
+		for i, n := range nb {
+			ue[0][i] = u[3*n]
+			ue[1][i] = u[3*n+1]
+			ue[2][i] = u[3*n+2]
+		}
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					var g [3][3]float64
+					for comp := 0; comp < 3; comp++ {
+						var gx, gy, gz float64
+						uc := ue[comp]
+						for m := 0; m < nq; m++ {
+							gx += d[a][m] * uc[idx(m, b, c)]
+							gy += d[b][m] * uc[idx(a, m, c)]
+							gz += d[c][m] * uc[idx(a, b, m)]
+						}
+						g[comp][0] = alpha[0] * gx
+						g[comp][1] = alpha[1] * gy
+						g[comp][2] = alpha[2] * gz
+					}
+					// Voigt strain with engineering shears.
+					ev := [6]float64{
+						g[0][0], g[1][1], g[2][2],
+						g[1][2] + g[2][1], g[0][2] + g[2][0], g[0][1] + g[1][0],
+					}
+					var sv [6]float64
+					for i := 0; i < 6; i++ {
+						s := 0.0
+						for j := 0; j < 6; j++ {
+							s += cm[i][j] * ev[j]
+						}
+						sv[i] = s
+					}
+					// Stress tensor from Voigt stress.
+					t3 := [3][3]float64{
+						{sv[0], sv[5], sv[4]},
+						{sv[5], sv[1], sv[3]},
+						{sv[4], sv[3], sv[2]},
+					}
+					wq := w[a] * w[b] * w[c] * jdet
+					q := idx(a, b, c)
+					for comp := 0; comp < 3; comp++ {
+						for ax := 0; ax < 3; ax++ {
+							tf[comp][ax][q] = wq * alpha[ax] * t3[comp][ax]
+						}
+					}
+				}
+			}
+		}
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					n := nb[idx(a, b, c)]
+					for comp := 0; comp < 3; comp++ {
+						var acc float64
+						tx, ty, tz := tf[comp][0], tf[comp][1], tf[comp][2]
+						for m := 0; m < nq; m++ {
+							acc += d[m][a]*tx[idx(m, b, c)] + d[m][b]*ty[idx(a, m, c)] + d[m][c]*tz[idx(a, b, m)]
+						}
+						dst[3*int(n)+comp] += acc
+					}
+				}
+			}
+		}
+	}
+}
+
+var _ Operator = (*Anisotropic3D)(nil)
+
+func (op *Anisotropic3D) String() string {
+	return fmt.Sprintf("Anisotropic3D(%s, deg=%d, nodes=%d)", op.M.Name, op.deg, op.NumNodes())
+}

@@ -1,0 +1,193 @@
+package sem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"golts/internal/mesh"
+)
+
+func isoTensors(m *mesh.Mesh, lam, mu float64) []VoigtC {
+	c := make([]VoigtC, m.NumElements())
+	for e := range c {
+		c[e] = IsotropicC(lam, mu)
+	}
+	return c
+}
+
+// TestAnisotropicReducesToIsotropic: with IsotropicC the general operator
+// must agree with Elastic3D to roundoff on random fields.
+func TestAnisotropicReducesToIsotropic(t *testing.T) {
+	m := mesh.Uniform(3, 2, 2, 0.9, 1.5)
+	iso, err := NewElastic3D(m, 3, false, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, mu := iso.Lame(0)
+	gen, err := NewAnisotropic3D(m, 3, false, isoTensors(m, lam, mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	u := make([]float64, iso.NDof())
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	a := make([]float64, iso.NDof())
+	b := make([]float64, iso.NDof())
+	iso.AddKu(a, u, AllElements(iso))
+	gen.AddKu(b, u, AllElements(gen))
+	scale := 0.0
+	for _, v := range a {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-11*scale {
+			t.Fatalf("dof %d: iso %v vs anis %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAnisotropicRigidMotions: rigid translations and rotations carry zero
+// strain for any elasticity tensor.
+func TestAnisotropicRigidMotions(t *testing.T) {
+	m := mesh.Uniform(2, 2, 2, 1, 1)
+	// A random symmetric positive-ish tensor (symmetry suffices here).
+	var c VoigtC
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 6; i++ {
+		for j := i; j < 6; j++ {
+			v := rng.Float64()
+			c[i][j], c[j][i] = v, v
+		}
+		c[i][i] += 3
+	}
+	cs := make([]VoigtC, m.NumElements())
+	for e := range cs {
+		cs[e] = c
+	}
+	op, err := NewAnisotropic3D(m, 3, false, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := make([]float64, op.NDof())
+	omega := [3]float64{0.4, -0.2, 1.1}
+	for nd := 0; nd < op.NumNodes(); nd++ {
+		x, y, z := op.NodeCoords(int32(nd))
+		rot[3*nd+0] = 1 + omega[1]*z - omega[2]*y
+		rot[3*nd+1] = -2 + omega[2]*x - omega[0]*z
+		rot[3*nd+2] = 0.5 + omega[0]*y - omega[1]*x
+	}
+	ku := make([]float64, op.NDof())
+	op.AddKu(ku, rot, AllElements(op))
+	for i, v := range ku {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("rigid motion produced force at dof %d: %v", i, v)
+		}
+	}
+}
+
+// TestVTIWaveSpeeds: in a VTI medium, a vertically propagating P wave
+// travels at sqrt(C/ρ) and a vertically propagating S wave at sqrt(L/ρ) —
+// distinct from the horizontal speeds sqrt(A/ρ), sqrt(N/ρ).
+func TestVTIWaveSpeeds(t *testing.T) {
+	const (
+		rho = 1.0
+		A   = 4.0 // horizontal P: c = 2
+		C   = 2.0 // vertical P:   c = sqrt(2)
+		L   = 0.8 // vertical S
+		N   = 1.2 // horizontal SH
+		F   = 0.7
+	)
+	m := mesh.Uniform(4, 4, 4, 0.5, 1)
+	cs := make([]VoigtC, m.NumElements())
+	for e := range cs {
+		cs[e] = VTIC(A, C, L, N, F)
+	}
+	op, err := NewAnisotropic3D(m, 4, true, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertical standing P wave: u_z = cos(k z) is an eigenmode with
+	// ω² = (C/ρ) k². Check A·u = ω² u via the operator.
+	kz := 2 * math.Pi / 2.0
+	checkMode := func(comp int, k float64, axis int, want float64) {
+		u := make([]float64, op.NDof())
+		for nd := 0; nd < op.NumNodes(); nd++ {
+			x, y, z := op.NodeCoords(int32(nd))
+			coord := [3]float64{x, y, z}[axis]
+			u[3*nd+comp] = math.Cos(k * coord)
+		}
+		ku := make([]float64, op.NDof())
+		op.AddKu(ku, u, AllElements(op))
+		for nd := 0; nd < op.NumNodes(); nd++ {
+			d := 3*nd + comp
+			if math.Abs(u[d]) < 0.3 {
+				continue
+			}
+			got := ku[d] * op.MInv()[nd] / u[d]
+			if math.Abs(got-want) > 2e-3*want {
+				t.Fatalf("comp %d axis %d: eigenvalue %v, want %v", comp, axis, got, want)
+			}
+		}
+	}
+	checkMode(2, kz, 2, C/rho*kz*kz) // vertical P
+	checkMode(0, kz, 2, L/rho*kz*kz) // vertical S (x-polarised, z-propagating)
+	kx := 2 * math.Pi / 2.0
+	checkMode(0, kx, 0, A/rho*kx*kx) // horizontal P
+	checkMode(1, kx, 0, N/rho*kx*kx) // horizontal SH
+}
+
+func TestAnisotropicValidation(t *testing.T) {
+	m := mesh.Uniform(2, 2, 2, 1, 1)
+	if _, err := NewAnisotropic3D(m, 2, false, nil); err == nil {
+		t.Error("expected error for missing tensors")
+	}
+	bad := isoTensors(m, 1, 1)
+	bad[0][0][1] = 99 // break symmetry
+	if _, err := NewAnisotropic3D(m, 2, false, bad); err == nil {
+		t.Error("expected error for asymmetric tensor")
+	}
+}
+
+// TestAnisotropicWithLTS: the general operator slots into the LTS scheme
+// via the sem.Operator interface (smoke run through the interface used by
+// package lts: masked, element-restricted application).
+func TestAnisotropicRestrictedApplication(t *testing.T) {
+	m := mesh.Uniform(4, 2, 2, 1, 1)
+	op, err := NewAnisotropic3D(m, 2, false, isoTensors(m, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float64, op.NDof())
+	var nb []int32
+	nb = op.ElemNodes(5, nb)
+	for _, n := range nb {
+		u[3*n] = float64(n % 5)
+	}
+	full := make([]float64, op.NDof())
+	part := make([]float64, op.NDof())
+	op.AddKu(full, u, AllElements(op))
+	// Elements sharing nodes with element 5.
+	var adj []int32
+	seen := map[int32]bool{}
+	for e := 0; e < m.NumElements(); e++ {
+		var eb []int32
+		eb = op.ElemNodes(e, eb)
+		for _, n := range eb {
+			for _, n2 := range nb {
+				if n == n2 && !seen[int32(e)] {
+					seen[int32(e)] = true
+					adj = append(adj, int32(e))
+				}
+			}
+		}
+	}
+	op.AddKu(part, u, adj)
+	for i := range full {
+		if full[i] != part[i] {
+			t.Fatalf("restricted application differs at %d", i)
+		}
+	}
+}

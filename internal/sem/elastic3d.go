@@ -1,0 +1,246 @@
+package sem
+
+import (
+	"fmt"
+
+	"golts/internal/gll"
+	"golts/internal/mesh"
+)
+
+// Elastic3D is the 3-component isotropic elastic wave operator
+// ρ ü = ∇·T, T = λ (∇·u) I + 2 μ ε(u) (paper Eqs. 1-2 with the isotropic
+// specialisation of Hooke's law), discretized with tensor-product GLL
+// bases on a structured hexahedral mesh. The mesh's C field is the
+// compressional speed c_p; the shear speed is c_s = CsRatio * c_p
+// (default 1/√3, a Poisson solid).
+type Elastic3D struct {
+	M    *mesh.Mesh
+	Rule *gll.Rule
+	// Periodic selects periodic boundaries; otherwise all faces are free
+	// surfaces (the natural boundary condition r̂·T = 0 of Eq. 1).
+	Periodic bool
+	// CsRatio is c_s / c_p per element.
+	CsRatio float64
+
+	deg           int
+	nxn, nyn, nzn int
+	minv          []float64
+}
+
+// NewElastic3D builds the elastic operator on mesh m with basis degree deg.
+// csRatio <= 0 selects the Poisson-solid default 1/√3.
+func NewElastic3D(m *mesh.Mesh, deg int, periodic bool, csRatio float64) (*Elastic3D, error) {
+	r, err := gll.New(deg)
+	if err != nil {
+		return nil, err
+	}
+	if csRatio <= 0 {
+		csRatio = 0.5773502691896258 // 1/√3
+	}
+	if csRatio*csRatio >= 0.75 {
+		// λ = ρ(c_p² − 2 c_s²) must stay positive-definite combined with μ;
+		// physically c_s/c_p < √3/2 ≈ 0.866 keeps λ > -(2/3)μ; we require
+		// λ >= 0 for simplicity: c_s²/c_p² <= 1/2... allow up to 0.75 with
+		// warning-free behaviour but reject beyond.
+		return nil, fmt.Errorf("sem: cs/cp ratio %v too large (need < √3/2)", csRatio)
+	}
+	op := &Elastic3D{M: m, Rule: r, Periodic: periodic, CsRatio: csRatio, deg: deg}
+	op.nxn, op.nyn, op.nzn = deg*m.NX+1, deg*m.NY+1, deg*m.NZ+1
+	if periodic {
+		op.nxn, op.nyn, op.nzn = deg*m.NX, deg*m.NY, deg*m.NZ
+	}
+	op.assembleMass()
+	return op, nil
+}
+
+func (op *Elastic3D) assembleMass() {
+	mass := make([]float64, op.NumNodes())
+	w := op.Rule.Weights
+	nq := op.deg + 1
+	var nb []int32
+	for e := 0; e < op.M.NumElements(); e++ {
+		dx, dy, dz := op.M.ElemSize(e)
+		jdet := dx * dy * dz / 8
+		rho := op.M.Rho[e]
+		nb = op.ElemNodes(e, nb[:0])
+		idx := 0
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					mass[nb[idx]] += rho * w[a] * w[b] * w[c] * jdet
+					idx++
+				}
+			}
+		}
+	}
+	op.minv = make([]float64, len(mass))
+	for i, m := range mass {
+		op.minv[i] = 1 / m
+	}
+}
+
+// Lame returns the Lamé parameters (λ, μ) of element e.
+func (op *Elastic3D) Lame(e int) (lam, mu float64) {
+	cp := op.M.C[e]
+	cs := op.CsRatio * cp
+	rho := op.M.Rho[e]
+	mu = rho * cs * cs
+	lam = rho * (cp*cp - 2*cs*cs)
+	return lam, mu
+}
+
+// NumNodes returns the unique global GLL node count.
+func (op *Elastic3D) NumNodes() int { return op.nxn * op.nyn * op.nzn }
+
+// Comps returns 3 (displacement components).
+func (op *Elastic3D) Comps() int { return 3 }
+
+// NDof returns 3 * NumNodes().
+func (op *Elastic3D) NDof() int { return 3 * op.NumNodes() }
+
+// NumElements returns the mesh element count.
+func (op *Elastic3D) NumElements() int { return op.M.NumElements() }
+
+// MInv returns the per-node inverse lumped mass.
+func (op *Elastic3D) MInv() []float64 { return op.minv }
+
+// NodeIndex maps per-axis GLL indices to the global node id.
+func (op *Elastic3D) NodeIndex(i, j, k int) int32 {
+	if op.Periodic {
+		if i == op.deg*op.M.NX {
+			i = 0
+		}
+		if j == op.deg*op.M.NY {
+			j = 0
+		}
+		if k == op.deg*op.M.NZ {
+			k = 0
+		}
+	}
+	return int32((k*op.nyn+j)*op.nxn + i)
+}
+
+// NodeCoords returns the physical coordinates of node n.
+func (op *Elastic3D) NodeCoords(n int32) (x, y, z float64) {
+	i := int(n) % op.nxn
+	j := (int(n) / op.nxn) % op.nyn
+	k := int(n) / (op.nxn * op.nyn)
+	return axisCoord(op.Rule, op.deg, op.M.XC, i), axisCoord(op.Rule, op.deg, op.M.YC, j), axisCoord(op.Rule, op.deg, op.M.ZC, k)
+}
+
+func axisCoord(r *gll.Rule, deg int, bc []float64, gi int) float64 {
+	e := gi / deg
+	a := gi % deg
+	if e == len(bc)-1 {
+		e, a = len(bc)-2, deg
+	}
+	return bc[e] + (bc[e+1]-bc[e])*(r.Points[a]+1)/2
+}
+
+// ElemNodes appends the (deg+1)³ node ids of element e.
+func (op *Elastic3D) ElemNodes(e int, buf []int32) []int32 {
+	i, j, k := op.M.ECoords(e)
+	nq := op.deg + 1
+	for c := 0; c < nq; c++ {
+		for b := 0; b < nq; b++ {
+			for a := 0; a < nq; a++ {
+				buf = append(buf, op.NodeIndex(op.deg*i+a, op.deg*j+b, op.deg*k+c))
+			}
+		}
+	}
+	return buf
+}
+
+// AddKu accumulates dst += K u for the listed elements. Per GLL point the
+// kernel computes the displacement gradient (nine tensor contractions),
+// forms the isotropic stress T = λ tr(ε) I + 2 μ ε, and scatters
+// w J T : ∇φ back with the transposed derivative matrices — the structure
+// of the SPECFEM3D forces kernel on undeformed elements.
+func (op *Elastic3D) AddKu(dst, u []float64, elems []int32) {
+	checkLens(op, "dst", dst)
+	checkLens(op, "u", u)
+	nq := op.deg + 1
+	n3 := nq * nq * nq
+	d := op.Rule.D
+	w := op.Rule.Weights
+	// Element-local buffers: displacement per component and stress-flux
+	// terms t[c][d] = w J T_{cd} * metric factor for axis d.
+	ue := make([][]float64, 3)
+	var tf [3][3][]float64
+	for c := 0; c < 3; c++ {
+		ue[c] = make([]float64, n3)
+		for dd := 0; dd < 3; dd++ {
+			tf[c][dd] = make([]float64, n3)
+		}
+	}
+	nb := make([]int32, 0, n3)
+	idx := func(a, b, c int) int { return (c*nq+b)*nq + a }
+	for _, e := range elems {
+		dx, dy, dz := op.M.ElemSize(int(e))
+		jdet := dx * dy * dz / 8
+		alpha := [3]float64{2 / dx, 2 / dy, 2 / dz}
+		lam, mu := op.Lame(int(e))
+		nb = op.ElemNodes(int(e), nb[:0])
+		for i, n := range nb {
+			ue[0][i] = u[3*n]
+			ue[1][i] = u[3*n+1]
+			ue[2][i] = u[3*n+2]
+		}
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					// Displacement gradient G[comp][axis].
+					var g [3][3]float64
+					for comp := 0; comp < 3; comp++ {
+						var gx, gy, gz float64
+						uc := ue[comp]
+						for m := 0; m < nq; m++ {
+							gx += d[a][m] * uc[idx(m, b, c)]
+							gy += d[b][m] * uc[idx(a, m, c)]
+							gz += d[c][m] * uc[idx(a, b, m)]
+						}
+						g[comp][0] = alpha[0] * gx
+						g[comp][1] = alpha[1] * gy
+						g[comp][2] = alpha[2] * gz
+					}
+					tr := g[0][0] + g[1][1] + g[2][2]
+					wq := w[a] * w[b] * w[c] * jdet
+					q := idx(a, b, c)
+					for comp := 0; comp < 3; comp++ {
+						for ax := 0; ax < 3; ax++ {
+							t := mu * (g[comp][ax] + g[ax][comp])
+							if comp == ax {
+								t += lam * tr
+							}
+							// Include the test-function metric factor for
+							// axis ax so the scatter is a pure transposed
+							// derivative contraction.
+							tf[comp][ax][q] = wq * alpha[ax] * t
+						}
+					}
+				}
+			}
+		}
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					n := nb[idx(a, b, c)]
+					for comp := 0; comp < 3; comp++ {
+						var acc float64
+						tx, ty, tz := tf[comp][0], tf[comp][1], tf[comp][2]
+						for m := 0; m < nq; m++ {
+							acc += d[m][a]*tx[idx(m, b, c)] + d[m][b]*ty[idx(a, m, c)] + d[m][c]*tz[idx(a, b, m)]
+						}
+						dst[3*int(n)+comp] += acc
+					}
+				}
+			}
+		}
+	}
+}
+
+var _ Operator = (*Elastic3D)(nil)
+
+func (op *Elastic3D) String() string {
+	return fmt.Sprintf("Elastic3D(%s, deg=%d, nodes=%d, periodic=%v)", op.M.Name, op.deg, op.NumNodes(), op.Periodic)
+}

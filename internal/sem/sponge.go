@@ -1,0 +1,53 @@
+package sem
+
+import "math"
+
+// SpongeProfile builds a per-node damping coefficient σ for a sponge-layer
+// absorbing boundary: σ rises quadratically from 0 at distance `width` from
+// the selected faces to `strength` at the boundary. The time stepper applies
+// v *= exp(-σ Δt) each step, which attenuates outgoing waves — a simple
+// stand-in for the paper's absorbing boundary condition on the vertical and
+// lower boundaries (§I-A).
+//
+// coords must return the physical position of node n; extent is the mesh
+// bounding box; faces selects which of the six faces absorb, in the order
+// x0, x1, y0, y1, z0, z1 (the paper keeps the free surface — typically z0 —
+// non-absorbing).
+func SpongeProfile(numNodes int, coords func(int32) (x, y, z float64),
+	x0, x1, y0, y1, z0, z1 float64, faces [6]bool, width, strength float64) []float64 {
+	sigma := make([]float64, numNodes)
+	if width <= 0 || strength <= 0 {
+		return sigma
+	}
+	ramp := func(dist float64) float64 {
+		if dist >= width {
+			return 0
+		}
+		r := 1 - dist/width
+		return strength * r * r
+	}
+	for n := 0; n < numNodes; n++ {
+		x, y, z := coords(int32(n))
+		s := 0.0
+		if faces[0] {
+			s = math.Max(s, ramp(x-x0))
+		}
+		if faces[1] {
+			s = math.Max(s, ramp(x1-x))
+		}
+		if faces[2] {
+			s = math.Max(s, ramp(y-y0))
+		}
+		if faces[3] {
+			s = math.Max(s, ramp(y1-y))
+		}
+		if faces[4] {
+			s = math.Max(s, ramp(z-z0))
+		}
+		if faces[5] {
+			s = math.Max(s, ramp(z1-z))
+		}
+		sigma[n] = s
+	}
+	return sigma
+}
