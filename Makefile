@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race bench vet fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector job over the shared-memory engine and the LTS scheme that
+# drives it; -short shrinks the equivalence matrix to its corners so this
+# stays CI-friendly.
+race:
+	$(GO) test -race -short ./internal/parallel ./internal/lts
+
+# Quick-config benchmarks, including BenchmarkParallelSpeedup.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: fmt vet build test race

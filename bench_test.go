@@ -6,12 +6,16 @@
 package main
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"golts/internal/experiments"
 	"golts/internal/lts"
 	"golts/internal/mesh"
 	"golts/internal/newmark"
+	"golts/internal/parallel"
+	"golts/internal/partition"
 	"golts/internal/sem"
 )
 
@@ -109,6 +113,67 @@ func BenchmarkConvergenceStudy(b *testing.B) {
 		if _, err := experiments.ConvergenceStudy(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSpeedup times real multi-level LTS cycles on the Quick
+// trench config executed by the shared-memory engine at 1/2/4/8 workers.
+// Reported metrics: elem-applies/s (raw stiffness throughput) and
+// speedup-vs-1w (wall-clock cycle time vs the 1-worker engine, measured
+// once up front). On a multicore host speedup-vs-1w tracks the core
+// count; on a single hardware thread it stays near 1.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	cfg := benchCfg()
+	m := mesh.Generators["trench"](cfg.TrenchScale)
+	lv := mesh.AssignLevels(m, cfg.CFL, 0)
+	op, err := sem.NewAcoustic3D(m, 4, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newEngine := func(b *testing.B, w int) (*parallel.PartitionedOperator, *lts.Scheme) {
+		part, err := partition.Assign(m, lv, w, partition.ScotchP, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pop, err := parallel.NewOperator(op, part, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := lts.FromMeshLevels(pop, lv, true)
+		if err != nil {
+			pop.Close()
+			b.Fatal(err)
+		}
+		return pop, s
+	}
+	// Baseline for the speedup metric: a one-shot 1-worker cycle time as
+	// fallback (for filtered runs that skip workers=1), refined by the
+	// b.N-calibrated workers=1 sub-benchmark when it runs.
+	popBase, sBase := newEngine(b, 1)
+	sBase.Step() // warm-up
+	const baseCycles = 3
+	t0 := time.Now()
+	sBase.Run(baseCycles)
+	basePerCycle := time.Since(t0).Seconds() / baseCycles
+	popBase.Close()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pop, s := newEngine(b, w)
+			defer pop.Close()
+			s.Step() // warm-up: plans are prepared, buffers paged
+			a0 := s.Work.ElemApplies
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			el := b.Elapsed().Seconds()
+			perCycle := el / float64(b.N)
+			if w == 1 {
+				basePerCycle = perCycle // calibrated: later rows divide by this
+			}
+			b.ReportMetric(float64(s.Work.ElemApplies-a0)/el, "elem-applies/s")
+			b.ReportMetric(basePerCycle/perCycle, "speedup-vs-1w")
+		})
 	}
 }
 

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	ltsbench [-experiment all|table5|fig1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|single-thread]
-//	         [-quick] [-scale f] [-seed n]
+//	ltsbench [-experiment all|table5|fig1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|single-thread|parallel]
+//	         [-quick] [-scale f] [-seed n] [-workers n]
 //
 // -quick runs reduced sizes (seconds instead of minutes); -scale
-// multiplies the default mesh scales.
+// multiplies the default mesh scales. The "parallel" experiment times the
+// real shared-memory engine; -workers n replaces its default worker-count
+// ladder with the powers of two up to n.
 package main
 
 import (
@@ -24,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	scale := flag.Float64("scale", 1.0, "multiplier on the default mesh scales")
 	seed := flag.Int64("seed", 0, "partitioner seed (0 = default)")
+	workers := flag.Int("workers", 0, "max worker count for the parallel experiment (0 = default ladder)")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -36,6 +39,14 @@ func main() {
 	cfg.CrustScale *= *scale
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.Workers = nil
+		for w := 1; w < *workers; w *= 2 {
+			cfg.Workers = append(cfg.Workers, w)
+		}
+		// Always measure the requested count itself, power of two or not.
+		cfg.Workers = append(cfg.Workers, *workers)
 	}
 
 	type runner struct {
@@ -68,6 +79,7 @@ func main() {
 		{"fig12", one(experiments.Fig12CacheMetric)},
 		{"fig13", one(experiments.Fig13LargeTrench)},
 		{"single-thread", one(experiments.SingleThreadEfficiency)},
+		{"parallel", one(experiments.ParallelScaling)},
 		{"convergence", one(experiments.ConvergenceStudy)},
 	}
 

@@ -6,9 +6,16 @@
 //	wavesim [-config run.json] [-out seismograms.csv]
 //	wavesim [-mesh trench] [-scale 0.02] [-physics acoustic|elastic]
 //	        [-lts] [-cycles 20] [-degree 4] [-cfl 0.4]
+//	        [-workers 0] [-partitioner scotch-p]
 //
-// A JSON config (see internal/simio.Config) overrides the flags and may
-// place sources, receivers and a sponge layer explicitly.
+// -workers N runs the stiffness applications on N persistent rank workers
+// (package parallel); 0 means one per GOMAXPROCS slot, 1 disables the
+// engine. Results are bitwise reproducible for a fixed (workers,
+// partitioner, seed); the GOMAXPROCS default therefore varies in the last
+// FP digits across hosts with different core counts — pin -workers for
+// cross-host reproducibility. A JSON config (see internal/simio.Config)
+// overrides the other flags and may place sources, receivers and a sponge
+// layer explicitly.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"golts/internal/lts"
 	"golts/internal/mesh"
 	"golts/internal/newmark"
+	"golts/internal/parallel"
+	"golts/internal/partition"
 	"golts/internal/sem"
 	"golts/internal/simio"
 )
@@ -35,6 +44,9 @@ func main() {
 	cycles := flag.Int("cycles", 20, "coarse steps to simulate")
 	degree := flag.Int("degree", 4, "SEM polynomial degree")
 	cfl := flag.Float64("cfl", 0.4, "Courant number")
+	workers := flag.Int("workers", 0, "parallel rank workers (0 = GOMAXPROCS, 1 = sequential)")
+	partMethod := flag.String("partitioner", string(partition.ScotchP), "element partitioner for -workers > 1")
+	seed := flag.Int64("seed", 1, "partitioner seed")
 	flag.Parse()
 
 	var cfg *simio.Config
@@ -53,7 +65,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if err := run(cfg, *outPath); err != nil {
+	if err := run(cfg, *outPath, *workers, partition.Method(*partMethod), *seed); err != nil {
 		fatal(err)
 	}
 }
@@ -69,7 +81,7 @@ type operator interface {
 	NodeCoords(n int32) (x, y, z float64)
 }
 
-func run(cfg *simio.Config, outPath string) error {
+func run(cfg *simio.Config, outPath string, workers int, method partition.Method, seed int64) error {
 	gen, ok := mesh.Generators[cfg.Mesh]
 	if !ok {
 		return fmt.Errorf("unknown mesh %q", cfg.Mesh)
@@ -93,6 +105,26 @@ func run(cfg *simio.Config, outPath string) error {
 		op = e
 	}
 	nc := op.Comps()
+
+	// step is the operator the time steppers see: the geometry operator
+	// itself, or the parallel engine wrapped around it.
+	var step sem.Operator = op
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	var pop *parallel.PartitionedOperator
+	if workers > 1 {
+		part, err := partition.Assign(m, lv, workers, method, seed)
+		if err != nil {
+			return err
+		}
+		pop, err = parallel.NewOperator(op, part, workers)
+		if err != nil {
+			return err
+		}
+		defer pop.Close()
+		step = pop
+	}
 
 	// Defaults: source near the refinement, one receiver nearby.
 	x0, x1, y0, y1, z0, z1 := m.Extent()
@@ -125,12 +157,12 @@ func run(cfg *simio.Config, outPath string) error {
 			x0, x1, y0, y1, z0, z1, cfg.Sponge.Faces, cfg.Sponge.Width, cfg.Sponge.Strength)
 	}
 
-	fmt.Printf("mesh %s: %d elements, %d DOF, %d levels, model speedup %.2fx\n",
-		m.Name, m.NumElements(), op.NDof(), lv.NumLevels, lv.TheoreticalSpeedup())
+	fmt.Printf("mesh %s: %d elements, %d DOF, %d levels, model speedup %.2fx, %d workers\n",
+		m.Name, m.NumElements(), op.NDof(), lv.NumLevels, lv.TheoreticalSpeedup(), workers)
 
 	t0 := time.Now()
 	if cfg.LTS {
-		s, err := lts.FromMeshLevels(op, lv, true)
+		s, err := lts.FromMeshLevels(step, lv, true)
 		if err != nil {
 			return err
 		}
@@ -145,7 +177,7 @@ func run(cfg *simio.Config, outPath string) error {
 		fmt.Printf("LTS-Newmark: %d cycles in %.2fs; work saving %.2fx (%.0f%% of Eq. 9 model)\n",
 			cfg.Cycles, time.Since(t0).Seconds(), s.EffectiveSpeedup(), 100*s.Efficiency())
 	} else {
-		g := newmark.New(op, lv.CoarseDt/float64(lv.PMax()))
+		g := newmark.New(step, lv.CoarseDt/float64(lv.PMax()))
 		g.Sources = []sem.Source{src}
 		g.Sigma = sigma
 		for i := 0; i < cfg.Cycles; i++ {
@@ -155,6 +187,12 @@ func run(cfg *simio.Config, outPath string) error {
 			}
 		}
 		fmt.Printf("global Newmark: %d steps in %.2fs\n", cfg.Cycles*lv.PMax(), time.Since(t0).Seconds())
+	}
+
+	if pop != nil {
+		st := pop.Stats()
+		fmt.Printf("parallel engine: %d applies, %d messages, %d node-values exchanged\n",
+			st.Applies, st.Messages, st.Volume)
 	}
 
 	var set simio.SeismogramSet

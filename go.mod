@@ -1,0 +1,3 @@
+module golts
+
+go 1.21

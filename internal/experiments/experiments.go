@@ -44,6 +44,9 @@ type Config struct {
 	Seed int64
 	// CFL is the Courant number for level assignment.
 	CFL float64
+	// Workers are the shared-memory rank counts of the ParallelScaling
+	// experiment (wall-clock speedup of package parallel).
+	Workers []int
 }
 
 // Default returns the standard configuration: ~1/10-scale meshes, the
@@ -60,6 +63,7 @@ func Default() Config {
 		PartKs:         []int{16, 32, 64},
 		Seed:           20150525, // IPDPS'15 conference date
 		CFL:            0.4,
+		Workers:        []int{1, 2, 4, 8},
 	}
 }
 
@@ -75,6 +79,7 @@ func Quick() Config {
 		PartKs:         []int{4, 8},
 		Seed:           1,
 		CFL:            0.4,
+		Workers:        []int{1, 2, 4},
 	}
 }
 
@@ -106,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CFL == 0 {
 		c.CFL = d.CFL
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = d.Workers
 	}
 	return c
 }

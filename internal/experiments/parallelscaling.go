@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"golts/internal/lts"
+	"golts/internal/parallel"
+	"golts/internal/partition"
+	"golts/internal/sem"
+)
+
+// ParallelScaling measures real wall-clock strong scaling of the
+// shared-memory engine: multi-level LTS cycles on the trench mesh,
+// executed by package parallel at each configured worker count. Unlike
+// the Fig. 9-11 experiments, which evaluate the paper's *model* on
+// simulated clusters, every row here is a timed run of the actual
+// kernels, so the speedup column reflects the host's core count.
+func ParallelScaling(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	m, lv, err := benchMesh("trench", cfg.TrenchScale, cfg.CFL)
+	if err != nil {
+		return nil, err
+	}
+	op, err := sem.NewAcoustic3D(m, 4, false)
+	if err != nil {
+		return nil, err
+	}
+	const cycles = 5
+	t := &Table{
+		Name:   "parallel",
+		Title:  fmt.Sprintf("measured shared-memory LTS scaling (trench, %d elements, %d levels, %d cycles)", m.NumElements(), lv.NumLevels, cycles),
+		Header: []string{"workers", "ms/cycle", "Melem-applies/s", "speedup", "msgs/cycle", "volume/cycle"},
+	}
+	base := 0.0
+	for _, w := range cfg.Workers {
+		part, err := partition.Assign(m, lv, w, partition.ScotchP, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pop, err := parallel.NewOperator(op, part, w)
+		if err != nil {
+			return nil, err
+		}
+		s, err := lts.FromMeshLevels(pop, lv, true)
+		if err != nil {
+			pop.Close()
+			return nil, err
+		}
+		s.Step() // warm-up: builds nothing (plans are prepared), pages buffers
+		st0 := pop.Stats()
+		w0 := s.Work.ElemApplies
+		t0 := time.Now()
+		s.Run(cycles)
+		dt := time.Since(t0)
+		st1 := pop.Stats()
+		pop.Close()
+		perCycle := dt.Seconds() / cycles
+		if base == 0 {
+			base = perCycle
+		}
+		applies := float64(s.Work.ElemApplies - w0)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(w),
+			fmt.Sprintf("%.2f", perCycle*1e3),
+			fmt.Sprintf("%.3f", applies/dt.Seconds()/1e6),
+			fmt.Sprintf("%.2fx", base/perCycle),
+			fmt.Sprint((st1.Messages - st0.Messages) / cycles),
+			fmt.Sprint((st1.Volume - st0.Volume) / cycles),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"timed runs of the real engine on this host; speedup is vs the first configured worker count",
+		fmt.Sprintf("partitioner %s, seed %d", partition.ScotchP, cfg.Seed))
+	return t, nil
+}

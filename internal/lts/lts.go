@@ -100,6 +100,13 @@ func New(op sem.Operator, elemLevel []uint8, numLevels int, dt float64, optimize
 		sets: st, nlv: numLevels,
 		mask: make([]float64, nd), kbuf: make([]float64, nd),
 	}
+	// Announce the per-level force-element lists to parallel backends: for
+	// a parallel.PartitionedOperator these become the per-level activation
+	// masks (which ranks wake at each substep) plus merge plans, built once
+	// here instead of on the first substep of every level.
+	for li := 0; li < numLevels; li++ {
+		sem.Prepare(op, st.forceElems[li])
+	}
 	s.Work.PerLevel = make([]int64, numLevels)
 	s.zbuf = make([][]float64, numLevels)
 	s.fbuf = make([][]float64, numLevels)

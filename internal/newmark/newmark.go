@@ -49,7 +49,7 @@ type Stepper struct {
 
 // New creates a stepper with zero initial conditions.
 func New(op sem.Operator, dt float64) *Stepper {
-	return &Stepper{
+	s := &Stepper{
 		Op:    op,
 		Dt:    dt,
 		U:     make([]float64, op.NDof()),
@@ -57,6 +57,10 @@ func New(op sem.Operator, dt float64) *Stepper {
 		elems: sem.AllElements(op),
 		accel: make([]float64, op.NDof()),
 	}
+	// Let parallel backends build the ownership split and merge plan for
+	// the all-elements list once, outside the stepping loop.
+	sem.Prepare(op, s.elems)
+	return s
 }
 
 // SetInitial sets u(0) and v(0) (both at t = 0, unstaggered). Must be

@@ -1,187 +1,164 @@
-// Package parallel provides a message-passing parallel execution of the
-// wave operators: K persistent rank goroutines each own a subset of the
-// elements (from any partitioner) and communicate only via channels — the
-// same owner-computes + boundary-exchange structure as the paper's MPI
-// parallelization (§III), realised in shared memory.
+// Package parallel is a shared-memory parallel execution engine for the
+// wave operators: K persistent rank goroutines (one per GOMAXPROCS slot by
+// default) each own a subset of the elements from any partitioner — the
+// same owner-computes decomposition as the paper's MPI parallelization
+// (§III), realised with threads instead of processes.
 //
 // The package wraps any sem.Operator in a PartitionedOperator that
-// distributes every stiffness application across the ranks: each rank
-// computes the contributions of its own elements into private storage and
-// sends the touched (node, value) pairs back as messages; the merge adds
-// rank contributions in deterministic order. Both the global Newmark
-// stepper and the multi-level LTS scheme then run *unchanged* on top, which
-// demonstrates that the LTS recursion parallelises purely through its
-// per-substep, per-level stiffness applications — exactly the property the
-// paper's partitioning work load-balances.
+// executes every stiffness application in two concurrent phases:
 //
-// On a single-core host this is a correctness and accounting vehicle (it
-// validates the parallel decomposition and measures true message volumes),
-// not a speedup vehicle; the performance experiments use package cluster.
+//  1. Compute: each active rank applies the stiffness of its owned ∩
+//     requested elements into a private full-length accumulation buffer.
+//     Ranks run concurrently; no shared writes.
+//  2. Merge: the global node-id space is sharded into contiguous ranges
+//     (balanced by touched-node volume) and the shards are reduced
+//     concurrently — each shard adds the rank contributions for its node
+//     range into dst in ascending rank order, then zeroes the private
+//     buffers. Because every node belongs to exactly one shard and ranks
+//     are always summed in the same order, the result is bitwise
+//     reproducible from run to run for a fixed (partition, K).
+//
+// Repeated applications of the same element list — the global stepper's
+// all-elements list, and each LTS level's force-element list — hit a plan
+// cache holding the per-rank element split, the per-rank sorted touched
+// node lists, and the merge shard boundaries. The per-level plans double
+// as the activation masks of the paper's Fig. 1 schedule: an LTS substep
+// only wakes the ranks that own active elements at that level; everyone
+// else stays parked on their channel. Callers that know their element
+// lists up front (package lts, package newmark) install the plans eagerly
+// via Prepare, so no apply pays plan construction.
+//
+// Both the global Newmark stepper and the multi-level LTS scheme run
+// *unchanged* on top, which demonstrates that the LTS recursion
+// parallelises purely through its per-substep, per-level stiffness
+// applications — exactly the property the paper's partitioning work
+// load-balances. Stats keeps the message/volume accounting of the MPI
+// analogy: one "message" per active rank per apply, volume in touched
+// nodes.
 package parallel
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"golts/internal/sem"
 )
 
-// message carries one rank's sparse stiffness contributions.
-type message struct {
-	nodes  []int32
-	values []float64 // Comps() values per node
-}
-
-// rankWorker owns a set of elements and serves stiffness requests.
-type rankWorker struct {
-	id       int
-	op       sem.Operator
-	elems    []int32 // owned elements (ascending)
-	reqCh    chan []int32
-	u        []float64 // shared read-only field for the current apply
-	resCh    chan message
-	acc      []float64 // private accumulation buffer
-	touched  []int32
-	touchMap []bool
-}
-
 // Stats accumulates communication accounting across applies.
 type Stats struct {
 	// Applies counts AddKu calls.
 	Applies int64
-	// Messages counts rank->master messages carrying nonzero data.
+	// Messages counts per-apply active-rank contributions carrying nonzero
+	// data (the shared-memory analogue of MPI messages).
 	Messages int64
 	// Volume counts node-values exchanged (the shared-memory analogue of
 	// MPI volume).
 	Volume int64
 }
 
-// PartitionedOperator distributes AddKu over rank goroutines. It
-// implements sem.Operator and is safe for the sequential call patterns of
-// the steppers (one apply at a time).
+// PartitionedOperator distributes AddKu over persistent rank goroutines.
+// It implements sem.Operator and is safe for the sequential call patterns
+// of the steppers (one apply at a time); the parallelism is internal.
 type PartitionedOperator struct {
 	inner   sem.Operator
 	K       int
 	part    []int32
 	workers []*rankWorker
-	wg      sync.WaitGroup
+	wg      sync.WaitGroup // worker goroutine lifetime
+	phase   sync.WaitGroup // per-phase barrier (compute, then merge)
 	closed  bool
+
+	plans planCache
 
 	mu    sync.Mutex
 	stats Stats
 }
 
+// DefaultWorkers returns the default rank count: one per GOMAXPROCS slot.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // NewOperator wraps inner so that stiffness applications execute on K rank
-// goroutines according to the element partition.
+// goroutines according to the element partition (part[e] = owning rank).
 func NewOperator(inner sem.Operator, part []int32, k int) (*PartitionedOperator, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("parallel: K must be >= 1, got %d", k)
+	}
 	if len(part) != inner.NumElements() {
 		return nil, fmt.Errorf("parallel: partition has %d entries for %d elements", len(part), inner.NumElements())
 	}
 	p := &PartitionedOperator{inner: inner, K: k, part: part}
-	byRank := make([][]int32, k)
 	for e, r := range part {
 		if r < 0 || int(r) >= k {
 			return nil, fmt.Errorf("parallel: element %d in part %d (K=%d)", e, r, k)
 		}
-		byRank[r] = append(byRank[r], int32(e))
 	}
+	p.plans.init()
 	nd := inner.NDof()
 	p.workers = make([]*rankWorker, k)
 	for r := 0; r < k; r++ {
 		w := &rankWorker{
-			id:       r,
-			op:       inner,
-			elems:    byRank[r],
-			reqCh:    make(chan []int32),
-			resCh:    make(chan message),
-			acc:      make([]float64, nd),
-			touchMap: make([]bool, inner.NumNodes()),
+			id:  r,
+			op:  inner,
+			ch:  make(chan task, 1),
+			acc: make([]float64, nd),
 		}
 		p.workers[r] = w
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			w.serve()
+			w.serve(p)
 		}()
 	}
 	return p, nil
 }
 
-// serve processes apply requests until the request channel closes.
-func (w *rankWorker) serve() {
-	nc := w.op.Comps()
-	var nb []int32
-	for elems := range w.reqCh {
-		// Local compute: contributions of owned ∩ requested elements.
-		w.op.AddKu(w.acc, w.u, elems)
-		// Collect touched nodes (sorted ascending by construction of the
-		// element list and nb ordering is irrelevant: we sort implicitly
-		// by scanning element node lists and deduping via touchMap, then
-		// emit in first-touch order — made deterministic by the fixed
-		// element order).
-		w.touched = w.touched[:0]
-		for _, e := range elems {
-			nb = w.op.ElemNodes(int(e), nb[:0])
-			for _, n := range nb {
-				if !w.touchMap[n] {
-					w.touchMap[n] = true
-					w.touched = append(w.touched, n)
-				}
-			}
-		}
-		vals := make([]float64, len(w.touched)*nc)
-		for i, n := range w.touched {
-			for c := 0; c < nc; c++ {
-				vals[i*nc+c] = w.acc[int(n)*nc+c]
-				w.acc[int(n)*nc+c] = 0
-			}
-			w.touchMap[n] = false
-		}
-		w.resCh <- message{nodes: append([]int32(nil), w.touched...), values: vals}
-	}
+// Prepare builds and caches the execution plan (per-rank element split,
+// touched-node lists, merge shards) for the given element list, so later
+// AddKu calls with the same list start computing immediately. The steppers
+// call this once per level at construction time.
+func (p *PartitionedOperator) Prepare(elems []int32) {
+	p.plans.lookup(p, elems)
 }
 
-// AddKu distributes the application across ranks and merges contributions
-// in rank order (deterministic).
+// AddKu distributes the application across the rank workers and reduces
+// the per-rank contributions with a sharded parallel merge. The element
+// list must not be mutated between applies that reuse it (the plan cache
+// validates content and rebuilds on change, at O(len) cost).
 func (p *PartitionedOperator) AddKu(dst, u []float64, elems []int32) {
-	// Split requested elements by owner.
-	byRank := make([][]int32, p.K)
-	for _, e := range elems {
-		r := p.part[e]
-		byRank[r] = append(byRank[r], e)
+	plan := p.plans.lookup(p, elems)
+	// Single rank: delegate straight to the inner operator — bitwise the
+	// sequential accumulation, without the dispatch/merge machinery — so
+	// the 1-worker engine is an honest speedup baseline. The plan lookup
+	// stays to keep the Stats accounting identical.
+	if p.K == 1 {
+		p.inner.AddKu(dst, u, elems)
+		p.mu.Lock()
+		p.stats.Applies++
+		p.stats.Messages += plan.messages
+		p.stats.Volume += plan.volume
+		p.mu.Unlock()
+		return
 	}
-	nc := p.inner.Comps()
-	// Dispatch.
-	active := 0
-	for r := 0; r < p.K; r++ {
-		if len(byRank[r]) == 0 {
-			continue
-		}
-		p.workers[r].u = u
-		p.workers[r].reqCh <- byRank[r]
-		active++
+	// Phase 1 — compute: wake only the ranks owning active elements (the
+	// per-level activation mask); each accumulates into its private buffer.
+	p.phase.Add(len(plan.activeRanks))
+	for _, r := range plan.activeRanks {
+		p.workers[r].ch <- task{kind: taskCompute, plan: plan, u: u}
 	}
-	// Collect in rank order for determinism.
-	var msgs, vol int64
-	for r := 0; r < p.K; r++ {
-		if len(byRank[r]) == 0 {
-			continue
-		}
-		m := <-p.workers[r].resCh
-		for i, n := range m.nodes {
-			for c := 0; c < nc; c++ {
-				dst[int(n)*nc+c] += m.values[i*nc+c]
-			}
-		}
-		if len(m.nodes) > 0 {
-			msgs++
-			vol += int64(len(m.nodes))
-		}
+	p.phase.Wait()
+	// Phase 2 — merge: deterministic parallel reduction over node-range
+	// shards. Each shard sums rank contributions in ascending rank order
+	// and restores the accumulation buffers' all-zero invariant.
+	p.phase.Add(len(plan.activeShards))
+	for _, m := range plan.activeShards {
+		p.workers[m].ch <- task{kind: taskMerge, plan: plan, shard: m, dst: dst}
 	}
+	p.phase.Wait()
 	p.mu.Lock()
 	p.stats.Applies++
-	p.stats.Messages += msgs
-	p.stats.Volume += vol
+	p.stats.Messages += plan.messages
+	p.stats.Volume += plan.volume
 	p.mu.Unlock()
 }
 
@@ -193,7 +170,7 @@ func (p *PartitionedOperator) Close() {
 	}
 	p.closed = true
 	for _, w := range p.workers {
-		close(w.reqCh)
+		close(w.ch)
 	}
 	p.wg.Wait()
 }
@@ -225,4 +202,7 @@ func (p *PartitionedOperator) ElemNodes(e int, buf []int32) []int32 {
 	return p.inner.ElemNodes(e, buf)
 }
 
-var _ sem.Operator = (*PartitionedOperator)(nil)
+var (
+	_ sem.Operator = (*PartitionedOperator)(nil)
+	_ sem.Preparer = (*PartitionedOperator)(nil)
+)

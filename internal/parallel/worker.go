@@ -1,0 +1,71 @@
+package parallel
+
+import "golts/internal/sem"
+
+// taskKind selects the phase a dispatched task belongs to.
+type taskKind uint8
+
+const (
+	taskCompute taskKind = iota
+	taskMerge
+)
+
+// task is one unit of work handed to a rank worker: either "apply your
+// owned slice of the plan's elements" or "reduce one merge shard".
+type task struct {
+	kind  taskKind
+	plan  *applyPlan
+	u     []float64 // compute: shared read-only input field
+	dst   []float64 // merge: shared output (shards write disjoint ranges)
+	shard int       // merge: shard index
+}
+
+// rankWorker is one persistent goroutine owning a private accumulation
+// buffer. The buffer is all-zero between applies: the compute phase writes
+// the rank's contributions, the merge phase drains and re-zeroes exactly
+// the touched entries.
+type rankWorker struct {
+	id  int
+	op  sem.Operator
+	ch  chan task
+	acc []float64
+}
+
+// serve processes tasks until the channel closes. The master's
+// phase.Wait() between the compute and merge dispatches is the barrier
+// that makes every rank's compute writes visible to every merge reader.
+func (w *rankWorker) serve(p *PartitionedOperator) {
+	for t := range w.ch {
+		switch t.kind {
+		case taskCompute:
+			w.op.AddKu(w.acc, t.u, t.plan.rankElems[w.id])
+		case taskMerge:
+			t.plan.mergeShard(t.shard, t.dst, p.workers)
+		}
+		p.phase.Done()
+	}
+}
+
+// mergeShard reduces one contiguous node-id range: for every rank in
+// ascending order, add its contributions for the shard's slice of the
+// rank's touched-node list into dst and zero the private buffer. Shards
+// partition the node space, so writes to dst and to each acc are disjoint
+// across concurrent shards, and the fixed rank order makes the floating-
+// point sum per node deterministic.
+func (pl *applyPlan) mergeShard(m int, dst []float64, workers []*rankWorker) {
+	nc := pl.nc
+	for r, touched := range pl.touched {
+		lo, hi := pl.shardIdx[r][m], pl.shardIdx[r][m+1]
+		if lo == hi {
+			continue
+		}
+		acc := workers[r].acc
+		for _, n := range touched[lo:hi] {
+			base := int(n) * nc
+			for c := 0; c < nc; c++ {
+				dst[base+c] += acc[base+c]
+				acc[base+c] = 0
+			}
+		}
+	}
+}

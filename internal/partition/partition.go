@@ -107,6 +107,25 @@ func PartitionMesh(m *mesh.Mesh, lv *mesh.Levels, opt Options) (*Result, error) 
 	return &Result{Part: part, K: opt.K, Method: opt.Method}, nil
 }
 
+// Assign returns an element-to-rank assignment for k shared-memory
+// workers, the form package parallel consumes. k <= 1 yields the trivial
+// single-rank assignment without running a partitioner; method "" selects
+// ScotchP, the paper's best performer. This is the one-call path the cmds
+// and benches use to stand up a parallel engine.
+func Assign(m *mesh.Mesh, lv *mesh.Levels, k int, method Method, seed int64) ([]int32, error) {
+	if k <= 1 {
+		return make([]int32, m.NumElements()), nil
+	}
+	if method == "" {
+		method = ScotchP
+	}
+	res, err := PartitionMesh(m, lv, Options{K: k, Method: method, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Part, nil
+}
+
 // Metrics summarises partition quality for the paper's Fig. 7 / Fig. 8
 // comparisons.
 type Metrics struct {

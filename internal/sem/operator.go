@@ -37,6 +37,23 @@ type Operator interface {
 	ElemNodes(e int, buf []int32) []int32
 }
 
+// Preparer is an optional Operator extension: implementations can
+// precompute per-element-list execution state (ownership splits, merge
+// plans) for lists that will be applied repeatedly. The steppers announce
+// their stable lists — the global all-elements list, each LTS level's
+// force elements — at construction time, so parallel backends never pay
+// plan construction inside the stepping loop.
+type Preparer interface {
+	Prepare(elems []int32)
+}
+
+// Prepare announces a reusable element list to op if it supports it.
+func Prepare(op Operator, elems []int32) {
+	if p, ok := op.(Preparer); ok {
+		p.Prepare(elems)
+	}
+}
+
 // AllElements returns the identity element list [0, n).
 func AllElements(op Operator) []int32 {
 	n := op.NumElements()
