@@ -14,9 +14,16 @@ test:
 race:
 	$(GO) test -race -short ./internal/parallel ./internal/lts
 
-# Quick-config benchmarks, including BenchmarkParallelSpeedup.
-bench:
+# Quick-config benchmarks, including BenchmarkParallelSpeedup, plus the
+# kernel trajectory file: BENCH_kernels.json records ns/elem and allocs/op
+# of every operator's AddKu kernel so perf regressions are visible across
+# PRs (compare against the committed copy, or `git diff BENCH_kernels.json`).
+bench: bench-kernels
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Per-operator stiffness-kernel benchmarks (ns/elem), written as JSON.
+bench-kernels:
+	$(GO) run ./cmd/kernelbench -out BENCH_kernels.json
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,106 @@
+// Command kernelbench times the steady-state AddKu kernel of every
+// operator and writes the results as JSON, so the per-element cost — the
+// constant the paper's speedup model (Eq. 9) assumes small and fixed —
+// is tracked across revisions. `make bench` writes BENCH_kernels.json at
+// the repo root. The operator fixtures are sem.KernelBenchOperators,
+// shared with BenchmarkAddKu in internal/sem, so both measure the same
+// workload.
+//
+// Usage:
+//
+//	kernelbench [-out BENCH_kernels.json] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"golts/internal/sem"
+)
+
+// result is one kernel measurement row.
+type result struct {
+	Op          string  `json:"op"`
+	Deg         int     `json:"deg"`
+	Elements    int     `json:"elements"`
+	NsPerElem   float64 `json:"ns_per_elem"`
+	ElemPerSec  float64 `json:"elem_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so test.benchtime is settable
+	out := flag.String("out", "BENCH_kernels.json", "output JSON path (- for stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measurement time per kernel")
+	flag.Parse()
+
+	const deg = 4 // the paper's 125-node configuration (specialised kernels)
+	cases, err := sem.KernelBenchOperators(deg)
+	if err != nil {
+		fatal(err)
+	}
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		f.Value.Set(benchtime.String())
+	}
+	var results []result
+	for _, c := range cases {
+		r := measure(c.Name, deg, c.Op)
+		results = append(results, r)
+		fmt.Fprintf(os.Stderr, "%-14s deg=%d  %10.1f ns/elem  %12.0f elem/s  %d allocs/op\n",
+			r.Op, r.Deg, r.NsPerElem, r.ElemPerSec, r.AllocsPerOp)
+	}
+	enc, err := json.MarshalIndent(map[string]any{
+		"benchmark": "AddKuScratch",
+		"unit_note": "ns_per_elem is wall time per element stiffness application",
+		"results":   results,
+	}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kernelbench:", err)
+	os.Exit(1)
+}
+
+// measure runs the kernel under testing.Benchmark and converts to
+// per-element numbers.
+func measure(name string, deg int, op sem.Operator) result {
+	u := make([]float64, op.NDof())
+	sem.BenchField(u)
+	dst := make([]float64, op.NDof())
+	elems := sem.AllElements(op)
+	var sc sem.Scratch
+	op.AddKuScratch(dst, u, elems, &sc) // warm-up
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op.AddKuScratch(dst, u, elems, &sc)
+		}
+	})
+	nsPerOp := float64(br.NsPerOp())
+	ne := float64(len(elems))
+	return result{
+		Op:          name,
+		Deg:         deg,
+		Elements:    len(elems),
+		NsPerElem:   nsPerOp / ne,
+		ElemPerSec:  ne / (nsPerOp * 1e-9),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+}

@@ -5,29 +5,75 @@
 //
 //	ltsbench [-experiment all|table5|fig1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|single-thread|parallel]
 //	         [-quick] [-scale f] [-seed n] [-workers n]
+//	         [-cpuprofile f] [-memprofile f]
 //
 // -quick runs reduced sizes (seconds instead of minutes); -scale
 // multiplies the default mesh scales. The "parallel" experiment times the
 // real shared-memory engine; -workers n replaces its default worker-count
-// ladder with the powers of two up to n.
+// ladder with the powers of two up to n. -cpuprofile/-memprofile write
+// pprof profiles covering the selected experiments, so kernel regressions
+// can be diagnosed without code edits:
+//
+//	ltsbench -experiment single-thread -quick -cpuprofile cpu.pprof
+//	go tool pprof cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"golts/internal/experiments"
 )
 
 func main() {
+	// All exits funnel through run()'s return code so the deferred
+	// profile writers flush even when an experiment fails.
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("experiment", "all", "which experiment to run")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	scale := flag.Float64("scale", 1.0, "multiplier on the default mesh scales")
 	seed := flag.Int64("seed", 0, "partitioner seed (0 = default)")
 	workers := flag.Int("workers", 0, "max worker count for the parallel experiment (0 = default ladder)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			complain("cpuprofile", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			complain("cpuprofile", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				complain("memprofile", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				complain("memprofile", err)
+			}
+		}()
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -92,8 +138,8 @@ func main() {
 		t0 := time.Now()
 		tables, err := r.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ltsbench: %s: %v\n", r.name, err)
-			os.Exit(1)
+			complain(r.name, err)
+			return 1
 		}
 		for _, t := range tables {
 			fmt.Println(t.Render())
@@ -102,6 +148,11 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "ltsbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+func complain(what string, err error) {
+	fmt.Fprintf(os.Stderr, "ltsbench: %s: %v\n", what, err)
 }

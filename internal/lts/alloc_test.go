@@ -1,0 +1,40 @@
+package lts
+
+import (
+	"testing"
+
+	"golts/internal/mesh"
+	"golts/internal/race"
+	"golts/internal/sem"
+)
+
+// TestStepZeroAllocs asserts that a warmed-up multi-level LTS cycle on a
+// sequential operator performs zero heap allocations: the kernel scratch,
+// the per-level buffers, and the index sets are all precomputed, so the
+// steady-state stepping loop never touches the allocator.
+func TestStepZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	m := mesh.Generators["trench"](0.02)
+	lv := mesh.AssignLevels(m, 0.4/16, 0)
+	if lv.NumLevels < 2 {
+		t.Fatalf("want a multi-level configuration, got %d levels", lv.NumLevels)
+	}
+	op, err := sem.NewAcoustic3D(m, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, optimized := range []bool{false, true} {
+		s, err := FromMeshLevels(op, lv, optimized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetSources([]sem.Source{{Dof: 3, W: sem.Ricker{F0: 1, T0: 1.2}}})
+		s.Step() // warm-up: scratch grows, first-cycle branch taken
+		s.Step()
+		if n := testing.AllocsPerRun(5, s.Step); n != 0 {
+			t.Errorf("optimized=%v: Step allocates %v per cycle, want 0", optimized, n)
+		}
+	}
+}

@@ -74,8 +74,9 @@ type Scheme struct {
 	vbuf  [][]float64 // auxiliary staggered velocity of level li
 	usnap [][]float64 // parent-field snapshot for the factor-2 update
 	// Shared scratch with all-zero invariants between uses:
-	mask []float64 // masked copy of u (support levelNodes[li])
-	kbuf []float64 // stiffness accumulation (support forceNodes[li])
+	mask []float64   // masked copy of u (support levelNodes[li])
+	kbuf []float64   // stiffness accumulation (support forceNodes[li])
+	scr  sem.Scratch // kernel scratch: steady-state Step() allocates nothing
 
 	srcLevel []uint8 // 0-based node level of each source's node
 }
@@ -177,7 +178,7 @@ func (s *Scheme) applyAP(li int, u []float64, t float64, dst []float64) {
 			s.mask[int(n)*nc+c] = u[int(n)*nc+c]
 		}
 	}
-	s.Op.AddKu(s.kbuf, s.mask, s.sets.forceElems[li])
+	s.Op.AddKuScratch(s.kbuf, s.mask, s.sets.forceElems[li], &s.scr)
 	s.Work.ElemApplies += int64(len(s.sets.forceElems[li]))
 	s.Work.PerLevel[li] += int64(len(s.sets.forceElems[li]))
 	for _, n := range s.sets.forceNodes[li] {

@@ -146,29 +146,48 @@ type denseLTSOracle struct {
 
 func newDenseOracle(op sem.Operator, elemLevel []uint8, nlv int, dt float64) *denseLTSOracle {
 	n := op.NDof()
+	nc := op.Comps()
 	o := &denseLTSOracle{nlv: nlv, dt: dt, u: make([]float64, n), v: make([]float64, n)}
-	// Dense A by probing.
+	// Dense A by probing. A unit vector at dof j only excites the elements
+	// incident to node j/nc, so each column is probed through a restricted
+	// accel (sem.Restriction) over that incidence list — the node-restricted
+	// variant both exercised here and O(support) instead of O(NDof).
+	inc := make([][]int32, op.NumNodes())
+	var nb []int32
+	for e := 0; e < op.NumElements(); e++ {
+		nb = op.ElemNodes(e, nb[:0])
+		for _, nd := range nb {
+			inc[nd] = append(inc[nd], int32(e))
+		}
+	}
 	o.a = make([][]float64, n)
-	elems := sem.AllElements(op)
+	for i := 0; i < n; i++ {
+		o.a[i] = make([]float64, n)
+	}
 	probe := make([]float64, n)
 	col := make([]float64, n)
+	var scr sem.Scratch
+	restr := make(map[int]*sem.Restriction) // per node: shared by its nc dofs
 	for j := 0; j < n; j++ {
-		probe[j] = 1
-		for i := range col {
-			col[i] = 0
+		r := restr[j/nc]
+		if r == nil {
+			r = sem.NewRestriction(op, inc[j/nc])
+			restr[j/nc] = r
 		}
-		op.AddKu(col, probe, elems)
+		probe[j] = 1
+		r.Accel(op, col, probe, &scr)
 		probe[j] = 0
-		for i := 0; i < n; i++ {
-			if o.a[i] == nil {
-				o.a[i] = make([]float64, n)
+		for _, nd := range r.Nodes {
+			for c := 0; c < nc; c++ {
+				d := int(nd)*nc + c
+				// Restriction.Accel returns -M⁻¹K; the oracle stores +M⁻¹K.
+				o.a[d][j] = -col[d]
+				col[d] = 0
 			}
-			o.a[i][j] = col[i] * op.MInv()[i/op.Comps()]
 		}
 	}
 	// Node levels: max level of incident elements.
 	o.nodeLevel = make([]uint8, op.NumNodes())
-	var nb []int32
 	for e := 0; e < op.NumElements(); e++ {
 		nb = op.ElemNodes(e, nb[:0])
 		for _, nd := range nb {

@@ -57,12 +57,22 @@ func buildSets(op sem.Operator, elemLevel1 []uint8, numLevels int) (*sets, error
 		s.elemLevel[e] = l - 1
 	}
 	nn := op.NumNodes()
-	s.nodeLevel = make([]uint8, nn)
+	// Element connectivity: read the operator's precomputed flat table
+	// when it exposes one (all in-tree operators do), falling back to
+	// per-element ElemNodes copies otherwise.
 	var nb []int32
-	for e := 0; e < ne; e++ {
+	conn, npe := sem.ConnOf(op)
+	elemNodes := func(e int) []int32 {
+		if conn != nil {
+			return conn[e*npe : (e+1)*npe]
+		}
 		nb = op.ElemNodes(e, nb[:0])
+		return nb
+	}
+	s.nodeLevel = make([]uint8, nn)
+	for e := 0; e < ne; e++ {
 		le := s.elemLevel[e]
-		for _, n := range nb {
+		for _, n := range elemNodes(e) {
 			if le > s.nodeLevel[n] {
 				s.nodeLevel[n] = le
 			}
@@ -73,13 +83,13 @@ func buildSets(op sem.Operator, elemLevel1 []uint8, numLevels int) (*sets, error
 	forceMask := make([]uint16, nn)
 	elemForce := make([]uint16, ne) // bitmask of node levels present in e
 	for e := 0; e < ne; e++ {
-		nb = op.ElemNodes(e, nb[:0])
+		en := elemNodes(e)
 		var m uint16
-		for _, n := range nb {
+		for _, n := range en {
 			m |= 1 << s.nodeLevel[n]
 		}
 		elemForce[e] = m
-		for _, n := range nb {
+		for _, n := range en {
 			forceMask[n] |= m
 		}
 	}
@@ -112,8 +122,7 @@ func buildSets(op sem.Operator, elemLevel1 []uint8, numLevels int) (*sets, error
 	}
 	for li := 0; li < numLevels; li++ {
 		for _, e := range s.forceElems[li] {
-			nb = op.ElemNodes(int(e), nb[:0])
-			for _, n := range nb {
+			for _, n := range elemNodes(int(e)) {
 				if seen[n] != int32(li) {
 					seen[n] = int32(li)
 					s.forceNodes[li] = append(s.forceNodes[li], n)

@@ -42,6 +42,7 @@ type Stepper struct {
 	elems   []int32
 	accel   []float64
 	visc    []float64
+	scr     sem.Scratch // kernel scratch: steady-state Step() allocates nothing
 	// ElementSteps counts element stiffness applications, for work
 	// accounting in performance comparisons.
 	ElementSteps int64
@@ -91,7 +92,7 @@ func (s *Stepper) Step() {
 	for i := range a {
 		a[i] = 0
 	}
-	s.Op.AddKu(a, s.U, s.elems)
+	s.Op.AddKuScratch(a, s.U, s.elems, &s.scr)
 	s.ElementSteps += int64(len(s.elems))
 	if s.Eta > 0 {
 		// Kelvin-Voigt term: K applied to Eta * v (explicit, evaluated at
@@ -102,7 +103,7 @@ func (s *Stepper) Step() {
 		for i, v := range s.V {
 			s.visc[i] = s.Eta * v
 		}
-		s.Op.AddKu(a, s.visc, s.elems)
+		s.Op.AddKuScratch(a, s.visc, s.elems, &s.scr)
 		s.ElementSteps += int64(len(s.elems))
 	}
 	minv := s.Op.MInv()
@@ -204,11 +205,12 @@ func EstimateCriticalDt(op sem.Operator, iters int) float64 {
 	minv := op.MInv()
 	nc := op.Comps()
 	lambda := 0.0
+	var scr sem.Scratch
 	for it := 0; it < iters; it++ {
 		for i := range ku {
 			ku[i] = 0
 		}
-		op.AddKu(ku, u, elems)
+		op.AddKuScratch(ku, u, elems, &scr)
 		norm := 0.0
 		for nd := 0; nd < op.NumNodes(); nd++ {
 			for c := 0; c < nc; c++ {

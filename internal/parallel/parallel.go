@@ -71,6 +71,11 @@ type PartitionedOperator struct {
 
 	plans planCache
 
+	// scrPool backs the plain AddKu entry point, mirroring the sem
+	// operators' pooled delegation: warm steady state without making
+	// concurrent AddKu callers share one arena.
+	scrPool sync.Pool
+
 	mu    sync.Mutex
 	stats Stats
 }
@@ -88,6 +93,7 @@ func NewOperator(inner sem.Operator, part []int32, k int) (*PartitionedOperator,
 		return nil, fmt.Errorf("parallel: partition has %d entries for %d elements", len(part), inner.NumElements())
 	}
 	p := &PartitionedOperator{inner: inner, K: k, part: part}
+	p.scrPool.New = func() any { return new(sem.Scratch) }
 	for e, r := range part {
 		if r < 0 || int(r) >= k {
 			return nil, fmt.Errorf("parallel: element %d in part %d (K=%d)", e, r, k)
@@ -126,13 +132,22 @@ func (p *PartitionedOperator) Prepare(elems []int32) {
 // list must not be mutated between applies that reuse it (the plan cache
 // validates content and rebuilds on change, at O(len) cost).
 func (p *PartitionedOperator) AddKu(dst, u []float64, elems []int32) {
+	sc := p.scrPool.Get().(*sem.Scratch)
+	p.AddKuScratch(dst, u, elems, sc)
+	p.scrPool.Put(sc)
+}
+
+// AddKuScratch implements sem.Operator. For K > 1 the parallelism is
+// internal — every rank worker owns its own scratch — and sc is unused;
+// for K = 1 the apply delegates to the inner operator with sc.
+func (p *PartitionedOperator) AddKuScratch(dst, u []float64, elems []int32, sc *sem.Scratch) {
 	plan := p.plans.lookup(p, elems)
 	// Single rank: delegate straight to the inner operator — bitwise the
 	// sequential accumulation, without the dispatch/merge machinery — so
 	// the 1-worker engine is an honest speedup baseline. The plan lookup
 	// stays to keep the Stats accounting identical.
 	if p.K == 1 {
-		p.inner.AddKu(dst, u, elems)
+		p.inner.AddKuScratch(dst, u, elems, sc)
 		p.mu.Lock()
 		p.stats.Applies++
 		p.stats.Messages += plan.messages
@@ -202,7 +217,18 @@ func (p *PartitionedOperator) ElemNodes(e int, buf []int32) []int32 {
 	return p.inner.ElemNodes(e, buf)
 }
 
+// ConnTable forwards the inner operator's flat connectivity table
+// (implements sem.Connectivity); it returns (nil, 0) when the inner
+// operator has none, which callers treat as "fall back to ElemNodes".
+func (p *PartitionedOperator) ConnTable() ([]int32, int) {
+	if ct, ok := p.inner.(sem.Connectivity); ok {
+		return ct.ConnTable()
+	}
+	return nil, 0
+}
+
 var (
-	_ sem.Operator = (*PartitionedOperator)(nil)
-	_ sem.Preparer = (*PartitionedOperator)(nil)
+	_ sem.Operator     = (*PartitionedOperator)(nil)
+	_ sem.Preparer     = (*PartitionedOperator)(nil)
+	_ sem.Connectivity = (*PartitionedOperator)(nil)
 )

@@ -3,6 +3,8 @@ package parallel
 import (
 	"sort"
 	"sync"
+
+	"golts/internal/sem"
 )
 
 // applyPlan is the cached execution layout for one element list: the
@@ -95,7 +97,10 @@ func buildPlan(p *PartitionedOperator, elems []int32) *applyPlan {
 		r := p.part[e]
 		pl.rankElems[r] = append(pl.rankElems[r], e)
 	}
-	// Per-rank touched-node lists, deduped and sorted.
+	// Per-rank touched-node lists, deduped and sorted. Element
+	// connectivity comes from the operator's flat table when it exposes
+	// one, avoiding a per-element copy through ElemNodes.
+	conn, npe := sem.ConnOf(p.inner)
 	touchMap := make([]bool, p.inner.NumNodes())
 	var nb []int32
 	total := 0
@@ -106,8 +111,14 @@ func buildPlan(p *PartitionedOperator, elems []int32) *applyPlan {
 		pl.activeRanks = append(pl.activeRanks, r)
 		var t []int32
 		for _, e := range pl.rankElems[r] {
-			nb = p.inner.ElemNodes(int(e), nb[:0])
-			for _, n := range nb {
+			var en []int32
+			if conn != nil {
+				en = conn[int(e)*npe : (int(e)+1)*npe]
+			} else {
+				nb = p.inner.ElemNodes(int(e), nb[:0])
+				en = nb
+			}
+			for _, n := range en {
 				if !touchMap[n] {
 					touchMap[n] = true
 					t = append(t, n)

@@ -21,14 +21,17 @@ type task struct {
 }
 
 // rankWorker is one persistent goroutine owning a private accumulation
-// buffer. The buffer is all-zero between applies: the compute phase writes
-// the rank's contributions, the merge phase drains and re-zeroes exactly
-// the touched entries.
+// buffer and its own kernel scratch. The buffer is all-zero between
+// applies: the compute phase writes the rank's contributions, the merge
+// phase drains and re-zeroes exactly the touched entries. The scratch
+// warms on the first apply, after which the compute phase is
+// allocation-free.
 type rankWorker struct {
 	id  int
 	op  sem.Operator
 	ch  chan task
 	acc []float64
+	scr sem.Scratch
 }
 
 // serve processes tasks until the channel closes. The master's
@@ -38,7 +41,7 @@ func (w *rankWorker) serve(p *PartitionedOperator) {
 	for t := range w.ch {
 		switch t.kind {
 		case taskCompute:
-			w.op.AddKu(w.acc, t.u, t.plan.rankElems[w.id])
+			w.op.AddKuScratch(w.acc, t.u, t.plan.rankElems[w.id], &w.scr)
 		case taskMerge:
 			t.plan.mergeShard(t.shard, t.dst, p.workers)
 		}

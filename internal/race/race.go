@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package race reports whether the race detector is active, so
+// allocation-regression tests can skip assertions that the detector's
+// instrumentation would break.
+package race
+
+// Enabled is true when the binary is built with -race.
+const Enabled = false

@@ -21,10 +21,8 @@ type Acoustic3D struct {
 	// are free surfaces (natural/Neumann), as on the paper's top surface.
 	Periodic bool
 
-	deg           int
-	nxn, nyn, nzn int // global node counts per axis
-	minv          []float64
-	fixed         []int32 // Dirichlet nodes (minv zeroed)
+	core3d
+	fixed []int32 // Dirichlet nodes (minv zeroed)
 }
 
 // NewAcoustic3D builds the operator on mesh m with basis degree deg.
@@ -33,39 +31,9 @@ func NewAcoustic3D(m *mesh.Mesh, deg int, periodic bool) (*Acoustic3D, error) {
 	if err != nil {
 		return nil, err
 	}
-	op := &Acoustic3D{M: m, Rule: r, Periodic: periodic, deg: deg}
-	op.nxn, op.nyn, op.nzn = deg*m.NX+1, deg*m.NY+1, deg*m.NZ+1
-	if periodic {
-		op.nxn, op.nyn, op.nzn = deg*m.NX, deg*m.NY, deg*m.NZ
-	}
-	op.assembleMass()
+	op := &Acoustic3D{M: m, Rule: r, Periodic: periodic}
+	op.initCore(m, r, deg, periodic, m.Rho)
 	return op, nil
-}
-
-func (op *Acoustic3D) assembleMass() {
-	mass := make([]float64, op.NumNodes())
-	w := op.Rule.Weights
-	nq := op.deg + 1
-	var nb []int32
-	for e := 0; e < op.M.NumElements(); e++ {
-		dx, dy, dz := op.M.ElemSize(e)
-		jdet := dx * dy * dz / 8
-		rho := op.M.Rho[e]
-		nb = op.ElemNodes(e, nb[:0])
-		idx := 0
-		for c := 0; c < nq; c++ {
-			for b := 0; b < nq; b++ {
-				for a := 0; a < nq; a++ {
-					mass[nb[idx]] += rho * w[a] * w[b] * w[c] * jdet
-					idx++
-				}
-			}
-		}
-	}
-	op.minv = make([]float64, len(mass))
-	for i, m := range mass {
-		op.minv[i] = 1 / m
-	}
 }
 
 // FixNodes imposes homogeneous Dirichlet conditions at the given nodes by
@@ -77,56 +45,11 @@ func (op *Acoustic3D) FixNodes(nodes []int32) {
 	}
 }
 
-// NumNodes returns the unique global GLL node count.
-func (op *Acoustic3D) NumNodes() int { return op.nxn * op.nyn * op.nzn }
-
 // Comps returns 1.
 func (op *Acoustic3D) Comps() int { return 1 }
 
 // NDof returns the degree-of-freedom count.
 func (op *Acoustic3D) NDof() int { return op.NumNodes() }
-
-// NumElements returns the mesh element count.
-func (op *Acoustic3D) NumElements() int { return op.M.NumElements() }
-
-// MInv returns the inverse lumped mass.
-func (op *Acoustic3D) MInv() []float64 { return op.minv }
-
-// NodeIndex maps global per-axis GLL indices to the node id, wrapping when
-// periodic.
-func (op *Acoustic3D) NodeIndex(i, j, k int) int32 {
-	if op.Periodic {
-		if i == op.deg*op.M.NX {
-			i = 0
-		}
-		if j == op.deg*op.M.NY {
-			j = 0
-		}
-		if k == op.deg*op.M.NZ {
-			k = 0
-		}
-	}
-	return int32((k*op.nyn+j)*op.nxn + i)
-}
-
-// NodeCoords returns the physical coordinates of global node id n (for
-// receivers and initial conditions). Only valid for non-periodic operators
-// when n lies on a wrapped face; interior nodes are always exact.
-func (op *Acoustic3D) NodeCoords(n int32) (x, y, z float64) {
-	i := int(n) % op.nxn
-	j := (int(n) / op.nxn) % op.nyn
-	k := int(n) / (op.nxn * op.nyn)
-	return op.axisCoord(op.M.XC, i), op.axisCoord(op.M.YC, j), op.axisCoord(op.M.ZC, k)
-}
-
-func (op *Acoustic3D) axisCoord(bc []float64, gi int) float64 {
-	e := gi / op.deg
-	a := gi % op.deg
-	if e == len(bc)-1 {
-		e, a = len(bc)-2, op.deg
-	}
-	return bc[e] + (bc[e+1]-bc[e])*(op.Rule.Points[a]+1)/2
-}
 
 // ClosestNode returns the global node nearest to (x, y, z), snapping each
 // axis independently (exact for tensor grids).
@@ -139,7 +62,7 @@ func (op *Acoustic3D) ClosestNode(x, y, z float64) int32 {
 func (op *Acoustic3D) closestAxis(bc []float64, ne int, x float64) int {
 	best, bd := 0, -1.0
 	for gi := 0; gi <= op.deg*ne; gi++ {
-		d := x - op.axisCoord(bc, gi)
+		d := x - axisCoord(op.Rule, op.deg, bc, gi)
 		if d < 0 {
 			d = -d
 		}
@@ -150,82 +73,158 @@ func (op *Acoustic3D) closestAxis(bc []float64, ne int, x float64) int {
 	return best
 }
 
-// ElemNodes appends the (deg+1)³ global node ids of element e in
-// (a fastest, then b, then c) order.
-func (op *Acoustic3D) ElemNodes(e int, buf []int32) []int32 {
-	i, j, k := op.M.ECoords(e)
-	nq := op.deg + 1
-	for c := 0; c < nq; c++ {
-		for b := 0; b < nq; b++ {
-			for a := 0; a < nq; a++ {
-				buf = append(buf, op.NodeIndex(op.deg*i+a, op.deg*j+b, op.deg*k+c))
-			}
-		}
-	}
-	return buf
+// AddKu accumulates dst += K u for the listed elements, using a pooled
+// scratch. Hot callers hold their own Scratch and call AddKuScratch.
+func (op *Acoustic3D) AddKu(dst, u []float64, elems []int32) {
+	sc := scratchPool.Get().(*Scratch)
+	op.AddKuScratch(dst, u, elems, sc)
+	scratchPool.Put(sc)
 }
 
-// AddKu accumulates dst += K u for the listed elements. Per element:
-// gather nodal values, differentiate along each axis with the 1-D
-// derivative matrix, scale by metric terms and quadrature weights, and
-// scatter back with the transposed derivative.
-func (op *Acoustic3D) AddKu(dst, u []float64, elems []int32) {
+// AddKuScratch accumulates dst += K u for the listed elements. Per element:
+// gather nodal values through the flat connectivity table, differentiate
+// along each axis with the flat 1-D derivative matrix, scale by metric
+// terms and quadrature weights, and scatter back with the transposed
+// derivative. Zero heap allocations once sc is warm.
+func (op *Acoustic3D) AddKuScratch(dst, u []float64, elems []int32, sc *Scratch) {
 	checkLens(op, "dst", dst)
 	checkLens(op, "u", u)
-	nq := op.deg + 1
-	n3 := nq * nq * nq
-	d := op.Rule.D
+	if op.deg == 4 {
+		op.addKu5(dst, u, elems, sc)
+		return
+	}
+	nq, n3 := op.nq, op.n3
+	d, dt := op.dfl, op.dtf
 	w := op.Rule.Weights
-	ue := make([]float64, n3)
-	fx := make([]float64, n3)
-	fy := make([]float64, n3)
-	fz := make([]float64, n3)
-	nb := make([]int32, 0, n3)
-	idx := func(a, b, c int) int { return (c*nq+b)*nq + a }
+	buf := sc.floats(4 * n3)
+	ue := buf[0*n3 : 1*n3]
+	fx := buf[1*n3 : 2*n3]
+	fy := buf[2*n3 : 3*n3]
+	fz := buf[3*n3 : 4*n3]
 	for _, e := range elems {
 		dx, dy, dz := op.M.ElemSize(int(e))
 		jdet := dx * dy * dz / 8
 		ax, ay, az := 2/dx, 2/dy, 2/dz
 		mu := op.M.Rho[e] * op.M.C[e] * op.M.C[e]
 		sx, sy, sz := mu*jdet*ax*ax, mu*jdet*ay*ay, mu*jdet*az*az
-		nb = op.ElemNodes(int(e), nb[:0])
+		nb := op.elemConn(int(e))
 		for i, n := range nb {
 			ue[i] = u[n]
 		}
-		// Forward derivatives scaled by weights and metric.
+		// Forward derivatives scaled by weights and metric; the a axis
+		// (stride 1 in the element-local layout) runs innermost.
 		for c := 0; c < nq; c++ {
+			dc := d[c*nq : c*nq+nq]
 			for b := 0; b < nq; b++ {
+				db := d[b*nq : b*nq+nq]
+				cb := (c*nq + b) * nq
+				yb := c * nq * nq
 				wbc := w[b] * w[c]
 				for a := 0; a < nq; a++ {
+					da := d[a*nq : a*nq+nq]
+					yi := yb + a
+					zi := b*nq + a
 					var dxu, dyu, dzu float64
 					for m := 0; m < nq; m++ {
-						dxu += d[a][m] * ue[idx(m, b, c)]
-						dyu += d[b][m] * ue[idx(a, m, c)]
-						dzu += d[c][m] * ue[idx(a, b, m)]
+						dxu += da[m] * ue[cb+m]
+						dyu += db[m] * ue[yi+m*nq]
+						dzu += dc[m] * ue[zi+m*nq*nq]
 					}
 					wa := w[a]
-					fx[idx(a, b, c)] = sx * wa * wbc * dxu
-					fy[idx(a, b, c)] = sy * wa * wbc * dyu
-					fz[idx(a, b, c)] = sz * wa * wbc * dzu
+					fx[cb+a] = sx * wa * wbc * dxu
+					fy[cb+a] = sy * wa * wbc * dyu
+					fz[cb+a] = sz * wa * wbc * dzu
 				}
 			}
 		}
-		// Transposed scatter: dst_l += Σ_a D[a][l] f(a).
+		// Transposed scatter: dst_l += Σ_m D[m][l] f(m).
 		for c := 0; c < nq; c++ {
+			dc := dt[c*nq : c*nq+nq]
 			for b := 0; b < nq; b++ {
+				db := dt[b*nq : b*nq+nq]
+				cb := (c*nq + b) * nq
+				yb := c * nq * nq
 				for a := 0; a < nq; a++ {
+					da := dt[a*nq : a*nq+nq]
+					yi := yb + a
+					zi := b*nq + a
 					var acc float64
 					for m := 0; m < nq; m++ {
-						acc += d[m][a]*fx[idx(m, b, c)] + d[m][b]*fy[idx(a, m, c)] + d[m][c]*fz[idx(a, b, m)]
+						acc += da[m]*fx[cb+m] + db[m]*fy[yi+m*nq] + dc[m]*fz[zi+m*nq*nq]
 					}
-					dst[nb[idx(a, b, c)]] += acc
+					dst[nb[cb+a]] += acc
 				}
 			}
 		}
 	}
 }
 
-var _ Operator = (*Acoustic3D)(nil)
+// addKu5 is the specialised deg=4 (125-node) kernel: fixed loop bounds,
+// fully unrolled length-5 contractions, and array-pointer views that let
+// the compiler drop slice-header loads in the innermost loops.
+func (op *Acoustic3D) addKu5(dst, u []float64, elems []int32, sc *Scratch) {
+	const n3 = 125
+	buf := sc.floats(4 * n3)
+	ue := (*[n3]float64)(buf[0*n3:])
+	fx := (*[n3]float64)(buf[1*n3:])
+	fy := (*[n3]float64)(buf[2*n3:])
+	fz := (*[n3]float64)(buf[3*n3:])
+	d := (*[25]float64)(op.dfl)
+	dt := (*[25]float64)(op.dtf)
+	w := (*[5]float64)(op.Rule.Weights)
+	for _, e := range elems {
+		dx, dy, dz := op.M.ElemSize(int(e))
+		jdet := dx * dy * dz / 8
+		ax, ay, az := 2/dx, 2/dy, 2/dz
+		mu := op.M.Rho[e] * op.M.C[e] * op.M.C[e]
+		sx, sy, sz := mu*jdet*ax*ax, mu*jdet*ay*ay, mu*jdet*az*az
+		nb := op.elemConn(int(e))
+		for i, n := range nb {
+			ue[i] = u[n]
+		}
+		for c := 0; c < 5; c++ {
+			c0, c1, c2, c3, c4 := d[c*5], d[c*5+1], d[c*5+2], d[c*5+3], d[c*5+4]
+			for b := 0; b < 5; b++ {
+				b0, b1, b2, b3, b4 := d[b*5], d[b*5+1], d[b*5+2], d[b*5+3], d[b*5+4]
+				cb := (c*5 + b) * 5
+				wbc := w[b] * w[c]
+				for a := 0; a < 5; a++ {
+					a0, a1, a2, a3, a4 := d[a*5], d[a*5+1], d[a*5+2], d[a*5+3], d[a*5+4]
+					yi := c*25 + a
+					zi := b*5 + a
+					dxu := a0*ue[cb] + a1*ue[cb+1] + a2*ue[cb+2] + a3*ue[cb+3] + a4*ue[cb+4]
+					dyu := b0*ue[yi] + b1*ue[yi+5] + b2*ue[yi+10] + b3*ue[yi+15] + b4*ue[yi+20]
+					dzu := c0*ue[zi] + c1*ue[zi+25] + c2*ue[zi+50] + c3*ue[zi+75] + c4*ue[zi+100]
+					wa := w[a]
+					fx[cb+a] = sx * wa * wbc * dxu
+					fy[cb+a] = sy * wa * wbc * dyu
+					fz[cb+a] = sz * wa * wbc * dzu
+				}
+			}
+		}
+		for c := 0; c < 5; c++ {
+			c0, c1, c2, c3, c4 := dt[c*5], dt[c*5+1], dt[c*5+2], dt[c*5+3], dt[c*5+4]
+			for b := 0; b < 5; b++ {
+				b0, b1, b2, b3, b4 := dt[b*5], dt[b*5+1], dt[b*5+2], dt[b*5+3], dt[b*5+4]
+				cb := (c*5 + b) * 5
+				for a := 0; a < 5; a++ {
+					a0, a1, a2, a3, a4 := dt[a*5], dt[a*5+1], dt[a*5+2], dt[a*5+3], dt[a*5+4]
+					yi := c*25 + a
+					zi := b*5 + a
+					acc := a0*fx[cb] + a1*fx[cb+1] + a2*fx[cb+2] + a3*fx[cb+3] + a4*fx[cb+4] +
+						b0*fy[yi] + b1*fy[yi+5] + b2*fy[yi+10] + b3*fy[yi+15] + b4*fy[yi+20] +
+						c0*fz[zi] + c1*fz[zi+25] + c2*fz[zi+50] + c3*fz[zi+75] + c4*fz[zi+100]
+					dst[nb[cb+a]] += acc
+				}
+			}
+		}
+	}
+}
+
+var (
+	_ Operator     = (*Acoustic3D)(nil)
+	_ Connectivity = (*Acoustic3D)(nil)
+)
 
 func (op *Acoustic3D) String() string {
 	return fmt.Sprintf("Acoustic3D(%s, deg=%d, nodes=%d, periodic=%v)", op.M.Name, op.deg, op.NumNodes(), op.Periodic)

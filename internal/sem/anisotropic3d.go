@@ -67,9 +67,7 @@ type Anisotropic3D struct {
 	// C is the per-element elasticity tensor.
 	C []VoigtC
 
-	deg           int
-	nxn, nyn, nzn int
-	minv          []float64
+	core3d
 }
 
 // NewAnisotropic3D builds the operator; c must hold one symmetric tensor
@@ -87,43 +85,10 @@ func NewAnisotropic3D(m *mesh.Mesh, deg int, periodic bool, c []VoigtC) (*Anisot
 	if err != nil {
 		return nil, err
 	}
-	op := &Anisotropic3D{M: m, Rule: r, Periodic: periodic, C: c, deg: deg}
-	op.nxn, op.nyn, op.nzn = deg*m.NX+1, deg*m.NY+1, deg*m.NZ+1
-	if periodic {
-		op.nxn, op.nyn, op.nzn = deg*m.NX, deg*m.NY, deg*m.NZ
-	}
-	op.assembleMass()
+	op := &Anisotropic3D{M: m, Rule: r, Periodic: periodic, C: c}
+	op.initCore(m, r, deg, periodic, m.Rho)
 	return op, nil
 }
-
-func (op *Anisotropic3D) assembleMass() {
-	mass := make([]float64, op.NumNodes())
-	w := op.Rule.Weights
-	nq := op.deg + 1
-	var nb []int32
-	for e := 0; e < op.M.NumElements(); e++ {
-		dx, dy, dz := op.M.ElemSize(e)
-		jdet := dx * dy * dz / 8
-		rho := op.M.Rho[e]
-		nb = op.ElemNodes(e, nb[:0])
-		idx := 0
-		for c := 0; c < nq; c++ {
-			for b := 0; b < nq; b++ {
-				for a := 0; a < nq; a++ {
-					mass[nb[idx]] += rho * w[a] * w[b] * w[c] * jdet
-					idx++
-				}
-			}
-		}
-	}
-	op.minv = make([]float64, len(mass))
-	for i, m := range mass {
-		op.minv[i] = 1 / m
-	}
-}
-
-// NumNodes returns the unique GLL node count.
-func (op *Anisotropic3D) NumNodes() int { return op.nxn * op.nyn * op.nzn }
 
 // Comps returns 3.
 func (op *Anisotropic3D) Comps() int { return 3 }
@@ -131,144 +96,241 @@ func (op *Anisotropic3D) Comps() int { return 3 }
 // NDof returns 3 * NumNodes().
 func (op *Anisotropic3D) NDof() int { return 3 * op.NumNodes() }
 
-// NumElements returns the element count.
-func (op *Anisotropic3D) NumElements() int { return op.M.NumElements() }
-
-// MInv returns the per-node inverse lumped mass.
-func (op *Anisotropic3D) MInv() []float64 { return op.minv }
-
-// NodeIndex maps per-axis GLL indices to the node id.
-func (op *Anisotropic3D) NodeIndex(i, j, k int) int32 {
-	if op.Periodic {
-		if i == op.deg*op.M.NX {
-			i = 0
-		}
-		if j == op.deg*op.M.NY {
-			j = 0
-		}
-		if k == op.deg*op.M.NZ {
-			k = 0
-		}
-	}
-	return int32((k*op.nyn+j)*op.nxn + i)
-}
-
-// NodeCoords returns the physical coordinates of node n.
-func (op *Anisotropic3D) NodeCoords(n int32) (x, y, z float64) {
-	i := int(n) % op.nxn
-	j := (int(n) / op.nxn) % op.nyn
-	k := int(n) / (op.nxn * op.nyn)
-	return axisCoord(op.Rule, op.deg, op.M.XC, i), axisCoord(op.Rule, op.deg, op.M.YC, j), axisCoord(op.Rule, op.deg, op.M.ZC, k)
-}
-
-// ElemNodes appends the (deg+1)³ node ids of element e.
-func (op *Anisotropic3D) ElemNodes(e int, buf []int32) []int32 {
-	i, j, k := op.M.ECoords(e)
-	nq := op.deg + 1
-	for c := 0; c < nq; c++ {
-		for b := 0; b < nq; b++ {
-			for a := 0; a < nq; a++ {
-				buf = append(buf, op.NodeIndex(op.deg*i+a, op.deg*j+b, op.deg*k+c))
-			}
-		}
-	}
-	return buf
-}
-
-// AddKu accumulates dst += K u: per GLL point, the strain in Voigt form,
-// the stress s = C e, and the transposed-gradient scatter.
+// AddKu accumulates dst += K u for the listed elements, using a pooled
+// scratch. Hot callers hold their own Scratch and call AddKuScratch.
 func (op *Anisotropic3D) AddKu(dst, u []float64, elems []int32) {
+	sc := scratchPool.Get().(*Scratch)
+	op.AddKuScratch(dst, u, elems, sc)
+	scratchPool.Put(sc)
+}
+
+// AddKuScratch accumulates dst += K u: per GLL point, the strain in Voigt
+// form, the stress s = C e, and the transposed-gradient scatter. Flat
+// connectivity and derivative matrices; zero heap allocations once sc is
+// warm.
+func (op *Anisotropic3D) AddKuScratch(dst, u []float64, elems []int32, sc *Scratch) {
 	checkLens(op, "dst", dst)
 	checkLens(op, "u", u)
-	nq := op.deg + 1
-	n3 := nq * nq * nq
-	d := op.Rule.D
-	w := op.Rule.Weights
-	ue := make([][]float64, 3)
-	var tf [3][3][]float64
-	for c := 0; c < 3; c++ {
-		ue[c] = make([]float64, n3)
-		for dd := 0; dd < 3; dd++ {
-			tf[c][dd] = make([]float64, n3)
-		}
+	if op.deg == 4 {
+		op.addKu5(dst, u, elems, sc)
+		return
 	}
-	nb := make([]int32, 0, n3)
-	idx := func(a, b, c int) int { return (c*nq+b)*nq + a }
+	nq, n3 := op.nq, op.n3
+	d, dt := op.dfl, op.dtf
+	w := op.Rule.Weights
+	buf := sc.floats(12 * n3)
+	ux := buf[0*n3 : 1*n3]
+	uy := buf[1*n3 : 2*n3]
+	uz := buf[2*n3 : 3*n3]
+	var tf [9][]float64
+	for i := range tf {
+		tf[i] = buf[(3+i)*n3 : (4+i)*n3]
+	}
 	for _, e := range elems {
 		dx, dy, dz := op.M.ElemSize(int(e))
 		jdet := dx * dy * dz / 8
-		alpha := [3]float64{2 / dx, 2 / dy, 2 / dz}
+		ax, ay, az := 2/dx, 2/dy, 2/dz
 		cm := &op.C[e]
-		nb = op.ElemNodes(int(e), nb[:0])
+		nb := op.elemConn(int(e))
 		for i, n := range nb {
-			ue[0][i] = u[3*n]
-			ue[1][i] = u[3*n+1]
-			ue[2][i] = u[3*n+2]
+			j := 3 * int(n)
+			ux[i], uy[i], uz[i] = u[j], u[j+1], u[j+2]
 		}
 		for c := 0; c < nq; c++ {
+			dc := d[c*nq : c*nq+nq]
 			for b := 0; b < nq; b++ {
+				db := d[b*nq : b*nq+nq]
+				cb := (c*nq + b) * nq
+				wbc := w[b] * w[c] * jdet
 				for a := 0; a < nq; a++ {
-					var g [3][3]float64
-					for comp := 0; comp < 3; comp++ {
-						var gx, gy, gz float64
-						uc := ue[comp]
-						for m := 0; m < nq; m++ {
-							gx += d[a][m] * uc[idx(m, b, c)]
-							gy += d[b][m] * uc[idx(a, m, c)]
-							gz += d[c][m] * uc[idx(a, b, m)]
-						}
-						g[comp][0] = alpha[0] * gx
-						g[comp][1] = alpha[1] * gy
-						g[comp][2] = alpha[2] * gz
+					da := d[a*nq : a*nq+nq]
+					yi := c*nq*nq + a
+					zi := b*nq + a
+					var g00, g01, g02, g10, g11, g12, g20, g21, g22 float64
+					for m := 0; m < nq; m++ {
+						dm, em, fm := da[m], db[m], dc[m]
+						xm, ym, zm := cb+m, yi+m*nq, zi+m*nq*nq
+						g00 += dm * ux[xm]
+						g01 += em * ux[ym]
+						g02 += fm * ux[zm]
+						g10 += dm * uy[xm]
+						g11 += em * uy[ym]
+						g12 += fm * uy[zm]
+						g20 += dm * uz[xm]
+						g21 += em * uz[ym]
+						g22 += fm * uz[zm]
 					}
+					g00 *= ax
+					g01 *= ay
+					g02 *= az
+					g10 *= ax
+					g11 *= ay
+					g12 *= az
+					g20 *= ax
+					g21 *= ay
+					g22 *= az
 					// Voigt strain with engineering shears.
-					ev := [6]float64{
-						g[0][0], g[1][1], g[2][2],
-						g[1][2] + g[2][1], g[0][2] + g[2][0], g[0][1] + g[1][0],
-					}
-					var sv [6]float64
-					for i := 0; i < 6; i++ {
-						s := 0.0
-						for j := 0; j < 6; j++ {
-							s += cm[i][j] * ev[j]
-						}
-						sv[i] = s
-					}
-					// Stress tensor from Voigt stress.
-					t3 := [3][3]float64{
-						{sv[0], sv[5], sv[4]},
-						{sv[5], sv[1], sv[3]},
-						{sv[4], sv[3], sv[2]},
-					}
-					wq := w[a] * w[b] * w[c] * jdet
-					q := idx(a, b, c)
-					for comp := 0; comp < 3; comp++ {
-						for ax := 0; ax < 3; ax++ {
-							tf[comp][ax][q] = wq * alpha[ax] * t3[comp][ax]
-						}
-					}
+					e0, e1, e2 := g00, g11, g22
+					e3 := g12 + g21
+					e4 := g02 + g20
+					e5 := g01 + g10
+					s0 := cm[0][0]*e0 + cm[0][1]*e1 + cm[0][2]*e2 + cm[0][3]*e3 + cm[0][4]*e4 + cm[0][5]*e5
+					s1 := cm[1][0]*e0 + cm[1][1]*e1 + cm[1][2]*e2 + cm[1][3]*e3 + cm[1][4]*e4 + cm[1][5]*e5
+					s2 := cm[2][0]*e0 + cm[2][1]*e1 + cm[2][2]*e2 + cm[2][3]*e3 + cm[2][4]*e4 + cm[2][5]*e5
+					s3 := cm[3][0]*e0 + cm[3][1]*e1 + cm[3][2]*e2 + cm[3][3]*e3 + cm[3][4]*e4 + cm[3][5]*e5
+					s4 := cm[4][0]*e0 + cm[4][1]*e1 + cm[4][2]*e2 + cm[4][3]*e3 + cm[4][4]*e4 + cm[4][5]*e5
+					s5 := cm[5][0]*e0 + cm[5][1]*e1 + cm[5][2]*e2 + cm[5][3]*e3 + cm[5][4]*e4 + cm[5][5]*e5
+					wq := w[a] * wbc
+					wx, wy, wz := wq*ax, wq*ay, wq*az
+					q := cb + a
+					// Stress tensor rows from Voigt stress:
+					// [s0 s5 s4; s5 s1 s3; s4 s3 s2].
+					tf[0][q] = wx * s0
+					tf[1][q] = wy * s5
+					tf[2][q] = wz * s4
+					tf[3][q] = wx * s5
+					tf[4][q] = wy * s1
+					tf[5][q] = wz * s3
+					tf[6][q] = wx * s4
+					tf[7][q] = wy * s3
+					tf[8][q] = wz * s2
 				}
 			}
 		}
 		for c := 0; c < nq; c++ {
+			dc := dt[c*nq : c*nq+nq]
 			for b := 0; b < nq; b++ {
+				db := dt[b*nq : b*nq+nq]
+				cb := (c*nq + b) * nq
 				for a := 0; a < nq; a++ {
-					n := nb[idx(a, b, c)]
-					for comp := 0; comp < 3; comp++ {
-						var acc float64
-						tx, ty, tz := tf[comp][0], tf[comp][1], tf[comp][2]
-						for m := 0; m < nq; m++ {
-							acc += d[m][a]*tx[idx(m, b, c)] + d[m][b]*ty[idx(a, m, c)] + d[m][c]*tz[idx(a, b, m)]
-						}
-						dst[3*int(n)+comp] += acc
+					da := dt[a*nq : a*nq+nq]
+					yi := c*nq*nq + a
+					zi := b*nq + a
+					var s0, s1, s2 float64
+					for m := 0; m < nq; m++ {
+						dm, em, fm := da[m], db[m], dc[m]
+						xm, ym, zm := cb+m, yi+m*nq, zi+m*nq*nq
+						s0 += dm*tf[0][xm] + em*tf[1][ym] + fm*tf[2][zm]
+						s1 += dm*tf[3][xm] + em*tf[4][ym] + fm*tf[5][zm]
+						s2 += dm*tf[6][xm] + em*tf[7][ym] + fm*tf[8][zm]
 					}
+					j := 3 * int(nb[cb+a])
+					dst[j] += s0
+					dst[j+1] += s1
+					dst[j+2] += s2
 				}
 			}
 		}
 	}
 }
 
-var _ Operator = (*Anisotropic3D)(nil)
+// addKu5 is the specialised deg=4 anisotropic kernel: the elastic deg=4
+// structure with the 6x6 Voigt contraction in place of the two-parameter
+// isotropic stress.
+func (op *Anisotropic3D) addKu5(dst, u []float64, elems []int32, sc *Scratch) {
+	const n3 = 125
+	buf := sc.floats(12 * n3)
+	ux := (*[n3]float64)(buf[0*n3:])
+	uy := (*[n3]float64)(buf[1*n3:])
+	uz := (*[n3]float64)(buf[2*n3:])
+	t0 := (*[n3]float64)(buf[3*n3:])
+	t1 := (*[n3]float64)(buf[4*n3:])
+	t2 := (*[n3]float64)(buf[5*n3:])
+	t3 := (*[n3]float64)(buf[6*n3:])
+	t4 := (*[n3]float64)(buf[7*n3:])
+	t5 := (*[n3]float64)(buf[8*n3:])
+	t6 := (*[n3]float64)(buf[9*n3:])
+	t7 := (*[n3]float64)(buf[10*n3:])
+	t8 := (*[n3]float64)(buf[11*n3:])
+	d := (*[25]float64)(op.dfl)
+	dt := (*[25]float64)(op.dtf)
+	w := (*[5]float64)(op.Rule.Weights)
+	for _, e := range elems {
+		dx, dy, dz := op.M.ElemSize(int(e))
+		jdet := dx * dy * dz / 8
+		ax, ay, az := 2/dx, 2/dy, 2/dz
+		cm := &op.C[e]
+		nb := op.elemConn(int(e))
+		for i, n := range nb {
+			j := 3 * int(n)
+			ux[i], uy[i], uz[i] = u[j], u[j+1], u[j+2]
+		}
+		for c := 0; c < 5; c++ {
+			c0, c1, c2, c3, c4 := d[c*5], d[c*5+1], d[c*5+2], d[c*5+3], d[c*5+4]
+			for b := 0; b < 5; b++ {
+				b0, b1, b2, b3, b4 := d[b*5], d[b*5+1], d[b*5+2], d[b*5+3], d[b*5+4]
+				cb := (c*5 + b) * 5
+				wbc := w[b] * w[c] * jdet
+				for a := 0; a < 5; a++ {
+					a0, a1, a2, a3, a4 := d[a*5], d[a*5+1], d[a*5+2], d[a*5+3], d[a*5+4]
+					yi := c*25 + a
+					zi := b*5 + a
+					g00 := ax * (a0*ux[cb] + a1*ux[cb+1] + a2*ux[cb+2] + a3*ux[cb+3] + a4*ux[cb+4])
+					g01 := ay * (b0*ux[yi] + b1*ux[yi+5] + b2*ux[yi+10] + b3*ux[yi+15] + b4*ux[yi+20])
+					g02 := az * (c0*ux[zi] + c1*ux[zi+25] + c2*ux[zi+50] + c3*ux[zi+75] + c4*ux[zi+100])
+					g10 := ax * (a0*uy[cb] + a1*uy[cb+1] + a2*uy[cb+2] + a3*uy[cb+3] + a4*uy[cb+4])
+					g11 := ay * (b0*uy[yi] + b1*uy[yi+5] + b2*uy[yi+10] + b3*uy[yi+15] + b4*uy[yi+20])
+					g12 := az * (c0*uy[zi] + c1*uy[zi+25] + c2*uy[zi+50] + c3*uy[zi+75] + c4*uy[zi+100])
+					g20 := ax * (a0*uz[cb] + a1*uz[cb+1] + a2*uz[cb+2] + a3*uz[cb+3] + a4*uz[cb+4])
+					g21 := ay * (b0*uz[yi] + b1*uz[yi+5] + b2*uz[yi+10] + b3*uz[yi+15] + b4*uz[yi+20])
+					g22 := az * (c0*uz[zi] + c1*uz[zi+25] + c2*uz[zi+50] + c3*uz[zi+75] + c4*uz[zi+100])
+					e0, e1, e2 := g00, g11, g22
+					e3 := g12 + g21
+					e4 := g02 + g20
+					e5 := g01 + g10
+					s0 := cm[0][0]*e0 + cm[0][1]*e1 + cm[0][2]*e2 + cm[0][3]*e3 + cm[0][4]*e4 + cm[0][5]*e5
+					s1 := cm[1][0]*e0 + cm[1][1]*e1 + cm[1][2]*e2 + cm[1][3]*e3 + cm[1][4]*e4 + cm[1][5]*e5
+					s2 := cm[2][0]*e0 + cm[2][1]*e1 + cm[2][2]*e2 + cm[2][3]*e3 + cm[2][4]*e4 + cm[2][5]*e5
+					s3 := cm[3][0]*e0 + cm[3][1]*e1 + cm[3][2]*e2 + cm[3][3]*e3 + cm[3][4]*e4 + cm[3][5]*e5
+					s4 := cm[4][0]*e0 + cm[4][1]*e1 + cm[4][2]*e2 + cm[4][3]*e3 + cm[4][4]*e4 + cm[4][5]*e5
+					s5 := cm[5][0]*e0 + cm[5][1]*e1 + cm[5][2]*e2 + cm[5][3]*e3 + cm[5][4]*e4 + cm[5][5]*e5
+					wq := w[a] * wbc
+					wx, wy, wz := wq*ax, wq*ay, wq*az
+					q := cb + a
+					t0[q] = wx * s0
+					t1[q] = wy * s5
+					t2[q] = wz * s4
+					t3[q] = wx * s5
+					t4[q] = wy * s1
+					t5[q] = wz * s3
+					t6[q] = wx * s4
+					t7[q] = wy * s3
+					t8[q] = wz * s2
+				}
+			}
+		}
+		for c := 0; c < 5; c++ {
+			c0, c1, c2, c3, c4 := dt[c*5], dt[c*5+1], dt[c*5+2], dt[c*5+3], dt[c*5+4]
+			for b := 0; b < 5; b++ {
+				b0, b1, b2, b3, b4 := dt[b*5], dt[b*5+1], dt[b*5+2], dt[b*5+3], dt[b*5+4]
+				cb := (c*5 + b) * 5
+				for a := 0; a < 5; a++ {
+					a0, a1, a2, a3, a4 := dt[a*5], dt[a*5+1], dt[a*5+2], dt[a*5+3], dt[a*5+4]
+					yi := c*25 + a
+					zi := b*5 + a
+					s0 := a0*t0[cb] + a1*t0[cb+1] + a2*t0[cb+2] + a3*t0[cb+3] + a4*t0[cb+4] +
+						b0*t1[yi] + b1*t1[yi+5] + b2*t1[yi+10] + b3*t1[yi+15] + b4*t1[yi+20] +
+						c0*t2[zi] + c1*t2[zi+25] + c2*t2[zi+50] + c3*t2[zi+75] + c4*t2[zi+100]
+					s1 := a0*t3[cb] + a1*t3[cb+1] + a2*t3[cb+2] + a3*t3[cb+3] + a4*t3[cb+4] +
+						b0*t4[yi] + b1*t4[yi+5] + b2*t4[yi+10] + b3*t4[yi+15] + b4*t4[yi+20] +
+						c0*t5[zi] + c1*t5[zi+25] + c2*t5[zi+50] + c3*t5[zi+75] + c4*t5[zi+100]
+					s2 := a0*t6[cb] + a1*t6[cb+1] + a2*t6[cb+2] + a3*t6[cb+3] + a4*t6[cb+4] +
+						b0*t7[yi] + b1*t7[yi+5] + b2*t7[yi+10] + b3*t7[yi+15] + b4*t7[yi+20] +
+						c0*t8[zi] + c1*t8[zi+25] + c2*t8[zi+50] + c3*t8[zi+75] + c4*t8[zi+100]
+					j := 3 * int(nb[cb+a])
+					dst[j] += s0
+					dst[j+1] += s1
+					dst[j+2] += s2
+				}
+			}
+		}
+	}
+}
+
+var (
+	_ Operator     = (*Anisotropic3D)(nil)
+	_ Connectivity = (*Anisotropic3D)(nil)
+)
 
 func (op *Anisotropic3D) String() string {
 	return fmt.Sprintf("Anisotropic3D(%s, deg=%d, nodes=%d)", op.M.Name, op.deg, op.NumNodes())

@@ -22,9 +22,7 @@ type Elastic3D struct {
 	// CsRatio is c_s / c_p per element.
 	CsRatio float64
 
-	deg           int
-	nxn, nyn, nzn int
-	minv          []float64
+	core3d
 }
 
 // NewElastic3D builds the elastic operator on mesh m with basis degree deg.
@@ -44,39 +42,9 @@ func NewElastic3D(m *mesh.Mesh, deg int, periodic bool, csRatio float64) (*Elast
 		// warning-free behaviour but reject beyond.
 		return nil, fmt.Errorf("sem: cs/cp ratio %v too large (need < √3/2)", csRatio)
 	}
-	op := &Elastic3D{M: m, Rule: r, Periodic: periodic, CsRatio: csRatio, deg: deg}
-	op.nxn, op.nyn, op.nzn = deg*m.NX+1, deg*m.NY+1, deg*m.NZ+1
-	if periodic {
-		op.nxn, op.nyn, op.nzn = deg*m.NX, deg*m.NY, deg*m.NZ
-	}
-	op.assembleMass()
+	op := &Elastic3D{M: m, Rule: r, Periodic: periodic, CsRatio: csRatio}
+	op.initCore(m, r, deg, periodic, m.Rho)
 	return op, nil
-}
-
-func (op *Elastic3D) assembleMass() {
-	mass := make([]float64, op.NumNodes())
-	w := op.Rule.Weights
-	nq := op.deg + 1
-	var nb []int32
-	for e := 0; e < op.M.NumElements(); e++ {
-		dx, dy, dz := op.M.ElemSize(e)
-		jdet := dx * dy * dz / 8
-		rho := op.M.Rho[e]
-		nb = op.ElemNodes(e, nb[:0])
-		idx := 0
-		for c := 0; c < nq; c++ {
-			for b := 0; b < nq; b++ {
-				for a := 0; a < nq; a++ {
-					mass[nb[idx]] += rho * w[a] * w[b] * w[c] * jdet
-					idx++
-				}
-			}
-		}
-	}
-	op.minv = make([]float64, len(mass))
-	for i, m := range mass {
-		op.minv[i] = 1 / m
-	}
 }
 
 // Lame returns the Lamé parameters (λ, μ) of element e.
@@ -89,157 +57,234 @@ func (op *Elastic3D) Lame(e int) (lam, mu float64) {
 	return lam, mu
 }
 
-// NumNodes returns the unique global GLL node count.
-func (op *Elastic3D) NumNodes() int { return op.nxn * op.nyn * op.nzn }
-
 // Comps returns 3 (displacement components).
 func (op *Elastic3D) Comps() int { return 3 }
 
 // NDof returns 3 * NumNodes().
 func (op *Elastic3D) NDof() int { return 3 * op.NumNodes() }
 
-// NumElements returns the mesh element count.
-func (op *Elastic3D) NumElements() int { return op.M.NumElements() }
-
-// MInv returns the per-node inverse lumped mass.
-func (op *Elastic3D) MInv() []float64 { return op.minv }
-
-// NodeIndex maps per-axis GLL indices to the global node id.
-func (op *Elastic3D) NodeIndex(i, j, k int) int32 {
-	if op.Periodic {
-		if i == op.deg*op.M.NX {
-			i = 0
-		}
-		if j == op.deg*op.M.NY {
-			j = 0
-		}
-		if k == op.deg*op.M.NZ {
-			k = 0
-		}
-	}
-	return int32((k*op.nyn+j)*op.nxn + i)
-}
-
-// NodeCoords returns the physical coordinates of node n.
-func (op *Elastic3D) NodeCoords(n int32) (x, y, z float64) {
-	i := int(n) % op.nxn
-	j := (int(n) / op.nxn) % op.nyn
-	k := int(n) / (op.nxn * op.nyn)
-	return axisCoord(op.Rule, op.deg, op.M.XC, i), axisCoord(op.Rule, op.deg, op.M.YC, j), axisCoord(op.Rule, op.deg, op.M.ZC, k)
-}
-
-func axisCoord(r *gll.Rule, deg int, bc []float64, gi int) float64 {
-	e := gi / deg
-	a := gi % deg
-	if e == len(bc)-1 {
-		e, a = len(bc)-2, deg
-	}
-	return bc[e] + (bc[e+1]-bc[e])*(r.Points[a]+1)/2
-}
-
-// ElemNodes appends the (deg+1)³ node ids of element e.
-func (op *Elastic3D) ElemNodes(e int, buf []int32) []int32 {
-	i, j, k := op.M.ECoords(e)
-	nq := op.deg + 1
-	for c := 0; c < nq; c++ {
-		for b := 0; b < nq; b++ {
-			for a := 0; a < nq; a++ {
-				buf = append(buf, op.NodeIndex(op.deg*i+a, op.deg*j+b, op.deg*k+c))
-			}
-		}
-	}
-	return buf
-}
-
-// AddKu accumulates dst += K u for the listed elements. Per GLL point the
-// kernel computes the displacement gradient (nine tensor contractions),
-// forms the isotropic stress T = λ tr(ε) I + 2 μ ε, and scatters
-// w J T : ∇φ back with the transposed derivative matrices — the structure
-// of the SPECFEM3D forces kernel on undeformed elements.
+// AddKu accumulates dst += K u for the listed elements, using a pooled
+// scratch. Hot callers hold their own Scratch and call AddKuScratch.
 func (op *Elastic3D) AddKu(dst, u []float64, elems []int32) {
+	sc := scratchPool.Get().(*Scratch)
+	op.AddKuScratch(dst, u, elems, sc)
+	scratchPool.Put(sc)
+}
+
+// AddKuScratch accumulates dst += K u for the listed elements. Per GLL
+// point the kernel computes the displacement gradient (nine tensor
+// contractions), forms the isotropic stress T = λ tr(ε) I + 2 μ ε, and
+// scatters w J T : ∇φ back with the transposed derivative matrices — the
+// structure of the SPECFEM3D forces kernel on undeformed elements. All
+// element state (connectivity, derivative matrices) is precomputed flat;
+// zero heap allocations once sc is warm.
+func (op *Elastic3D) AddKuScratch(dst, u []float64, elems []int32, sc *Scratch) {
 	checkLens(op, "dst", dst)
 	checkLens(op, "u", u)
-	nq := op.deg + 1
-	n3 := nq * nq * nq
-	d := op.Rule.D
+	if op.deg == 4 {
+		op.addKu5(dst, u, elems, sc)
+		return
+	}
+	nq, n3 := op.nq, op.n3
+	d, dt := op.dfl, op.dtf
 	w := op.Rule.Weights
 	// Element-local buffers: displacement per component and stress-flux
-	// terms t[c][d] = w J T_{cd} * metric factor for axis d.
-	ue := make([][]float64, 3)
-	var tf [3][3][]float64
-	for c := 0; c < 3; c++ {
-		ue[c] = make([]float64, n3)
-		for dd := 0; dd < 3; dd++ {
-			tf[c][dd] = make([]float64, n3)
-		}
+	// terms t[3*comp+axis] = w J alpha[axis] T_{comp,axis}.
+	buf := sc.floats(12 * n3)
+	ux := buf[0*n3 : 1*n3]
+	uy := buf[1*n3 : 2*n3]
+	uz := buf[2*n3 : 3*n3]
+	var tf [9][]float64
+	for i := range tf {
+		tf[i] = buf[(3+i)*n3 : (4+i)*n3]
 	}
-	nb := make([]int32, 0, n3)
-	idx := func(a, b, c int) int { return (c*nq+b)*nq + a }
 	for _, e := range elems {
 		dx, dy, dz := op.M.ElemSize(int(e))
 		jdet := dx * dy * dz / 8
-		alpha := [3]float64{2 / dx, 2 / dy, 2 / dz}
+		ax, ay, az := 2/dx, 2/dy, 2/dz
 		lam, mu := op.Lame(int(e))
-		nb = op.ElemNodes(int(e), nb[:0])
+		nb := op.elemConn(int(e))
 		for i, n := range nb {
-			ue[0][i] = u[3*n]
-			ue[1][i] = u[3*n+1]
-			ue[2][i] = u[3*n+2]
+			j := 3 * int(n)
+			ux[i], uy[i], uz[i] = u[j], u[j+1], u[j+2]
 		}
 		for c := 0; c < nq; c++ {
+			dc := d[c*nq : c*nq+nq]
 			for b := 0; b < nq; b++ {
+				db := d[b*nq : b*nq+nq]
+				cb := (c*nq + b) * nq
+				wbc := w[b] * w[c] * jdet
 				for a := 0; a < nq; a++ {
-					// Displacement gradient G[comp][axis].
-					var g [3][3]float64
-					for comp := 0; comp < 3; comp++ {
-						var gx, gy, gz float64
-						uc := ue[comp]
-						for m := 0; m < nq; m++ {
-							gx += d[a][m] * uc[idx(m, b, c)]
-							gy += d[b][m] * uc[idx(a, m, c)]
-							gz += d[c][m] * uc[idx(a, b, m)]
-						}
-						g[comp][0] = alpha[0] * gx
-						g[comp][1] = alpha[1] * gy
-						g[comp][2] = alpha[2] * gz
+					da := d[a*nq : a*nq+nq]
+					yi := c*nq*nq + a
+					zi := b*nq + a
+					// Displacement gradient g[comp][axis].
+					var g00, g01, g02, g10, g11, g12, g20, g21, g22 float64
+					for m := 0; m < nq; m++ {
+						dm, em, fm := da[m], db[m], dc[m]
+						xm, ym, zm := cb+m, yi+m*nq, zi+m*nq*nq
+						g00 += dm * ux[xm]
+						g01 += em * ux[ym]
+						g02 += fm * ux[zm]
+						g10 += dm * uy[xm]
+						g11 += em * uy[ym]
+						g12 += fm * uy[zm]
+						g20 += dm * uz[xm]
+						g21 += em * uz[ym]
+						g22 += fm * uz[zm]
 					}
-					tr := g[0][0] + g[1][1] + g[2][2]
-					wq := w[a] * w[b] * w[c] * jdet
-					q := idx(a, b, c)
-					for comp := 0; comp < 3; comp++ {
-						for ax := 0; ax < 3; ax++ {
-							t := mu * (g[comp][ax] + g[ax][comp])
-							if comp == ax {
-								t += lam * tr
-							}
-							// Include the test-function metric factor for
-							// axis ax so the scatter is a pure transposed
-							// derivative contraction.
-							tf[comp][ax][q] = wq * alpha[ax] * t
-						}
-					}
+					g00 *= ax
+					g01 *= ay
+					g02 *= az
+					g10 *= ax
+					g11 *= ay
+					g12 *= az
+					g20 *= ax
+					g21 *= ay
+					g22 *= az
+					tr := g00 + g11 + g22
+					wq := w[a] * wbc
+					wx, wy, wz := wq*ax, wq*ay, wq*az
+					q := cb + a
+					// Include the test-function metric factor per axis so
+					// the scatter is a pure transposed contraction.
+					tf[0][q] = wx * (2*mu*g00 + lam*tr)
+					tf[1][q] = wy * (mu * (g01 + g10))
+					tf[2][q] = wz * (mu * (g02 + g20))
+					tf[3][q] = wx * (mu * (g10 + g01))
+					tf[4][q] = wy * (2*mu*g11 + lam*tr)
+					tf[5][q] = wz * (mu * (g12 + g21))
+					tf[6][q] = wx * (mu * (g20 + g02))
+					tf[7][q] = wy * (mu * (g21 + g12))
+					tf[8][q] = wz * (2*mu*g22 + lam*tr)
 				}
 			}
 		}
 		for c := 0; c < nq; c++ {
+			dc := dt[c*nq : c*nq+nq]
 			for b := 0; b < nq; b++ {
+				db := dt[b*nq : b*nq+nq]
+				cb := (c*nq + b) * nq
 				for a := 0; a < nq; a++ {
-					n := nb[idx(a, b, c)]
-					for comp := 0; comp < 3; comp++ {
-						var acc float64
-						tx, ty, tz := tf[comp][0], tf[comp][1], tf[comp][2]
-						for m := 0; m < nq; m++ {
-							acc += d[m][a]*tx[idx(m, b, c)] + d[m][b]*ty[idx(a, m, c)] + d[m][c]*tz[idx(a, b, m)]
-						}
-						dst[3*int(n)+comp] += acc
+					da := dt[a*nq : a*nq+nq]
+					yi := c*nq*nq + a
+					zi := b*nq + a
+					var s0, s1, s2 float64
+					for m := 0; m < nq; m++ {
+						dm, em, fm := da[m], db[m], dc[m]
+						xm, ym, zm := cb+m, yi+m*nq, zi+m*nq*nq
+						s0 += dm*tf[0][xm] + em*tf[1][ym] + fm*tf[2][zm]
+						s1 += dm*tf[3][xm] + em*tf[4][ym] + fm*tf[5][zm]
+						s2 += dm*tf[6][xm] + em*tf[7][ym] + fm*tf[8][zm]
 					}
+					j := 3 * int(nb[cb+a])
+					dst[j] += s0
+					dst[j+1] += s1
+					dst[j+2] += s2
 				}
 			}
 		}
 	}
 }
 
-var _ Operator = (*Elastic3D)(nil)
+// addKu5 is the specialised deg=4 (125-node, 375-dof) elastic kernel used
+// by the paper's experiments: fixed loop bounds, fully unrolled length-5
+// contractions, array-pointer element buffers.
+func (op *Elastic3D) addKu5(dst, u []float64, elems []int32, sc *Scratch) {
+	const n3 = 125
+	buf := sc.floats(12 * n3)
+	ux := (*[n3]float64)(buf[0*n3:])
+	uy := (*[n3]float64)(buf[1*n3:])
+	uz := (*[n3]float64)(buf[2*n3:])
+	t0 := (*[n3]float64)(buf[3*n3:])
+	t1 := (*[n3]float64)(buf[4*n3:])
+	t2 := (*[n3]float64)(buf[5*n3:])
+	t3 := (*[n3]float64)(buf[6*n3:])
+	t4 := (*[n3]float64)(buf[7*n3:])
+	t5 := (*[n3]float64)(buf[8*n3:])
+	t6 := (*[n3]float64)(buf[9*n3:])
+	t7 := (*[n3]float64)(buf[10*n3:])
+	t8 := (*[n3]float64)(buf[11*n3:])
+	d := (*[25]float64)(op.dfl)
+	dt := (*[25]float64)(op.dtf)
+	w := (*[5]float64)(op.Rule.Weights)
+	for _, e := range elems {
+		dx, dy, dz := op.M.ElemSize(int(e))
+		jdet := dx * dy * dz / 8
+		ax, ay, az := 2/dx, 2/dy, 2/dz
+		lam, mu := op.Lame(int(e))
+		nb := op.elemConn(int(e))
+		for i, n := range nb {
+			j := 3 * int(n)
+			ux[i], uy[i], uz[i] = u[j], u[j+1], u[j+2]
+		}
+		for c := 0; c < 5; c++ {
+			c0, c1, c2, c3, c4 := d[c*5], d[c*5+1], d[c*5+2], d[c*5+3], d[c*5+4]
+			for b := 0; b < 5; b++ {
+				b0, b1, b2, b3, b4 := d[b*5], d[b*5+1], d[b*5+2], d[b*5+3], d[b*5+4]
+				cb := (c*5 + b) * 5
+				wbc := w[b] * w[c] * jdet
+				for a := 0; a < 5; a++ {
+					a0, a1, a2, a3, a4 := d[a*5], d[a*5+1], d[a*5+2], d[a*5+3], d[a*5+4]
+					yi := c*25 + a
+					zi := b*5 + a
+					g00 := ax * (a0*ux[cb] + a1*ux[cb+1] + a2*ux[cb+2] + a3*ux[cb+3] + a4*ux[cb+4])
+					g01 := ay * (b0*ux[yi] + b1*ux[yi+5] + b2*ux[yi+10] + b3*ux[yi+15] + b4*ux[yi+20])
+					g02 := az * (c0*ux[zi] + c1*ux[zi+25] + c2*ux[zi+50] + c3*ux[zi+75] + c4*ux[zi+100])
+					g10 := ax * (a0*uy[cb] + a1*uy[cb+1] + a2*uy[cb+2] + a3*uy[cb+3] + a4*uy[cb+4])
+					g11 := ay * (b0*uy[yi] + b1*uy[yi+5] + b2*uy[yi+10] + b3*uy[yi+15] + b4*uy[yi+20])
+					g12 := az * (c0*uy[zi] + c1*uy[zi+25] + c2*uy[zi+50] + c3*uy[zi+75] + c4*uy[zi+100])
+					g20 := ax * (a0*uz[cb] + a1*uz[cb+1] + a2*uz[cb+2] + a3*uz[cb+3] + a4*uz[cb+4])
+					g21 := ay * (b0*uz[yi] + b1*uz[yi+5] + b2*uz[yi+10] + b3*uz[yi+15] + b4*uz[yi+20])
+					g22 := az * (c0*uz[zi] + c1*uz[zi+25] + c2*uz[zi+50] + c3*uz[zi+75] + c4*uz[zi+100])
+					tr := g00 + g11 + g22
+					wq := w[a] * wbc
+					wx, wy, wz := wq*ax, wq*ay, wq*az
+					q := cb + a
+					t0[q] = wx * (2*mu*g00 + lam*tr)
+					t1[q] = wy * (mu * (g01 + g10))
+					t2[q] = wz * (mu * (g02 + g20))
+					t3[q] = wx * (mu * (g10 + g01))
+					t4[q] = wy * (2*mu*g11 + lam*tr)
+					t5[q] = wz * (mu * (g12 + g21))
+					t6[q] = wx * (mu * (g20 + g02))
+					t7[q] = wy * (mu * (g21 + g12))
+					t8[q] = wz * (2*mu*g22 + lam*tr)
+				}
+			}
+		}
+		for c := 0; c < 5; c++ {
+			c0, c1, c2, c3, c4 := dt[c*5], dt[c*5+1], dt[c*5+2], dt[c*5+3], dt[c*5+4]
+			for b := 0; b < 5; b++ {
+				b0, b1, b2, b3, b4 := dt[b*5], dt[b*5+1], dt[b*5+2], dt[b*5+3], dt[b*5+4]
+				cb := (c*5 + b) * 5
+				for a := 0; a < 5; a++ {
+					a0, a1, a2, a3, a4 := dt[a*5], dt[a*5+1], dt[a*5+2], dt[a*5+3], dt[a*5+4]
+					yi := c*25 + a
+					zi := b*5 + a
+					s0 := a0*t0[cb] + a1*t0[cb+1] + a2*t0[cb+2] + a3*t0[cb+3] + a4*t0[cb+4] +
+						b0*t1[yi] + b1*t1[yi+5] + b2*t1[yi+10] + b3*t1[yi+15] + b4*t1[yi+20] +
+						c0*t2[zi] + c1*t2[zi+25] + c2*t2[zi+50] + c3*t2[zi+75] + c4*t2[zi+100]
+					s1 := a0*t3[cb] + a1*t3[cb+1] + a2*t3[cb+2] + a3*t3[cb+3] + a4*t3[cb+4] +
+						b0*t4[yi] + b1*t4[yi+5] + b2*t4[yi+10] + b3*t4[yi+15] + b4*t4[yi+20] +
+						c0*t5[zi] + c1*t5[zi+25] + c2*t5[zi+50] + c3*t5[zi+75] + c4*t5[zi+100]
+					s2 := a0*t6[cb] + a1*t6[cb+1] + a2*t6[cb+2] + a3*t6[cb+3] + a4*t6[cb+4] +
+						b0*t7[yi] + b1*t7[yi+5] + b2*t7[yi+10] + b3*t7[yi+15] + b4*t7[yi+20] +
+						c0*t8[zi] + c1*t8[zi+25] + c2*t8[zi+50] + c3*t8[zi+75] + c4*t8[zi+100]
+					j := 3 * int(nb[cb+a])
+					dst[j] += s0
+					dst[j+1] += s1
+					dst[j+2] += s2
+				}
+			}
+		}
+	}
+}
+
+var (
+	_ Operator     = (*Elastic3D)(nil)
+	_ Connectivity = (*Elastic3D)(nil)
+)
 
 func (op *Elastic3D) String() string {
 	return fmt.Sprintf("Elastic3D(%s, deg=%d, nodes=%d, periodic=%v)", op.M.Name, op.deg, op.NumNodes(), op.Periodic)

@@ -1,0 +1,42 @@
+package sem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchAddKuCase times the steady-state kernel of one prebuilt operator
+// and reports ns/elem; the operator fixtures come from
+// KernelBenchOperators, shared with cmd/kernelbench.
+func benchAddKuCase(b *testing.B, op Operator) {
+	u := make([]float64, op.NDof())
+	BenchField(u)
+	dst := make([]float64, op.NDof())
+	elems := AllElements(op)
+	var sc Scratch
+	op.AddKuScratch(dst, u, elems, &sc) // warm scratch + page buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.AddKuScratch(dst, u, elems, &sc)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(len(elems))*1e9, "ns/elem")
+}
+
+// BenchmarkAddKu measures the steady-state stiffness kernel of each
+// operator in ns/elem with allocation reporting — the per-element constant
+// of the paper's speedup model (Eq. 9). deg=4 is the paper's 125-node
+// configuration and hits the specialised kernels.
+func BenchmarkAddKu(b *testing.B) {
+	for _, deg := range []int{4} {
+		cases, err := KernelBenchOperators(deg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tc := range cases {
+			b.Run(fmt.Sprintf("%s/deg=%d", tc.Name, deg), func(b *testing.B) {
+				benchAddKuCase(b, tc.Op)
+			})
+		}
+	}
+}

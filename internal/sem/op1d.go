@@ -20,6 +20,9 @@ type Op1D struct {
 	ne   int
 	deg  int
 	minv []float64
+	conn []int32   // flat connectivity: ne × (deg+1) node ids
+	dfl  []float64 // derivative matrix, row-major, stride deg+1
+	dtf  []float64 // transposed derivative matrix
 }
 
 // BC1D selects the boundary condition at an end of the 1-D domain.
@@ -74,6 +77,21 @@ func NewOp1D(xc, c, rho []float64, deg int, left, right BC1D) (*Op1D, error) {
 	if right == FixedBC {
 		op.minv[nn-1] = 0
 	}
+	nq := deg + 1
+	op.conn = make([]int32, ne*nq)
+	for e := 0; e < ne; e++ {
+		for a := 0; a < nq; a++ {
+			op.conn[e*nq+a] = int32(e*deg + a)
+		}
+	}
+	op.dfl = make([]float64, nq*nq)
+	op.dtf = make([]float64, nq*nq)
+	for i := 0; i < nq; i++ {
+		for j := 0; j < nq; j++ {
+			op.dfl[i*nq+j] = r.D[i][j]
+			op.dtf[i*nq+j] = r.D[j][i]
+		}
+	}
 	return op, nil
 }
 
@@ -92,14 +110,14 @@ func (op *Op1D) NumElements() int { return op.ne }
 // MInv returns the inverse lumped mass.
 func (op *Op1D) MInv() []float64 { return op.minv }
 
-// ElemNodes appends the deg+1 node ids of element e.
+// ElemNodes appends the deg+1 node ids of element e from the flat table.
 func (op *Op1D) ElemNodes(e int, buf []int32) []int32 {
-	base := int32(e * op.deg)
-	for a := 0; a <= op.deg; a++ {
-		buf = append(buf, base+int32(a))
-	}
-	return buf
+	nq := op.deg + 1
+	return append(buf, op.conn[e*nq:(e+1)*nq]...)
 }
+
+// ConnTable exposes the flat connectivity (implements Connectivity).
+func (op *Op1D) ConnTable() ([]int32, int) { return op.conn, op.deg + 1 }
 
 // NodeX returns the physical coordinate of global node n.
 func (op *Op1D) NodeX(n int) float64 {
@@ -112,16 +130,26 @@ func (op *Op1D) NodeX(n int) float64 {
 	return x0 + (x1-x0)*(op.Rule.Points[a]+1)/2
 }
 
-// AddKu accumulates dst += K u for the listed elements:
+// AddKu accumulates dst += K u for the listed elements, using a pooled
+// scratch. Hot callers hold their own Scratch and call AddKuScratch.
+func (op *Op1D) AddKu(dst, u []float64, elems []int32) {
+	sc := scratchPool.Get().(*Scratch)
+	op.AddKuScratch(dst, u, elems, sc)
+	scratchPool.Put(sc)
+}
+
+// AddKuScratch accumulates dst += K u for the listed elements:
 //
 //	(K u)_i = Σ_e μ_e / J_e Σ_q w_q D_{qi} (Σ_j D_{qj} u_j) .
-func (op *Op1D) AddKu(dst, u []float64, elems []int32) {
+//
+// Zero heap allocations once sc is warm.
+func (op *Op1D) AddKuScratch(dst, u []float64, elems []int32, sc *Scratch) {
 	checkLens(op, "dst", dst)
 	checkLens(op, "u", u)
 	nq := op.deg + 1
-	d := op.Rule.D
+	d, dt := op.dfl, op.dtf
 	w := op.Rule.Weights
-	f := make([]float64, nq)
+	f := sc.floats(nq)
 	for _, e := range elems {
 		base := int(e) * op.deg
 		j := (op.XC[e+1] - op.XC[e]) / 2
@@ -129,7 +157,7 @@ func (op *Op1D) AddKu(dst, u []float64, elems []int32) {
 		s := mu / j
 		for q := 0; q < nq; q++ {
 			du := 0.0
-			row := d[q]
+			row := d[q*nq : q*nq+nq]
 			for a := 0; a < nq; a++ {
 				du += row[a] * u[base+a]
 			}
@@ -137,10 +165,16 @@ func (op *Op1D) AddKu(dst, u []float64, elems []int32) {
 		}
 		for a := 0; a < nq; a++ {
 			acc := 0.0
+			row := dt[a*nq : a*nq+nq]
 			for q := 0; q < nq; q++ {
-				acc += d[q][a] * f[q]
+				acc += row[q] * f[q]
 			}
 			dst[base+a] += acc
 		}
 	}
 }
+
+var (
+	_ Operator     = (*Op1D)(nil)
+	_ Connectivity = (*Op1D)(nil)
+)

@@ -8,9 +8,18 @@
 // so both the global Newmark scheme (Eq. 5-6) and the multi-level
 // LTS-Newmark scheme (Algorithm 1) can be built on top without knowing the
 // discretization.
+//
+// All concrete operators share a flat kernel core: element connectivity is
+// precomputed into one gather/scatter table at construction, the GLL
+// derivative matrices are stored flat, and the AddKuScratch entry point
+// runs with caller-owned scratch so the steady-state stepping loops
+// perform zero heap allocations.
 package sem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Operator is a semi-discrete wave operator M ü = -K u + F with diagonal
 // mass matrix. Degrees of freedom are laid out node-major: dof = node*Comps
@@ -32,9 +41,23 @@ type Operator interface {
 	// element whose nodal values are all zero are exactly zero, so
 	// restricting elems to the support of u is lossless.
 	AddKu(dst, u []float64, elems []int32)
+	// AddKuScratch is AddKu with caller-owned kernel scratch: a warm
+	// Scratch makes the call allocation-free, which the steady-state
+	// stepping loops rely on. AddKu delegates here with pooled scratch.
+	AddKuScratch(dst, u []float64, elems []int32, sc *Scratch)
 	// ElemNodes appends the global node ids of element e to buf and
 	// returns the extended slice.
 	ElemNodes(e int, buf []int32) []int32
+}
+
+// Connectivity is an optional Operator extension exposing the precomputed
+// flat gather/scatter table: ConnTable returns (conn, npe) such that
+// conn[e*npe+i] is the global node id of element e's i-th local node. All
+// concrete operators in this package implement it; consumers that walk
+// element connectivity in bulk (LTS set construction, parallel plan
+// building) read the table directly instead of copying through ElemNodes.
+type Connectivity interface {
+	ConnTable() (conn []int32, nodesPerElem int)
 }
 
 // Preparer is an optional Operator extension: implementations can
@@ -64,8 +87,83 @@ func AllElements(op Operator) []int32 {
 	return out
 }
 
+// NodesOf returns the sorted unique global node ids touched by the listed
+// elements.
+func NodesOf(op Operator, elems []int32) []int32 {
+	seen := make([]bool, op.NumNodes())
+	var nodes []int32
+	var nb []int32
+	conn, npe := ConnOf(op)
+	for _, e := range elems {
+		if conn != nil {
+			nb = conn[int(e)*npe : (int(e)+1)*npe]
+		} else {
+			nb = op.ElemNodes(int(e), nb[:0])
+		}
+		for _, n := range nb {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// ConnOf returns op's flat connectivity table when it exposes one, and
+// (nil, 0) otherwise; callers treat nil as "fall back to ElemNodes". The
+// single helper keeps every Connectivity consumer (LTS set construction,
+// parallel plan building, NodesOf) on one contract.
+func ConnOf(op Operator) ([]int32, int) {
+	if ct, ok := op.(Connectivity); ok {
+		return ct.ConnTable()
+	}
+	return nil, 0
+}
+
+// Restriction is an element list with its precomputed node support, for
+// repeated restricted applications: where Accel pays O(NDof) zeroing and
+// O(NumNodes) mass scaling regardless of the list, Restriction.Accel
+// touches only the support.
+type Restriction struct {
+	// Elems is the element list (not copied; must not be mutated).
+	Elems []int32
+	// Nodes is the sorted unique node support of Elems.
+	Nodes []int32
+}
+
+// NewRestriction precomputes the node support of elems.
+func NewRestriction(op Operator, elems []int32) *Restriction {
+	return &Restriction{Elems: elems, Nodes: NodesOf(op, elems)}
+}
+
+// Accel computes dst = -M⁻¹ K u over the restriction's elements, reading
+// and writing only the support nodes: entries of dst outside r.Nodes are
+// left untouched. With a warm Scratch the call is allocation-free.
+func (r *Restriction) Accel(op Operator, dst, u []float64, sc *Scratch) {
+	nc := op.Comps()
+	for _, n := range r.Nodes {
+		base := int(n) * nc
+		for c := 0; c < nc; c++ {
+			dst[base+c] = 0
+		}
+	}
+	op.AddKuScratch(dst, u, r.Elems, sc)
+	minv := op.MInv()
+	for _, n := range r.Nodes {
+		mi := minv[n]
+		base := int(n) * nc
+		for c := 0; c < nc; c++ {
+			dst[base+c] *= -mi
+		}
+	}
+}
+
 // Accel computes dst = -M⁻¹ K u over all elements (the right-hand side of
-// Eq. 4 without sources). dst is overwritten.
+// Eq. 4 without sources). dst is overwritten. Callers holding a small
+// restricted element list should prefer Restriction.Accel, which touches
+// only the list's node support.
 func Accel(op Operator, dst, u []float64, elems []int32) {
 	for i := range dst {
 		dst[i] = 0

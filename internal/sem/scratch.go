@@ -1,0 +1,32 @@
+package sem
+
+import "sync"
+
+// Scratch is the reusable per-call workspace of the AddKu kernels: one
+// flat float64 arena that each kernel carves into its element-local
+// buffers (gathered displacements, stress-flux terms). A warm Scratch
+// makes AddKuScratch perform zero heap allocations, which is what the
+// steady-state stepping loops rely on.
+//
+// A Scratch may be shared across operators (it grows to the largest
+// request) but not across goroutines: each parallel rank worker and each
+// sequential stepper owns its own.
+type Scratch struct {
+	buf []float64
+}
+
+// floats returns a slice of length n backed by the arena, growing it when
+// needed. The contents are unspecified: kernels must fully overwrite what
+// they read.
+func (s *Scratch) floats(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}
+
+// scratchPool backs the plain AddKu entry points, so callers that do not
+// manage a Scratch themselves still hit warm buffers after the first few
+// calls. The hot paths (steppers, rank workers) bypass the pool with an
+// owned Scratch.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
