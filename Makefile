@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet fmt check
+.PHONY: build test race bench vet fmt check examples
 
 build:
 	$(GO) build ./...
@@ -25,10 +25,18 @@ bench: bench-kernels
 bench-kernels:
 	$(GO) run ./cmd/kernelbench -out BENCH_kernels.json
 
+# Smoke-run every example at tiny scales, so facade changes cannot
+# silently break them (they are not covered by `go test`).
+examples:
+	$(GO) run ./examples/quickstart -scale 0.001 -cycles 5
+	$(GO) run ./examples/trench_seismology -scale 0.001 -cycles 5
+	$(GO) run ./examples/partition_compare -scale 0.02
+	$(GO) run ./examples/cluster_scaling -scale 0.02 -nodes 2,4
+
 vet:
 	$(GO) vet ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet build test race
+check: fmt vet build test race examples

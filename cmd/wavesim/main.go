@@ -1,5 +1,6 @@
 // Command wavesim runs a 3-D wave simulation on a benchmark mesh, with or
-// without LTS, and writes receiver seismograms.
+// without LTS, and writes receiver seismograms. It is a thin client of
+// the public golts/wave facade.
 //
 // Usage:
 //
@@ -9,29 +10,24 @@
 //	        [-workers 0] [-partitioner scotch-p]
 //
 // -workers N runs the stiffness applications on N persistent rank workers
-// (package parallel); 0 means one per GOMAXPROCS slot, 1 disables the
-// engine. Results are bitwise reproducible for a fixed (workers,
-// partitioner, seed); the GOMAXPROCS default therefore varies in the last
-// FP digits across hosts with different core counts — pin -workers for
-// cross-host reproducibility. A JSON config (see internal/simio.Config)
-// overrides the other flags and may place sources, receivers and a sponge
-// layer explicitly.
+// (the shared-memory parallel engine); 0 means one per GOMAXPROCS slot, 1
+// disables the engine. Results are bitwise reproducible for a fixed
+// (workers, partitioner, seed); the GOMAXPROCS default therefore varies
+// in the last FP digits across hosts with different core counts — pin
+// -workers for cross-host reproducibility. A JSON config (see
+// internal/simio.Config) overrides the other flags and may place sources,
+// receivers and a sponge layer explicitly. The -out format is selected by
+// file extension: ".json" writes JSON, anything else CSV.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"time"
 
-	"golts/internal/lts"
-	"golts/internal/mesh"
-	"golts/internal/newmark"
-	"golts/internal/parallel"
-	"golts/internal/partition"
-	"golts/internal/sem"
-	"golts/internal/simio"
+	"golts/wave"
 )
 
 func main() {
@@ -45,202 +41,80 @@ func main() {
 	degree := flag.Int("degree", 4, "SEM polynomial degree")
 	cfl := flag.Float64("cfl", 0.4, "Courant number")
 	workers := flag.Int("workers", 0, "parallel rank workers (0 = GOMAXPROCS, 1 = sequential)")
-	partMethod := flag.String("partitioner", string(partition.ScotchP), "element partitioner for -workers > 1")
+	partMethod := flag.String("partitioner", string(wave.ScotchP), "element partitioner for -workers > 1")
 	seed := flag.Int64("seed", 1, "partitioner seed")
 	flag.Parse()
 
-	var cfg *simio.Config
-	if *cfgPath != "" {
-		var err error
-		cfg, err = simio.LoadConfig(*cfgPath)
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		cfg = &simio.Config{
-			Mesh: *name, Scale: *scale, Physics: *physics,
-			Degree: *degree, CFL: *cfl, LTS: *useLTS, Cycles: *cycles,
-		}
-		if err := cfg.Validate(); err != nil {
-			fatal(err)
-		}
+	// Execution options the config file does not carry.
+	exec := []wave.Option{
+		wave.WithWorkers(*workers),
+		wave.WithPartitioner(wave.Partitioner(*partMethod)),
+		wave.WithSeed(*seed),
 	}
-	if err := run(cfg, *outPath, *workers, partition.Method(*partMethod), *seed); err != nil {
+	if *outPath != "" {
+		exec = append(exec, wave.WithSink(wave.FileSink(*outPath)))
+	}
+
+	var sim *wave.Simulation
+	var err error
+	if *cfgPath != "" {
+		sim, err = wave.FromConfigFile(*cfgPath, exec...)
+	} else {
+		scheme := wave.WithLTS()
+		if !*useLTS {
+			scheme = wave.WithGlobalNewmark()
+		}
+		sim, err = wave.New(append([]wave.Option{
+			wave.WithMesh(*name, *scale),
+			wave.WithPhysics(wave.Physics(*physics)),
+			wave.WithDegree(*degree),
+			wave.WithCFL(*cfl),
+			wave.WithCycles(*cycles),
+			scheme,
+		}, exec...)...)
+	}
+	if err != nil {
 		fatal(err)
+	}
+	defer sim.Close()
+
+	st := sim.Stats()
+	fmt.Printf("mesh %s: %d elements, %d DOF, %d levels, model speedup %.2fx, %d workers\n",
+		st.Mesh, st.Elements, st.DOF, st.Levels, st.TheoreticalSpeedup, st.Workers)
+
+	t0 := time.Now()
+	if err := sim.Run(context.Background(), 0); err != nil {
+		fatal(err)
+	}
+	st = sim.Stats()
+	if st.LTS {
+		fmt.Printf("LTS-Newmark: %d cycles in %.2fs; work saving %.2fx (%.0f%% of Eq. 9 model)\n",
+			st.Cycles, time.Since(t0).Seconds(), st.EffectiveSpeedup, 100*st.Efficiency)
+	} else {
+		fmt.Printf("global Newmark: %d steps in %.2fs\n",
+			st.Cycles*int64(st.PMax), time.Since(t0).Seconds())
+	}
+	if st.Engine != nil {
+		fmt.Printf("parallel engine: %d applies, %d messages, %d node-values exchanged\n",
+			st.Engine.Applies, st.Engine.Messages, st.Engine.Volume)
+	}
+
+	seis := sim.Seismograms()
+	for i := range seis.Traces {
+		tr := &seis.Traces[i]
+		peak, pt := tr.Peak(seis.Times)
+		fmt.Printf("receiver %-6s |u|max = %.3e  peak t = %.3f\n", tr.Name, peak, pt)
+	}
+	// Close flushes the sink; report only after the data is on disk.
+	if err := sim.Close(); err != nil {
+		fatal(err)
+	}
+	if *outPath != "" {
+		fmt.Printf("seismograms written to %s\n", *outPath)
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "wavesim:", err)
 	os.Exit(1)
-}
-
-// operator abstracts the two physics choices for the driver.
-type operator interface {
-	sem.Operator
-	NodeCoords(n int32) (x, y, z float64)
-}
-
-func run(cfg *simio.Config, outPath string, workers int, method partition.Method, seed int64) error {
-	gen, ok := mesh.Generators[cfg.Mesh]
-	if !ok {
-		return fmt.Errorf("unknown mesh %q", cfg.Mesh)
-	}
-	m := gen(cfg.Scale)
-	lv := mesh.AssignLevels(m, cfg.CFL/float64(cfg.Degree*cfg.Degree), 0)
-
-	var op operator
-	switch cfg.Physics {
-	case "acoustic":
-		a, err := sem.NewAcoustic3D(m, cfg.Degree, false)
-		if err != nil {
-			return err
-		}
-		op = a
-	case "elastic":
-		e, err := sem.NewElastic3D(m, cfg.Degree, false, 0)
-		if err != nil {
-			return err
-		}
-		op = e
-	}
-	nc := op.Comps()
-
-	// step is the operator the time steppers see: the geometry operator
-	// itself, or the parallel engine wrapped around it.
-	var step sem.Operator = op
-	if workers <= 0 {
-		workers = parallel.DefaultWorkers()
-	}
-	var pop *parallel.PartitionedOperator
-	if workers > 1 {
-		part, err := partition.Assign(m, lv, workers, method, seed)
-		if err != nil {
-			return err
-		}
-		pop, err = parallel.NewOperator(op, part, workers)
-		if err != nil {
-			return err
-		}
-		defer pop.Close()
-		step = pop
-	}
-
-	// Defaults: source near the refinement, one receiver nearby.
-	x0, x1, y0, y1, z0, z1 := m.Extent()
-	if cfg.Source.F0 == 0 {
-		dur := float64(cfg.Cycles) * lv.CoarseDt
-		cfg.Source = simio.SourceSpec{
-			X: (x0 + x1) / 2, Y: (y0 + y1) / 2, Z: z0 + (z1-z0)/4,
-			Comp: min(cfg.Source.Comp, nc-1), F0: 8 / dur, T0: dur / 5,
-		}
-	}
-	if len(cfg.Receivers) == 0 {
-		cfg.Receivers = []simio.ReceiverSpec{{
-			Name: "st0", X: (x0+x1)/2 + (x1-x0)/12, Y: (y0 + y1) / 2, Z: z0,
-			Comp: min(cfg.Source.Comp, nc-1),
-		}}
-	}
-	srcNode := nearestNode(op, cfg.Source.X, cfg.Source.Y, cfg.Source.Z)
-	src := sem.Source{
-		Dof: int(srcNode)*nc + min(cfg.Source.Comp, nc-1),
-		W:   sem.Ricker{F0: cfg.Source.F0, T0: cfg.Source.T0},
-	}
-	var recs []*sem.Receiver
-	for _, r := range cfg.Receivers {
-		n := nearestNode(op, r.X, r.Y, r.Z)
-		recs = append(recs, &sem.Receiver{Dof: int(n)*nc + min(r.Comp, nc-1)})
-	}
-	var sigma []float64
-	if cfg.Sponge.Strength > 0 {
-		sigma = sem.SpongeProfile(op.NumNodes(), op.NodeCoords,
-			x0, x1, y0, y1, z0, z1, cfg.Sponge.Faces, cfg.Sponge.Width, cfg.Sponge.Strength)
-	}
-
-	fmt.Printf("mesh %s: %d elements, %d DOF, %d levels, model speedup %.2fx, %d workers\n",
-		m.Name, m.NumElements(), op.NDof(), lv.NumLevels, lv.TheoreticalSpeedup(), workers)
-
-	t0 := time.Now()
-	if cfg.LTS {
-		s, err := lts.FromMeshLevels(step, lv, true)
-		if err != nil {
-			return err
-		}
-		s.SetSources([]sem.Source{src})
-		s.Sigma = sigma
-		for i := 0; i < cfg.Cycles; i++ {
-			s.Step()
-			for _, r := range recs {
-				r.Record(s.Time(), s.U)
-			}
-		}
-		fmt.Printf("LTS-Newmark: %d cycles in %.2fs; work saving %.2fx (%.0f%% of Eq. 9 model)\n",
-			cfg.Cycles, time.Since(t0).Seconds(), s.EffectiveSpeedup(), 100*s.Efficiency())
-	} else {
-		g := newmark.New(step, lv.CoarseDt/float64(lv.PMax()))
-		g.Sources = []sem.Source{src}
-		g.Sigma = sigma
-		for i := 0; i < cfg.Cycles; i++ {
-			g.Run(lv.PMax())
-			for _, r := range recs {
-				r.Record(g.Time(), g.U)
-			}
-		}
-		fmt.Printf("global Newmark: %d steps in %.2fs\n", cfg.Cycles*lv.PMax(), time.Since(t0).Seconds())
-	}
-
-	if pop != nil {
-		st := pop.Stats()
-		fmt.Printf("parallel engine: %d applies, %d messages, %d node-values exchanged\n",
-			st.Applies, st.Messages, st.Volume)
-	}
-
-	var set simio.SeismogramSet
-	for i, r := range recs {
-		spec := cfg.Receivers[i]
-		if err := set.AddTrace(spec.Name, spec.X, spec.Y, spec.Z, r.Times, r.Values); err != nil {
-			return err
-		}
-		peak := 0.0
-		for _, v := range r.Values {
-			peak = math.Max(peak, math.Abs(v))
-		}
-		fmt.Printf("receiver %-6s |u|max = %.3e  peak t = %.3f\n", spec.Name, peak, r.PeakTime())
-	}
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if len(outPath) > 5 && outPath[len(outPath)-5:] == ".json" {
-			err = set.WriteJSON(f)
-		} else {
-			err = set.WriteCSV(f)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Printf("seismograms written to %s\n", outPath)
-	}
-	return nil
-}
-
-func nearestNode(op operator, x, y, z float64) int32 {
-	best, bd := int32(0), math.Inf(1)
-	for n := 0; n < op.NumNodes(); n++ {
-		nx, ny, nz := op.NodeCoords(int32(n))
-		d := (nx-x)*(nx-x) + (ny-y)*(ny-y) + (nz-z)*(nz-z)
-		if d < bd {
-			best, bd = int32(n), d
-		}
-	}
-	return best
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

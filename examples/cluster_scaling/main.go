@@ -1,26 +1,53 @@
 // Cluster scaling: a Fig. 9-style experiment in miniature — simulate the
 // trench mesh on a CPU cluster (8 ranks/node) and a GPU cluster (1
-// rank/node) from 4 to 32 nodes, comparing partitioners against the LTS
-// ideal curve and the non-LTS baseline.
+// rank/node) across a range of node counts, comparing partitioners
+// against the LTS ideal curve and the non-LTS baseline. Partitions come
+// from the golts/wave facade; the cluster cost model interprets them.
 //
-// Run with: go run ./examples/cluster_scaling
+// Run with: go run ./examples/cluster_scaling [-scale 0.1] [-nodes 4,8,16,32]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"golts/internal/cluster"
 	"golts/internal/mesh"
-	"golts/internal/partition"
+	"golts/wave"
 )
 
 func main() {
-	m := mesh.Trench(0.1)
-	lv := mesh.AssignLevels(m, 0.4, 0)
+	scale := flag.Float64("scale", 0.1, "trench mesh scale")
+	nodeList := flag.String("nodes", "4,8,16,32", "comma-separated node counts")
+	flag.Parse()
+
+	const cfl = 0.4
+	nodes, err := parseNodes(*nodeList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The cluster cost model consumes the raw mesh and level assignment;
+	// rebuild the same (deterministic) pair the facade partitions.
+	m := mesh.Trench(*scale)
+	lv := mesh.AssignLevels(m, cfl, 0)
 	model := lv.TheoreticalSpeedup()
-	nodes := []int{4, 8, 16, 32}
 	fmt.Printf("trench mesh: %d elements, model speedup %.2fx\n\n", m.NumElements(), model)
+
+	// The facade normalises CFL by degree²; the level assignment (and so
+	// the partition) is invariant to that factor, so these partitions line
+	// up with the raw-CFL levels the cost model uses.
+	part := func(method wave.Partitioner, k int, imb float64) []int32 {
+		rep, err := wave.PartitionMesh("trench", *scale, wave.PartitionOptions{
+			Parts: k, Method: method, Imbalance: imb, Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.Part
+	}
 
 	run := func(cm cluster.CostModel) {
 		fmt.Printf("--- %s cluster (%d rank(s)/node), performance vs non-LTS %s @ %d nodes ---\n",
@@ -29,22 +56,19 @@ func main() {
 		var base float64
 		for ni, nd := range nodes {
 			k := nd * cm.RanksPerNode
-			nonPart := mustPart(m, lv, partition.Scotch, k, 0.05)
-			non, err := cluster.SimulateNonLTS(m, lv, nonPart, k, cm)
+			non, err := cluster.SimulateNonLTS(m, lv, part(wave.Scotch, k, 0.05), k, cm)
 			if err != nil {
 				log.Fatal(err)
 			}
 			if ni == 0 {
 				base = non.Performance
 			}
-			spPart := mustPart(m, lv, partition.ScotchP, k, 0.03)
-			spA, err := cluster.NewAssignment(m, lv, spPart, k)
+			spA, err := cluster.NewAssignment(m, lv, part(wave.ScotchP, k, 0.03), k)
 			if err != nil {
 				log.Fatal(err)
 			}
 			sp := cluster.Simulate(spA, cm)
-			ptPart := mustPart(m, lv, partition.Patoh, k, 0.01)
-			ptA, err := cluster.NewAssignment(m, lv, ptPart, k)
+			ptA, err := cluster.NewAssignment(m, lv, part(wave.Patoh, k, 0.01), k)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -62,12 +86,17 @@ func main() {
 	fmt.Println("launch overhead on the small fine levels.")
 }
 
-func mustPart(m *mesh.Mesh, lv *mesh.Levels, method partition.Method, k int, imb float64) []int32 {
-	res, err := partition.PartitionMesh(m, lv, partition.Options{
-		K: k, Method: method, Imbalance: imb, Seed: 11,
-	})
-	if err != nil {
-		log.Fatal(err)
+func parseNodes(s string) ([]int, error) {
+	var nodes []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad node count %q", f)
+		}
+		nodes = append(nodes, n)
 	}
-	return res.Part
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("empty node list")
+	}
+	return nodes, nil
 }

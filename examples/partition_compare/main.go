@@ -1,44 +1,49 @@
 // Partition compare: reproduce the paper's Fig. 6/7/8 story on a single
-// mesh — the single-constraint baseline balances total work but not the
-// p-levels; the LTS-aware strategies balance every level; the hypergraph
-// model optimises true MPI volume.
+// mesh through the golts/wave facade — the single-constraint baseline
+// balances total work but not the p-levels; the LTS-aware strategies
+// balance every level; the hypergraph model optimises true MPI volume.
 //
 // The example also prints an ASCII slice of the trench partition (the
 // paper's Fig. 6 visualisation, one character per element column).
 //
-// Run with: go run ./examples/partition_compare
+// Run with: go run ./examples/partition_compare [-scale 0.05]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"golts/internal/mesh"
-	"golts/internal/partition"
+	"golts/wave"
 )
 
 func main() {
-	m := mesh.Trench(0.05)
-	lv := mesh.AssignLevels(m, 0.4, 0)
-	const k = 4
-	fmt.Printf("trench mesh: %d elements, %d levels, speedup %.2fx, K = %d\n\n",
-		m.NumElements(), lv.NumLevels, lv.TheoreticalSpeedup(), k)
+	scale := flag.Float64("scale", 0.05, "trench mesh scale")
+	flag.Parse()
 
-	for _, method := range partition.Methods {
-		res, err := partition.PartitionMesh(m, lv, partition.Options{
-			K: k, Method: method, Imbalance: 0.03, Seed: 42,
+	const k = 4
+	plan, err := wave.Describe(wave.WithMesh("trench", *scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trench mesh: %d elements, %d levels, speedup %.2fx, K = %d\n\n",
+		plan.Elements, plan.Levels, plan.TheoreticalSpeedup, k)
+
+	for _, method := range wave.Partitioners {
+		rep, err := wave.PartitionMesh("trench", *scale, wave.PartitionOptions{
+			Parts: k, Method: method, Imbalance: 0.03, Seed: 42,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		mt := partition.Evaluate(m, lv, res.Part, k)
-		fmt.Printf("%-9s total imbalance %5.1f%%  per-level", method, mt.TotalImbalance)
-		for _, v := range mt.PerLevelImbalance {
+		fmt.Printf("%-9s total imbalance %5.1f%%  per-level", method, rep.TotalImbalance)
+		for _, v := range rep.PerLevelImbalance {
 			fmt.Printf(" %5.1f%%", v)
 		}
-		fmt.Printf("  cut %.2e  volume %.2e\n", float64(mt.GraphCut), float64(mt.CommVolume))
-		if method == partition.Scotch || method == partition.ScotchP {
-			fmt.Println(asciiSlice(m, lv, res.Part))
+		fmt.Printf("  cut %.2e  volume %.2e\n", float64(rep.GraphCut), float64(rep.CommVolume))
+		if method == wave.Scotch || method == wave.ScotchP {
+			fmt.Println(asciiSlice(*scale, rep.Part))
 		}
 	}
 	fmt.Println("legend: one character per element at the mid-depth slice; 0-3 = owning part,")
@@ -47,8 +52,13 @@ func main() {
 }
 
 // asciiSlice renders the z-middle slice of the partition, marking refined
-// elements with uppercase letters.
-func asciiSlice(m *mesh.Mesh, lv *mesh.Levels, part []int32) string {
+// elements with uppercase letters. The rendering needs element-grid
+// geometry the facade does not expose, so it rebuilds the (deterministic)
+// mesh and level assignment that wave.PartitionMesh used (defaults:
+// degree 4, CFL 0.4, normalised as CFL/degree²).
+func asciiSlice(scale float64, part []int32) string {
+	m := mesh.Trench(scale)
+	lv := mesh.AssignLevels(m, 0.4/16, 0)
 	out := ""
 	kz := m.NZ / 2
 	stepY := (m.NY + 15) / 16 // at most ~16 rows

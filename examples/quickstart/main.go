@@ -1,89 +1,78 @@
-// Quickstart: local time stepping on a 1-D bar in ~80 lines.
+// Quickstart: the golts/wave facade in one page.
 //
-// A bar of 40 elements has a refined patch in the middle (elements 8x
-// smaller). The global Newmark scheme must step the whole bar at the
-// smallest element's CFL limit (Eq. 7); LTS-Newmark steps only the patch
-// at the fine rate and the rest at the coarse rate, producing the same
-// waveform for a fraction of the work.
+// Two simulations of the same acoustic wave on the trench benchmark — one
+// with the multi-level LTS-Newmark scheme, one with the global Newmark
+// reference — produce the same seismogram, but LTS performs a fraction of
+// the element work: only the refined trench substeps at the fine rate.
 //
-// Run with: go run ./examples/quickstart
+// Run with: go run ./examples/quickstart [-scale 0.005] [-cycles 40]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math"
 
-	"golts/internal/lts"
-	"golts/internal/newmark"
-	"golts/internal/sem"
+	"golts/wave"
 )
 
 func main() {
-	// Build the graded bar: coarse element size 1, a patch of 4 elements
-	// at size 1/8 in the middle (levels: 1 and 4, p = 1 and 8).
-	var xc []float64
-	var levels []uint8
-	x := 0.0
-	xc = append(xc, x)
-	for i := 0; i < 40; i++ {
-		h, lvl := 1.0, uint8(1)
-		if i >= 18 && i < 22 {
-			h, lvl = 1.0/8, 4
+	scale := flag.Float64("scale", 0.005, "trench mesh scale")
+	cycles := flag.Int("cycles", 40, "coarse cycles to simulate")
+	flag.Parse()
+
+	// Both runs share mesh, physics and the default source/receiver; they
+	// differ only in the time-stepping scheme.
+	options := func(scheme wave.Option) []wave.Option {
+		return []wave.Option{
+			wave.WithMesh("trench", *scale),
+			wave.WithPhysics(wave.Acoustic),
+			wave.WithCycles(*cycles),
+			scheme,
 		}
-		x += h
-		xc = append(xc, x)
-		levels = append(levels, lvl)
 	}
-	c := make([]float64, len(levels))
-	rho := make([]float64, len(levels))
-	for i := range c {
-		c[i], rho[i] = 1, 1
-	}
-	op, err := sem.NewOp1D(xc, c, rho, 4, sem.FreeBC, sem.FreeBC)
+	lts, err := wave.New(options(wave.WithLTS())...)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Coarse step at the coarse elements' CFL limit; the global scheme is
-	// forced to Δt/8 by the refined patch.
-	coarseDt := 0.5 * 1.0 / (4 * 4) // CFL * h / (c * deg²)
-	scheme, err := lts.New(op, levels, 4, coarseDt, true)
+	defer lts.Close()
+	global, err := wave.New(options(wave.WithGlobalNewmark())...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	global := newmark.New(op, coarseDt/8)
+	defer global.Close()
 
-	// A Gaussian pulse left of the patch, travelling through it.
-	u0 := make([]float64, op.NDof())
-	for i := range u0 {
-		xi := op.NodeX(i)
-		u0[i] = math.Exp(-2 * (xi - 10) * (xi - 10))
-	}
-	v0 := make([]float64, op.NDof())
-	if err := scheme.SetInitial(u0, v0); err != nil {
+	st := lts.Stats()
+	fmt.Printf("trench mesh: %d elements, %d DOF, %d LTS levels\n", st.Elements, st.DOF, st.Levels)
+
+	// A probe reports progress every 10 cycles.
+	progress := wave.SnapshotEvery(10, func(f wave.Frame) error {
+		fmt.Printf("  cycle %3d  t = %.3f\n", f.Cycle, f.Time)
+		return nil
+	})
+	ctx := context.Background()
+	if err := lts.Run(ctx, 0, progress); err != nil {
 		log.Fatal(err)
 	}
-	if err := global.SetInitial(u0, v0); err != nil {
+	if err := global.Run(ctx, 0); err != nil {
 		log.Fatal(err)
 	}
 
-	cycles := 300
-	scheme.Run(cycles)
-	global.Run(cycles * 8)
-
-	// Compare the two waveforms.
-	maxDiff, scale := 0.0, 0.0
-	for i := range scheme.U {
-		scale = math.Max(scale, math.Abs(global.U[i]))
-		maxDiff = math.Max(maxDiff, math.Abs(scheme.U[i]-global.U[i]))
+	// Same waveform...
+	a, b := lts.Seismograms(), global.Seismograms()
+	maxDiff, scaleAmp := 0.0, 0.0
+	for i, v := range a.Traces[0].Values {
+		scaleAmp = math.Max(scaleAmp, math.Abs(b.Traces[0].Values[i]))
+		maxDiff = math.Max(maxDiff, math.Abs(v-b.Traces[0].Values[i]))
 	}
-	fmt.Printf("simulated %d coarse steps to t = %.2f\n", cycles, scheme.Time())
-	fmt.Printf("max |LTS - global| = %.2e (field scale %.2f)\n", maxDiff, scale)
-	fmt.Printf("model speedup (Eq. 9):   %.2fx\n", scheme.ModelSpeedup())
-	fmt.Printf("work-based speedup:      %.2fx (%.0f%% efficiency)\n",
-		scheme.EffectiveSpeedup(), 100*scheme.Efficiency())
-	fmt.Printf("element-steps: LTS %d vs global %d\n",
-		scheme.ActualElemStepsPerCycle()*int64(cycles),
-		scheme.NonLTSElemStepsPerCycle()*int64(cycles))
+	fmt.Printf("simulated %d coarse cycles to t = %.2f\n", *cycles, lts.Time())
+	fmt.Printf("max |LTS - global| = %.2e (trace scale %.2e)\n", maxDiff, scaleAmp)
+
+	// ...for a fraction of the work.
+	ls, gs := lts.Stats(), global.Stats()
+	fmt.Printf("model speedup (Eq. 9):   %.2fx\n", ls.TheoreticalSpeedup)
+	fmt.Printf("work-based speedup:      %.2fx (%.0f%% efficiency)\n", ls.EffectiveSpeedup, 100*ls.Efficiency)
+	fmt.Printf("element-steps: LTS %d vs global %d\n", ls.ElemApplies, gs.ElemApplies)
 }

@@ -1,114 +1,110 @@
 // Trench seismology: a 3-D elastic simulation on the trench benchmark
-// mesh — the paper's motivating workload. A Ricker point source radiates
-// P and S waves through the refined trench; receivers on the surface
-// record three-component seismograms. The run reports the work saved by
-// the 4-level LTS scheme and verifies the seismograms against a global
-// Newmark reference.
+// mesh — the paper's motivating workload — as a client of the golts/wave
+// facade. A Ricker point source radiates P and S waves through the
+// refined trench; receivers on the surface record vertical-component
+// seismograms. The run reports the work saved by the multi-level LTS
+// scheme and verifies the seismograms against a global Newmark reference.
 //
-// Run with: go run ./examples/trench_seismology
+// Run with: go run ./examples/trench_seismology [-scale 0.002] [-cycles 55]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math"
 	"time"
 
-	"golts/internal/lts"
-	"golts/internal/mesh"
-	"golts/internal/newmark"
-	"golts/internal/sem"
+	"golts/wave"
 )
 
 func main() {
-	// A small trench so the reference run stays fast; scale up for real
-	// experiments.
-	m := mesh.Trench(0.002)
-	lv := mesh.AssignLevels(m, 0.4/16, 0) // degree-4 GLL spacing factor
-	fmt.Printf("trench mesh: %d elements, %d levels, model speedup %.2fx\n",
-		m.NumElements(), lv.NumLevels, lv.TheoreticalSpeedup())
+	scale := flag.Float64("scale", 0.002, "trench mesh scale")
+	cycles := flag.Int("cycles", 55, "coarse cycles to simulate")
+	flag.Parse()
 
-	op, err := sem.NewElastic3D(m, 4, false, 0)
+	// Describe resolves the mesh extent and the coarse step without
+	// building operators, so the source and stations can be placed in
+	// physical coordinates and the wavelet matched to the run duration.
+	plan, err := wave.Describe(wave.WithMesh("trench", *scale))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("elastic operator: %d nodes, %d DOF\n", op.NumNodes(), op.NDof())
+	fmt.Printf("trench mesh: %d elements, %d levels, model speedup %.2fx\n",
+		plan.Elements, plan.Levels, plan.TheoreticalSpeedup)
 
 	// Source: vertical point force inside the trench refinement.
-	x0, x1, y0, y1, _, _ := m.Extent()
-	srcNode := nearest(op, (x0+x1)/2, (y0+y1)/2, 1.0)
-	dur := 40 * lv.CoarseDt
-	wavelet := sem.Ricker{F0: 6 / dur, T0: dur / 5}
-	src := sem.Source{Dof: int(srcNode)*3 + 2, W: wavelet} // z component
-
+	dur := float64(*cycles) * plan.CoarseDt
+	src := wave.Source{
+		X: (plan.X0 + plan.X1) / 2, Y: (plan.Y0 + plan.Y1) / 2, Z: 1.0,
+		Comp: 2, F0: 8 / dur, T0: dur / 5,
+	}
 	// Receivers along the surface (z = 0), recording the z component.
-	var rcvs []*sem.Receiver
-	for _, fx := range []float64{0.46, 0.5, 0.54} {
-		n := nearest(op, x0+fx*(x1-x0), (y0+y1)/2, 0)
-		rcvs = append(rcvs, &sem.Receiver{Dof: int(n)*3 + 2})
+	options := func(scheme wave.Option) []wave.Option {
+		opts := []wave.Option{
+			wave.WithMesh("trench", *scale),
+			wave.WithPhysics(wave.Elastic),
+			wave.WithCycles(*cycles),
+			wave.WithSource(src),
+			scheme,
+		}
+		for i, fx := range []float64{0.46, 0.5, 0.54} {
+			opts = append(opts, wave.WithReceiver(wave.Receiver{
+				Name: fmt.Sprintf("st%d", i),
+				X:    plan.X0 + fx*(plan.X1-plan.X0), Y: (plan.Y0 + plan.Y1) / 2, Z: 0,
+				Comp: 2,
+			}))
+		}
+		return opts
 	}
 
-	cycles := 55
-	s, err := lts.FromMeshLevels(op, lv, true)
+	lts, err := wave.New(options(wave.WithLTS())...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s.SetSources([]sem.Source{src})
+	defer lts.Close()
+	fmt.Printf("elastic operator: %d DOF\n", lts.Stats().DOF)
+
+	ctx := context.Background()
 	t0 := time.Now()
-	for i := 0; i < cycles; i++ {
-		s.Step()
-		for _, r := range rcvs {
-			r.Record(s.Time(), s.U)
-		}
+	if err := lts.Run(ctx, 0); err != nil {
+		log.Fatal(err)
 	}
 	ltsTime := time.Since(t0)
 
 	// Global Newmark reference at the fine step.
-	g := newmark.New(op, lv.CoarseDt/float64(lv.PMax()))
-	g.Sources = []sem.Source{src}
-	ref := make([]*sem.Receiver, len(rcvs))
-	for i, r := range rcvs {
-		ref[i] = &sem.Receiver{Dof: r.Dof}
+	ref, err := wave.New(options(wave.WithGlobalNewmark())...)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer ref.Close()
 	t0 = time.Now()
-	for i := 0; i < cycles; i++ {
-		g.Run(lv.PMax())
-		for _, r := range ref {
-			r.Record(g.Time(), g.U)
-		}
+	if err := ref.Run(ctx, 0); err != nil {
+		log.Fatal(err)
 	}
 	refTime := time.Since(t0)
 
-	fmt.Printf("\nLTS run:    %.2fs for %d cycles (%d levels)\n", ltsTime.Seconds(), cycles, lv.NumLevels)
+	ls := lts.Stats()
+	fmt.Printf("\nLTS run:    %.2fs for %d cycles (%d levels)\n", ltsTime.Seconds(), ls.Cycles, ls.Levels)
 	fmt.Printf("global run: %.2fs (measured speedup %.2fx; Eq. 9 model %.2fx; work model %.2fx)\n",
 		refTime.Seconds(), refTime.Seconds()/ltsTime.Seconds(),
-		s.ModelSpeedup(), s.EffectiveSpeedup())
+		ls.TheoreticalSpeedup, ls.EffectiveSpeedup)
+
+	a, b := lts.Seismograms(), ref.Seismograms()
 	fmt.Println("\nreceiver  peak-amp      misfit(RMS)")
-	for i, r := range rcvs {
+	for i := range b.Traces {
 		var peak, rms, diff float64
-		for j, v := range ref[i].Values {
+		for j, v := range b.Traces[i].Values {
 			peak = math.Max(peak, math.Abs(v))
 			rms += v * v
-			d := r.Values[j] - v
+			d := a.Traces[i].Values[j] - v
 			diff += d * d
 		}
 		mis := 0.0
 		if rms > 0 {
 			mis = math.Sqrt(diff / rms)
 		}
-		fmt.Printf("   %d      %.3e    %.4f\n", i, peak, mis)
+		fmt.Printf("   %-6s %.3e    %.4f\n", b.Traces[i].Name, peak, mis)
 	}
-}
-
-// nearest does a brute-force nearest-node search (fine for examples).
-func nearest(op *sem.Elastic3D, x, y, z float64) int32 {
-	best, bd := int32(0), math.Inf(1)
-	for n := 0; n < op.NumNodes(); n++ {
-		nx, ny, nz := op.NodeCoords(int32(n))
-		d := (nx-x)*(nx-x) + (ny-y)*(ny-y) + (nz-z)*(nz-z)
-		if d < bd {
-			best, bd = int32(n), d
-		}
-	}
-	return best
 }

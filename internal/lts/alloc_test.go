@@ -36,5 +36,11 @@ func TestStepZeroAllocs(t *testing.T) {
 		if n := testing.AllocsPerRun(5, s.Step); n != 0 {
 			t.Errorf("optimized=%v: Step allocates %v per cycle, want 0", optimized, n)
 		}
+		// The Energy diagnostic caches its all-elements restriction and
+		// work buffer on first use, so warm calls allocate nothing either.
+		s.Energy()
+		if n := testing.AllocsPerRun(5, func() { s.Energy() }); n != 0 {
+			t.Errorf("optimized=%v: Energy allocates %v per call, want 0", optimized, n)
+		}
 	}
 }

@@ -77,6 +77,9 @@ type Scheme struct {
 	mask []float64   // masked copy of u (support levelNodes[li])
 	kbuf []float64   // stiffness accumulation (support forceNodes[li])
 	scr  sem.Scratch // kernel scratch: steady-state Step() allocates nothing
+	// Diagnostic scratch, built lazily by Energy:
+	energy *sem.Restriction // all-elements restriction
+	ebuf   []float64        // Energy work buffer (all-zero between uses)
 
 	srcLevel []uint8 // 0-based node level of each source's node
 }
@@ -396,13 +399,14 @@ func (s *Scheme) Run(n int) {
 	}
 }
 
-// Energy returns the instantaneous discrete energy ½vᵀMv + ½uᵀKu.
+// Energy returns the instantaneous discrete energy ½vᵀMv + ½uᵀKu. The
+// all-elements restriction and its work buffer are cached on first use,
+// so repeated calls allocate nothing (the kbuf all-zero invariant of the
+// stepping path is untouched).
 func (s *Scheme) Energy() float64 {
-	return sem.Energy(s.Op, s.U, s.V, sem.AllElements(s.Op), s.kbuf2())
-}
-
-func (s *Scheme) kbuf2() []float64 {
-	// Energy is diagnostic-only; allocate a fresh buffer so the kbuf
-	// all-zero invariant is preserved.
-	return make([]float64, s.Op.NDof())
+	if s.energy == nil {
+		s.energy = sem.NewRestriction(s.Op, sem.AllElements(s.Op))
+		s.ebuf = make([]float64, s.Op.NDof())
+	}
+	return s.energy.Energy(s.Op, s.U, s.V, s.ebuf, &s.scr)
 }

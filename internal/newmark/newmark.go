@@ -42,7 +42,8 @@ type Stepper struct {
 	elems   []int32
 	accel   []float64
 	visc    []float64
-	scr     sem.Scratch // kernel scratch: steady-state Step() allocates nothing
+	scr     sem.Scratch      // kernel scratch: steady-state Step() allocates nothing
+	energy  *sem.Restriction // cached by Energy so diagnostics allocate nothing
 	// ElementSteps counts element stiffness applications, for work
 	// accounting in performance comparisons.
 	ElementSteps int64
@@ -146,9 +147,17 @@ func (s *Stepper) Run(n int) {
 
 // Energy returns the instantaneous mechanical energy ½vᵀMv + ½uᵀKu, which
 // oscillates with amplitude O(Δt²) around a constant for the staggered
-// scheme.
+// scheme. The all-elements restriction is cached on first use and the
+// stiffness scratch reuses the stepper's accel buffer, so repeated calls
+// allocate nothing.
 func (s *Stepper) Energy() float64 {
-	return sem.Energy(s.Op, s.U, s.V, s.elems, s.accel)
+	if s.energy == nil {
+		s.energy = sem.NewRestriction(s.Op, s.elems)
+	}
+	for i := range s.accel {
+		s.accel[i] = 0
+	}
+	return s.energy.Energy(s.Op, s.U, s.V, s.accel, &s.scr)
 }
 
 // ConservedEnergy returns the discrete energy that the undamped, unforced
@@ -163,7 +172,7 @@ func (s *Stepper) ConservedEnergy() float64 {
 	for i := range ku {
 		ku[i] = 0
 	}
-	s.Op.AddKu(ku, s.U, s.elems)
+	s.Op.AddKuScratch(ku, s.U, s.elems, &s.scr)
 	minv := s.Op.MInv()
 	nc := s.Op.Comps()
 	e := 0.0

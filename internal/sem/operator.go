@@ -160,6 +160,33 @@ func (r *Restriction) Accel(op Operator, dst, u []float64, sc *Scratch) {
 	}
 }
 
+// Energy returns the discrete mechanical energy ½vᵀMv + ½uᵀKu accumulated
+// over the restriction's elements and node support. work must have length
+// NDof with all-zero entries on the support; it is used as stiffness
+// scratch and restored to zero on the support before returning, so a warm
+// Scratch makes the call allocation-free — the plan-cache-aware diagnostic
+// path the steppers' Energy methods use.
+func (r *Restriction) Energy(op Operator, u, v, work []float64, sc *Scratch) float64 {
+	nc := op.Comps()
+	op.AddKuScratch(work, u, r.Elems, sc)
+	minv := op.MInv()
+	e := 0.0
+	for _, n := range r.Nodes {
+		base := int(n) * nc
+		if minv[n] != 0 { // fixed nodes carry no kinetic energy
+			m := 1 / minv[n]
+			for c := 0; c < nc; c++ {
+				d := base + c
+				e += 0.5*m*v[d]*v[d] + 0.5*u[d]*work[d]
+			}
+		}
+		for c := 0; c < nc; c++ {
+			work[base+c] = 0
+		}
+	}
+	return e
+}
+
 // Accel computes dst = -M⁻¹ K u over all elements (the right-hand side of
 // Eq. 4 without sources). dst is overwritten. Callers holding a small
 // restricted element list should prefer Restriction.Accel, which touches
@@ -179,33 +206,22 @@ func Accel(op Operator, dst, u []float64, elems []int32) {
 	}
 }
 
-// Energy returns the discrete mechanical energy ½ vᵀMv + ½ uᵀKu. For the
-// staggered leap-frog scheme this quantity oscillates with amplitude
-// O(Δt²) around a conserved value, which is what the conservation tests
-// check.
+// Energy returns the discrete mechanical energy ½ vᵀMv + ½ uᵀKu over the
+// listed elements' node support. For the staggered leap-frog scheme this
+// quantity oscillates with amplitude O(Δt²) around a conserved value,
+// which is what the conservation tests check. This is the one-shot
+// convenience form; callers that evaluate repeatedly should hold a
+// Restriction and call its Energy method with owned scratch.
 func Energy(op Operator, u, v []float64, elems []int32, work []float64) float64 {
 	if len(work) < len(u) {
 		work = make([]float64, len(u))
 	}
-	ku := work[:len(u)]
-	for i := range ku {
-		ku[i] = 0
+	work = work[:len(u)]
+	for i := range work {
+		work[i] = 0
 	}
-	op.AddKu(ku, u, elems)
-	minv := op.MInv()
-	nc := op.Comps()
-	e := 0.0
-	for n := 0; n < op.NumNodes(); n++ {
-		if minv[n] == 0 {
-			continue // fixed node carries no kinetic energy
-		}
-		m := 1 / minv[n]
-		for c := 0; c < nc; c++ {
-			d := n*nc + c
-			e += 0.5*m*v[d]*v[d] + 0.5*u[d]*ku[d]
-		}
-	}
-	return e
+	var sc Scratch
+	return NewRestriction(op, elems).Energy(op, u, v, work, &sc)
 }
 
 // checkLens panics with a descriptive message when a vector has the wrong

@@ -44,7 +44,8 @@ type SourceSpec struct {
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
 	Z float64 `json:"z"`
-	// Comp is the force component (0..2; ignored for acoustic).
+	// Comp is the force component (0..2 for elastic; must be 0 for
+	// acoustic).
 	Comp int `json:"comp"`
 	// F0 is the dominant frequency; T0 the time shift.
 	F0 float64 `json:"f0"`
@@ -101,12 +102,21 @@ func (c *Config) Validate() error {
 	if c.Cycles < 0 {
 		return fmt.Errorf("simio: negative cycle count")
 	}
-	if c.Source.Comp < 0 || c.Source.Comp > 2 {
-		return fmt.Errorf("simio: source component %d outside [0, 2]", c.Source.Comp)
+	// Components are validated against the physics: acoustic fields have a
+	// single component 0, elastic fields three. Out-of-range components are
+	// rejected here instead of being silently clamped by the driver.
+	maxComp := 2
+	if c.Physics == "acoustic" {
+		maxComp = 0
+	}
+	if c.Source.Comp < 0 || c.Source.Comp > maxComp {
+		return fmt.Errorf("simio: source component %d outside [0, %d] for %s physics",
+			c.Source.Comp, maxComp, c.Physics)
 	}
 	for i, r := range c.Receivers {
-		if r.Comp < 0 || r.Comp > 2 {
-			return fmt.Errorf("simio: receiver %d component %d outside [0, 2]", i, r.Comp)
+		if r.Comp < 0 || r.Comp > maxComp {
+			return fmt.Errorf("simio: receiver %d component %d outside [0, %d] for %s physics",
+				i, r.Comp, maxComp, c.Physics)
 		}
 	}
 	return nil

@@ -37,6 +37,32 @@ func TestParseConfigRejectsBadFields(t *testing.T) {
 	}
 }
 
+// TestValidateComponentPhysics: component ranges are validated against the
+// physics — acoustic fields have a single component — instead of the
+// driver silently clamping out-of-range components.
+func TestValidateComponentPhysics(t *testing.T) {
+	cases := []struct {
+		js string
+		ok bool
+	}{
+		{`{"physics": "acoustic", "source": {"comp": 1, "f0": 1}}`, false},
+		{`{"physics": "acoustic", "receivers": [{"comp": 2}]}`, false},
+		{`{"physics": "acoustic", "source": {"comp": 0, "f0": 1}}`, true},
+		{`{"physics": "elastic", "source": {"comp": 2, "f0": 1}}`, true},
+		{`{"physics": "elastic", "receivers": [{"comp": 2}]}`, true},
+		{`{"physics": "elastic", "source": {"comp": 3, "f0": 1}}`, false},
+	}
+	for _, c := range cases {
+		_, err := ParseConfig(strings.NewReader(c.js))
+		if c.ok && err != nil {
+			t.Errorf("config %q rejected: %v", c.js, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("config %q accepted", c.js)
+		}
+	}
+}
+
 func TestParseConfigFull(t *testing.T) {
 	js := `{
 		"mesh": "crust", "scale": 0.1, "physics": "elastic", "degree": 5,

@@ -1,0 +1,71 @@
+package wave
+
+import (
+	"io"
+
+	"golts/internal/simio"
+)
+
+// FromConfigFile builds a Simulation from a JSON run-configuration file
+// (the cmd/wavesim format, see internal/simio.Config). Options passed as
+// extra are applied after the configuration and may override it or add
+// execution settings the file does not carry (workers, partitioner, seed,
+// sinks).
+//
+// A configured source with F0 == 0 keeps the default placement and
+// wavelet; its component is still honoured (WithSourceComponent), as in
+// the legacy driver.
+func FromConfigFile(path string, extra ...Option) (*Simulation, error) {
+	cfg, err := simio.LoadConfig(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(append(configOptions(cfg), extra...)...)
+}
+
+// FromConfig builds a Simulation from a JSON run configuration read from
+// r; see FromConfigFile.
+func FromConfig(r io.Reader, extra ...Option) (*Simulation, error) {
+	cfg, err := simio.ParseConfig(r)
+	if err != nil {
+		return nil, err
+	}
+	return New(append(configOptions(cfg), extra...)...)
+}
+
+// configOptions translates a validated simio.Config into facade options.
+func configOptions(c *simio.Config) []Option {
+	opts := []Option{
+		WithMesh(c.Mesh, c.Scale),
+		WithPhysics(Physics(c.Physics)),
+		WithDegree(c.Degree),
+		WithCFL(c.CFL),
+		WithCycles(c.Cycles),
+	}
+	if c.LTS {
+		opts = append(opts, WithLTS())
+	} else {
+		opts = append(opts, WithGlobalNewmark())
+	}
+	if c.Source.F0 != 0 {
+		opts = append(opts, WithSource(Source{
+			X: c.Source.X, Y: c.Source.Y, Z: c.Source.Z,
+			Comp: c.Source.Comp, F0: c.Source.F0, T0: c.Source.T0,
+		}))
+	} else if c.Source.Comp != 0 {
+		// A component-only source keeps the default placement but applies
+		// the force on the requested component, as the legacy driver did.
+		opts = append(opts, WithSourceComponent(c.Source.Comp))
+	}
+	for _, r := range c.Receivers {
+		opts = append(opts, WithReceiver(Receiver{
+			Name: r.Name, X: r.X, Y: r.Y, Z: r.Z, Comp: r.Comp,
+		}))
+	}
+	if c.Sponge.Strength > 0 {
+		opts = append(opts, WithSponge(Sponge{
+			Width: c.Sponge.Width, Strength: c.Sponge.Strength, Faces: c.Sponge.Faces,
+		}))
+	}
+	return opts
+}

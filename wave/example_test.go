@@ -1,0 +1,111 @@
+package wave_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"golts/wave"
+)
+
+// A minimal run: build a small acoustic LTS simulation with a default
+// source and receiver, advance it, and read the work statistics.
+func Example() {
+	sim, err := wave.New(
+		wave.WithMesh("trench", 0.0005),
+		wave.WithPhysics(wave.Acoustic),
+		wave.WithCycles(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	if err := sim.Run(context.Background(), 0); err != nil {
+		log.Fatal(err)
+	}
+	st := sim.Stats()
+	fmt.Printf("mesh %s: %d elements, %d LTS levels\n", st.Mesh, st.Elements, st.Levels)
+	fmt.Printf("cycles completed: %d\n", st.Cycles)
+	fmt.Printf("seismogram samples per receiver: %d\n", len(sim.Seismograms().Times))
+	// Output:
+	// mesh trench: 992 elements, 4 LTS levels
+	// cycles completed: 3
+	// seismogram samples per receiver: 3
+}
+
+// Options validate eagerly and return typed errors: match them with
+// errors.Is, or unwrap the *OptionError for the offending option's name.
+func ExampleNew_validation() {
+	_, err := wave.New(wave.WithDegree(40))
+	fmt.Println(errors.Is(err, wave.ErrDegreeRange))
+	var oe *wave.OptionError
+	if errors.As(err, &oe) {
+		fmt.Println(oe.Option)
+	}
+
+	// Cross-field rules are checked when the simulation is built: an
+	// acoustic field has a single component.
+	_, err = wave.New(
+		wave.WithMesh("trench", 0.0005),
+		wave.WithPhysics(wave.Acoustic),
+		wave.WithSource(wave.Source{X: 0.5, Y: 0.5, Z: 0.5, Comp: 2, F0: 10}),
+	)
+	fmt.Println(errors.Is(err, wave.ErrComponentRange))
+	// Output:
+	// true
+	// WithDegree
+	// true
+}
+
+// Probes observe every cycle; SnapshotEvery thins them to a cadence.
+func ExampleSnapshotEvery() {
+	sim, err := wave.New(wave.WithMesh("trench", 0.0005), wave.WithCycles(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	progress := wave.SnapshotEvery(2, func(f wave.Frame) error {
+		fmt.Printf("cycle %d of 4\n", f.Cycle)
+		return nil
+	})
+	if err := sim.Run(context.Background(), 0, progress); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// cycle 2 of 4
+	// cycle 4 of 4
+}
+
+// Describe resolves mesh metadata — extent, levels, the coarse step —
+// without building operators, for placing sources and receivers.
+func ExampleDescribe() {
+	plan, err := wave.Describe(wave.WithMesh("trench", 0.0005))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d elements in %d levels, finest substep Δt/%d\n",
+		plan.Elements, plan.Levels, plan.PMax)
+	// Output:
+	// 992 elements in 4 levels, finest substep Δt/8
+}
+
+// PartitionMesh exposes the LTS-aware partitioners with their quality
+// metrics.
+func ExamplePartitionMesh() {
+	rep, err := wave.PartitionMesh("trench", 0.0005, wave.PartitionOptions{
+		Parts: 4, Method: wave.ScotchP, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	used := make(map[int32]bool)
+	for _, p := range rep.Part {
+		used[p] = true
+	}
+	fmt.Printf("%s split %d elements over %d parts\n", rep.Method, len(rep.Part), len(used))
+	// Output:
+	// scotch-p split 992 elements over 4 parts
+}

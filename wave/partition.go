@@ -1,0 +1,110 @@
+package wave
+
+import (
+	"fmt"
+
+	"golts/internal/mesh"
+	"golts/internal/partition"
+)
+
+// PartitionOptions configures a standalone partitioning run.
+type PartitionOptions struct {
+	// Parts is the number of parts (processors/ranks); must be >= 1.
+	Parts int
+	// Method selects the strategy; empty selects ScotchP, the paper's best
+	// performer.
+	Method Partitioner
+	// Imbalance is the per-bisection balance tolerance ε (default 0.05).
+	// For Patoh this plays the role of the paper's final_imbal parameter.
+	Imbalance float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// Degree and CFL determine the LTS level assignment exactly as
+	// WithDegree/WithCFL do for a Simulation (defaults 4 and 0.4), so a
+	// partition lines up with the simulation it is built for. The level
+	// assignment — and therefore the partition — is invariant to the CFL
+	// value itself (per-element stable steps scale uniformly); only the
+	// degree-normalised spacing enters the reported metrics.
+	Degree int
+	CFL    float64
+}
+
+// PartitionReport is an element-to-part assignment together with the
+// quality metrics of the paper's Fig. 7 / Fig. 8 comparisons.
+type PartitionReport struct {
+	// Part assigns each element to a part; Parts is the part count and
+	// Method the strategy that produced the assignment.
+	Part   []int32
+	Parts  int
+	Method Partitioner
+	// TotalImbalance is Eq. (21) applied to the per-part work Σ_e p_e, in
+	// percent; PerLevelImbalance applies it to each level's element count
+	// and MaxLevelImbalance is its worst entry.
+	TotalImbalance    float64
+	PerLevelImbalance []float64
+	MaxLevelImbalance float64
+	// GraphCut is the weighted dual-graph edge cut (the graph
+	// partitioners' proxy objective); CommVolume the exact per-cycle
+	// communication volume (hypergraph connectivity-1).
+	GraphCut   int64
+	CommVolume int64
+	// Loads holds the per-part work Σ_e p_e.
+	Loads []int64
+}
+
+// PartitionMesh partitions a benchmark mesh for LTS execution and reports
+// the assignment with its quality metrics. The level assignment uses the
+// same Degree/CFL normalisation as the Simulation facade, so the default
+// options partition exactly the levels a default Simulation steps.
+func PartitionMesh(meshName string, scale float64, opt PartitionOptions) (*PartitionReport, error) {
+	gen, ok := mesh.Generators[meshName]
+	if !ok {
+		return nil, optErr("PartitionMesh", ErrUnknownMesh, "%q", meshName)
+	}
+	if scale <= 0 {
+		return nil, optErr("PartitionMesh", ErrScaleRange, "got %g", scale)
+	}
+	if opt.Degree == 0 {
+		opt.Degree = 4
+	}
+	if opt.Degree < 1 || opt.Degree > 12 {
+		return nil, optErr("PartitionMesh", ErrDegreeRange, "got %d", opt.Degree)
+	}
+	if opt.CFL == 0 {
+		opt.CFL = 0.4
+	}
+	if opt.CFL < 0 {
+		return nil, optErr("PartitionMesh", ErrCFLRange, "got %g", opt.CFL)
+	}
+	if opt.Parts < 1 {
+		return nil, optErr("PartitionMesh", ErrPartsRange, "got %d", opt.Parts)
+	}
+	method := opt.Method
+	if method == "" {
+		method = ScotchP
+	}
+	pm, ok := partitionerMethods[method]
+	if !ok {
+		return nil, optErr("PartitionMesh", ErrUnknownPartitioner, "%q", method)
+	}
+	m := gen(scale)
+	lv := mesh.AssignLevels(m, opt.CFL/float64(opt.Degree*opt.Degree), 0)
+	res, err := partition.PartitionMesh(m, lv, partition.Options{
+		K: opt.Parts, Method: pm, Imbalance: opt.Imbalance, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wave: partitioning: %w", err)
+	}
+	mt := partition.Evaluate(m, lv, res.Part, opt.Parts)
+	return &PartitionReport{
+		Part:              res.Part,
+		Parts:             opt.Parts,
+		Method:            method,
+		TotalImbalance:    mt.TotalImbalance,
+		PerLevelImbalance: mt.PerLevelImbalance,
+		MaxLevelImbalance: mt.MaxLevelImbalance,
+		GraphCut:          mt.GraphCut,
+		CommVolume:        mt.CommVolume,
+		Loads:             mt.Loads,
+	}, nil
+}

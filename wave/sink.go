@@ -1,0 +1,215 @@
+package wave
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"golts/internal/simio"
+)
+
+// Sink consumes the per-cycle receiver samples of a Run as they are
+// produced. Open is called once before the first cycle with the resolved
+// receiver list, Sample after every cycle, and Flush by Simulation.Close.
+type Sink interface {
+	Open(receivers []Receiver) error
+	Sample(t float64, values []float64) error
+	Flush() error
+}
+
+// Trace is one recorded seismogram.
+type Trace struct {
+	// Name labels the trace; X, Y, Z is the station position.
+	Name    string
+	X, Y, Z float64
+	// Values holds one sample per cycle.
+	Values []float64
+}
+
+// Peak returns the largest absolute sample and its time on the given time
+// axis (the crude arrival picker of the legacy driver). Zeros when empty.
+func (tr *Trace) Peak(times []float64) (amp, t float64) {
+	for i, v := range tr.Values {
+		if a := abs(v); a > amp {
+			amp, t = a, times[i]
+		}
+	}
+	return amp, t
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Seismograms is a collection of traces sharing one time axis.
+type Seismograms struct {
+	Times  []float64
+	Traces []Trace
+}
+
+// toSet converts to the simio representation, which owns the CSV/JSON
+// encodings.
+func (sg *Seismograms) toSet() (*simio.SeismogramSet, error) {
+	var set simio.SeismogramSet
+	set.Times = append([]float64(nil), sg.Times...)
+	for _, tr := range sg.Traces {
+		if err := set.AddTrace(tr.Name, tr.X, tr.Y, tr.Z, sg.Times, tr.Values); err != nil {
+			return nil, err
+		}
+	}
+	return &set, nil
+}
+
+// WriteCSV writes the set as a CSV table: a time column followed by one
+// column per trace.
+func (sg *Seismograms) WriteCSV(w io.Writer) error {
+	set, err := sg.toSet()
+	if err != nil {
+		return err
+	}
+	return set.WriteCSV(w)
+}
+
+// WriteJSON writes the set as indented JSON.
+func (sg *Seismograms) WriteJSON(w io.Writer) error {
+	set, err := sg.toSet()
+	if err != nil {
+		return err
+	}
+	return set.WriteJSON(w)
+}
+
+// formatSample matches simio's CSV float encoding, so the streaming sink
+// and the batch writer produce identical bytes.
+func formatSample(v float64) string { return strconv.FormatFloat(v, 'g', 12, 64) }
+
+// csvSink streams one CSV row per cycle.
+type csvSink struct {
+	cw     *csv.Writer
+	closer io.Closer
+	row    []string
+}
+
+// CSVSink returns a sink that streams seismograms to w as CSV — a header
+// row at Open, then one row per cycle — in the same encoding as
+// Seismograms.WriteCSV.
+func CSVSink(w io.Writer) Sink { return &csvSink{cw: csv.NewWriter(w)} }
+
+func (s *csvSink) Open(receivers []Receiver) error {
+	header := make([]string, len(receivers)+1)
+	header[0] = "time"
+	for i, r := range receivers {
+		header[i+1] = r.Name
+	}
+	s.row = make([]string, len(header))
+	return s.cw.Write(header)
+}
+
+func (s *csvSink) Sample(t float64, values []float64) error {
+	if len(values)+1 != len(s.row) {
+		return fmt.Errorf("wave: sample has %d values for %d columns", len(values), len(s.row)-1)
+	}
+	s.row[0] = formatSample(t)
+	for i, v := range values {
+		s.row[i+1] = formatSample(v)
+	}
+	return s.cw.Write(s.row)
+}
+
+func (s *csvSink) Flush() error {
+	s.cw.Flush()
+	if err := s.cw.Error(); err != nil {
+		return err
+	}
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// jsonSink accumulates the run and encodes it at Flush (JSON has no
+// row-streaming form that matches the batch encoding).
+type jsonSink struct {
+	w      io.Writer
+	closer io.Closer
+	set    simio.SeismogramSet
+}
+
+// JSONSink returns a sink that writes the complete seismogram set to w as
+// indented JSON when it is flushed.
+func JSONSink(w io.Writer) Sink { return &jsonSink{w: w} }
+
+func (s *jsonSink) Open(receivers []Receiver) error {
+	s.set.Traces = make([]simio.Trace, len(receivers))
+	for i, r := range receivers {
+		s.set.Traces[i] = simio.Trace{Name: r.Name, X: r.X, Y: r.Y, Z: r.Z}
+	}
+	return nil
+}
+
+func (s *jsonSink) Sample(t float64, values []float64) error {
+	if len(values) != len(s.set.Traces) {
+		return fmt.Errorf("wave: sample has %d values for %d traces", len(values), len(s.set.Traces))
+	}
+	s.set.Times = append(s.set.Times, t)
+	for i, v := range values {
+		s.set.Traces[i].Values = append(s.set.Traces[i].Values, v)
+	}
+	return nil
+}
+
+func (s *jsonSink) Flush() error {
+	if err := s.set.WriteJSON(s.w); err != nil {
+		return err
+	}
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// fileSink creates the file lazily at Open and selects the format by
+// extension.
+type fileSink struct {
+	path  string
+	inner Sink
+}
+
+// FileSink returns a sink that writes seismograms to path, selecting the
+// format by file extension: ".json" writes indented JSON, anything else
+// CSV. The file is created when the first Run opens the sink.
+func FileSink(path string) Sink { return &fileSink{path: path} }
+
+func (s *fileSink) Open(receivers []Receiver) error {
+	f, err := os.Create(s.path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(s.path) == ".json" {
+		s.inner = &jsonSink{w: f, closer: f}
+	} else {
+		s.inner = &csvSink{cw: csv.NewWriter(f), closer: f}
+	}
+	return s.inner.Open(receivers)
+}
+
+func (s *fileSink) Sample(t float64, values []float64) error {
+	if s.inner == nil {
+		return errors.New("wave: FileSink not opened")
+	}
+	return s.inner.Sample(t, values)
+}
+
+func (s *fileSink) Flush() error {
+	if s.inner == nil {
+		return nil
+	}
+	return s.inner.Flush()
+}

@@ -1,0 +1,46 @@
+package wave
+
+import (
+	"golts/internal/lts"
+	"golts/internal/newmark"
+)
+
+// Stepper is the unified time-stepping interface over the two schemes:
+// one Step advances one coarse cycle Δt. The LTS scheme substeps its fine
+// levels internally; the global Newmark adapter performs p_max fine
+// steps. Time reports the simulation time after the last completed cycle
+// and State exposes the live displacement field (read-only).
+type Stepper interface {
+	Step() error
+	Time() float64
+	State() []float64
+}
+
+// ltsStepper adapts lts.Scheme: one facade cycle is one LTS cycle.
+type ltsStepper struct{ s *lts.Scheme }
+
+func (a ltsStepper) Step() error {
+	a.s.Step()
+	return nil
+}
+func (a ltsStepper) Time() float64    { return a.s.Time() }
+func (a ltsStepper) State() []float64 { return a.s.U }
+
+// newmarkStepper adapts newmark.Stepper: one facade cycle is pmax fine
+// steps, so both schemes sample receivers on the same time axis.
+type newmarkStepper struct {
+	s    *newmark.Stepper
+	pmax int
+}
+
+func (a newmarkStepper) Step() error {
+	a.s.Run(a.pmax)
+	return nil
+}
+func (a newmarkStepper) Time() float64    { return a.s.Time() }
+func (a newmarkStepper) State() []float64 { return a.s.U }
+
+var (
+	_ Stepper = ltsStepper{}
+	_ Stepper = newmarkStepper{}
+)

@@ -1,0 +1,516 @@
+// Package wave is the public facade of golts: one importable Simulation
+// API over the spectral-element operators, the multi-level LTS-Newmark
+// and global Newmark time steppers, and the shared-memory parallel
+// execution engine.
+//
+// A Simulation is configured with functional options and validates
+// eagerly, returning typed errors (*OptionError wrapping sentinel errors)
+// instead of silently clamping values:
+//
+//	sim, err := wave.New(
+//		wave.WithMesh("trench", 0.02),
+//		wave.WithPhysics(wave.Elastic),
+//		wave.WithWorkers(4),
+//		wave.WithSink(wave.FileSink("seis.csv")),
+//	)
+//	if err != nil { ... }
+//	defer sim.Close()
+//	err = sim.Run(context.Background(), 40)
+//
+// One Run cycle always spans one coarse step Δt: the LTS scheme substeps
+// its fine levels internally, and the global Newmark scheme performs
+// p_max fine steps, so receivers sample both schemes on the same time
+// axis. Results are bitwise reproducible for a fixed (workers,
+// partitioner, seed) configuration.
+package wave
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"golts/internal/lts"
+	"golts/internal/mesh"
+	"golts/internal/newmark"
+	"golts/internal/parallel"
+	"golts/internal/partition"
+	"golts/internal/sem"
+)
+
+// geomOperator is what the facade needs beyond sem.Operator: node
+// coordinates for source/receiver placement and the sponge profile. Both
+// 3-D operators provide it.
+type geomOperator interface {
+	sem.Operator
+	NodeCoords(n int32) (x, y, z float64)
+}
+
+// Simulation is a configured wave-propagation run: mesh, discretization,
+// time stepper, sources, receivers and output sinks. Build one with New,
+// advance it with Run (or the Stepper directly), and release the parallel
+// engine with Close.
+//
+// A Simulation is not safe for concurrent use; the parallelism of the
+// worker engine is internal.
+type Simulation struct {
+	set  *settings
+	m    *mesh.Mesh
+	lv   *mesh.Levels
+	geom geomOperator
+	pop  *parallel.PartitionedOperator
+
+	ltsS    *lts.Scheme
+	gS      *newmark.Stepper
+	stepper Stepper
+
+	source    Source
+	receivers []Receiver
+	recs      []*sem.Receiver
+	samples   []float64
+
+	workers   int
+	cycles    int // completed cycles across Runs
+	sinksOpen bool
+	closed    bool
+}
+
+// New builds a Simulation from the given options. The zero configuration
+// is a 20-cycle acoustic LTS run on the trench benchmark at scale 0.02,
+// degree 4, CFL 0.4, sequential execution, with a default source and one
+// default surface receiver.
+func New(opts ...Option) (*Simulation, error) {
+	set := defaultSettings()
+	for _, o := range opts {
+		if err := o(set); err != nil {
+			return nil, err
+		}
+	}
+	return build(set)
+}
+
+func build(set *settings) (*Simulation, error) {
+	gen, ok := mesh.Generators[set.mesh]
+	if !ok {
+		return nil, optErr("WithMesh", ErrUnknownMesh, "%q", set.mesh)
+	}
+	m := gen(set.scale)
+	lv := mesh.AssignLevels(m, set.cfl/float64(set.degree*set.degree), 0)
+
+	var geom geomOperator
+	switch set.physics {
+	case Acoustic:
+		op, err := sem.NewAcoustic3D(m, set.degree, false)
+		if err != nil {
+			return nil, fmt.Errorf("wave: %w", err)
+		}
+		geom = op
+	case Elastic:
+		op, err := sem.NewElastic3D(m, set.degree, false, 0)
+		if err != nil {
+			return nil, fmt.Errorf("wave: %w", err)
+		}
+		geom = op
+	default:
+		return nil, optErr("WithPhysics", ErrUnknownPhysics, "%q", set.physics)
+	}
+	nc := geom.Comps()
+
+	// Cross-field validation: components against the physics. This is the
+	// eager replacement for the old driver's silent min(comp, nc-1) clamp.
+	if set.source != nil && set.source.Comp > nc-1 {
+		return nil, optErr("WithSource", ErrComponentRange,
+			"component %d for %s physics (max %d)", set.source.Comp, set.physics, nc-1)
+	}
+	if set.source == nil && set.srcComp > nc-1 {
+		return nil, optErr("WithSourceComponent", ErrComponentRange,
+			"component %d for %s physics (max %d)", set.srcComp, set.physics, nc-1)
+	}
+	for _, r := range set.receivers {
+		if r.Comp > nc-1 {
+			return nil, optErr("WithReceiver", ErrComponentRange,
+				"receiver %q component %d for %s physics (max %d)", r.Name, r.Comp, set.physics, nc-1)
+		}
+	}
+
+	s := &Simulation{set: set, m: m, lv: lv, geom: geom}
+
+	// The operator the time stepper sees: the geometry operator itself, or
+	// the parallel engine wrapped around it.
+	var step sem.Operator = geom
+	s.workers = set.workers
+	if s.workers == 0 {
+		s.workers = parallel.DefaultWorkers()
+	}
+	if s.workers > 1 {
+		part, err := partition.Assign(m, lv, s.workers, partitionerMethods[set.partitioner], set.seed)
+		if err != nil {
+			return nil, fmt.Errorf("wave: partitioning: %w", err)
+		}
+		pop, err := parallel.NewOperator(geom, part, s.workers)
+		if err != nil {
+			return nil, fmt.Errorf("wave: parallel engine: %w", err)
+		}
+		s.pop = pop
+		step = pop
+	}
+
+	// Defaults: source near the refinement, one receiver nearby.
+	x0, x1, y0, y1, z0, z1 := m.Extent()
+	if set.source != nil {
+		s.source = *set.source
+	} else {
+		dur := float64(set.cycles) * lv.CoarseDt
+		s.source = Source{
+			X: (x0 + x1) / 2, Y: (y0 + y1) / 2, Z: z0 + (z1-z0)/4,
+			Comp: set.srcComp, F0: 8 / dur, T0: dur / 5,
+		}
+	}
+	s.receivers = append([]Receiver(nil), set.receivers...)
+	if len(s.receivers) == 0 {
+		s.receivers = []Receiver{{
+			Name: "st0", X: (x0+x1)/2 + (x1-x0)/12, Y: (y0 + y1) / 2, Z: z0,
+			Comp: s.source.Comp,
+		}}
+	}
+	for i := range s.receivers {
+		if s.receivers[i].Name == "" {
+			s.receivers[i].Name = fmt.Sprintf("st%d", i)
+		}
+	}
+
+	srcNode := nearestNode(geom, s.source.X, s.source.Y, s.source.Z)
+	semSrc := sem.Source{
+		Dof: int(srcNode)*nc + s.source.Comp,
+		W:   sem.Ricker{F0: s.source.F0, T0: s.source.T0},
+	}
+	for _, r := range s.receivers {
+		n := nearestNode(geom, r.X, r.Y, r.Z)
+		s.recs = append(s.recs, &sem.Receiver{Dof: int(n)*nc + r.Comp})
+	}
+	s.samples = make([]float64, len(s.recs))
+
+	var sigma []float64
+	if set.sponge.Strength > 0 {
+		sigma = sem.SpongeProfile(geom.NumNodes(), geom.NodeCoords,
+			x0, x1, y0, y1, z0, z1, set.sponge.Faces, set.sponge.Width, set.sponge.Strength)
+	}
+
+	if set.lts {
+		sch, err := lts.FromMeshLevels(step, lv, true)
+		if err != nil {
+			return nil, fmt.Errorf("wave: %w", err)
+		}
+		sch.SetSources([]sem.Source{semSrc})
+		sch.Sigma = sigma
+		s.ltsS = sch
+		s.stepper = ltsStepper{sch}
+	} else {
+		g := newmark.New(step, lv.CoarseDt/float64(lv.PMax()))
+		g.Sources = []sem.Source{semSrc}
+		g.Sigma = sigma
+		s.gS = g
+		s.stepper = newmarkStepper{g, lv.PMax()}
+	}
+	return s, nil
+}
+
+// nearestNode does a brute-force nearest-node search; ties resolve to the
+// lowest node id, matching the legacy driver.
+func nearestNode(op geomOperator, x, y, z float64) int32 {
+	best, bd := int32(0), math.Inf(1)
+	for n := 0; n < op.NumNodes(); n++ {
+		nx, ny, nz := op.NodeCoords(int32(n))
+		d := (nx-x)*(nx-x) + (ny-y)*(ny-y) + (nz-z)*(nz-z)
+		if d < bd {
+			best, bd = int32(n), d
+		}
+	}
+	return best
+}
+
+// Frame is the per-cycle observation passed to probes.
+type Frame struct {
+	// Cycle counts completed cycles across all Runs (1-based).
+	Cycle int
+	// Time is the simulation time t after the cycle.
+	Time float64
+	// State is the live displacement field (node-major, Comps per node).
+	// Probes must treat it as read-only; copy what must outlive the call.
+	State []float64
+	// Samples holds the latest value of each receiver, in receiver order.
+	// Valid only during the call.
+	Samples []float64
+}
+
+// Probe observes the simulation after each cycle; returning an error
+// aborts the Run.
+type Probe func(Frame) error
+
+// SnapshotEvery wraps a probe so it fires only every n-th cycle — the
+// snapshot-hook helper for periodic field dumps or progress lines.
+func SnapshotEvery(n int, fn Probe) Probe {
+	if n < 1 {
+		n = 1
+	}
+	return func(f Frame) error {
+		if f.Cycle%n != 0 {
+			return nil
+		}
+		return fn(f)
+	}
+}
+
+// Run advances the simulation by the given number of coarse cycles,
+// recording receivers, feeding sinks and invoking probes after every
+// cycle. cycles == 0 runs the configured default (WithCycles). The
+// context is checked between cycles; cancellation returns ctx.Err() with
+// the state left at the last completed cycle. Run may be called again to
+// continue the same simulation.
+func (s *Simulation) Run(ctx context.Context, cycles int, probes ...Probe) error {
+	if s.closed {
+		return fmt.Errorf("wave: Run: %w", ErrClosed)
+	}
+	if cycles < 0 {
+		return optErr("Run", ErrCyclesRange, "got %d", cycles)
+	}
+	if cycles == 0 {
+		cycles = s.set.cycles
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !s.sinksOpen {
+		for _, sk := range s.set.sinks {
+			if err := sk.Open(s.receivers); err != nil {
+				return fmt.Errorf("wave: opening sink: %w", err)
+			}
+		}
+		s.sinksOpen = true
+	}
+	for i := 0; i < cycles; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := s.stepper.Step(); err != nil {
+			return fmt.Errorf("wave: cycle %d: %w", s.cycles+1, err)
+		}
+		s.cycles++
+		t := s.stepper.Time()
+		u := s.stepper.State()
+		for j, r := range s.recs {
+			r.Record(t, u)
+			s.samples[j] = u[r.Dof]
+		}
+		for _, sk := range s.set.sinks {
+			if err := sk.Sample(t, s.samples); err != nil {
+				return fmt.Errorf("wave: sink: %w", err)
+			}
+		}
+		if len(s.set.probes)+len(probes) > 0 {
+			f := Frame{Cycle: s.cycles, Time: t, State: u, Samples: s.samples}
+			for _, p := range s.set.probes {
+				if err := p(f); err != nil {
+					return fmt.Errorf("wave: probe: %w", err)
+				}
+			}
+			for _, p := range probes {
+				if err := p(f); err != nil {
+					return fmt.Errorf("wave: probe: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes the attached sinks and shuts down the parallel engine.
+// The Simulation must not be used afterwards; Close is idempotent.
+func (s *Simulation) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.sinksOpen {
+		for _, sk := range s.set.sinks {
+			if err := sk.Flush(); err != nil && first == nil {
+				first = fmt.Errorf("wave: flushing sink: %w", err)
+			}
+		}
+	}
+	if s.pop != nil {
+		s.pop.Close()
+	}
+	return first
+}
+
+// Stepper returns the unified time stepper, for callers that drive the
+// simulation cycle by cycle instead of through Run. Receivers, sinks and
+// probes are serviced only by Run.
+func (s *Simulation) Stepper() Stepper { return s.stepper }
+
+// Time returns the simulation time after the last completed cycle.
+func (s *Simulation) Time() float64 { return s.stepper.Time() }
+
+// State returns the live displacement field (read-only).
+func (s *Simulation) State() []float64 { return s.stepper.State() }
+
+// Cycles returns the configured default cycle count (WithCycles).
+func (s *Simulation) Cycles() int { return s.set.cycles }
+
+// Source returns the resolved point source, after default placement.
+func (s *Simulation) Source() Source { return s.source }
+
+// Receivers returns the resolved recording stations, after default
+// placement and name assignment.
+func (s *Simulation) Receivers() []Receiver {
+	return append([]Receiver(nil), s.receivers...)
+}
+
+// Seismograms returns a copy of everything the receivers have recorded so
+// far.
+func (s *Simulation) Seismograms() *Seismograms {
+	out := &Seismograms{}
+	if len(s.recs) > 0 {
+		out.Times = append([]float64(nil), s.recs[0].Times...)
+	}
+	for i, r := range s.recs {
+		sp := s.receivers[i]
+		out.Traces = append(out.Traces, Trace{
+			Name: sp.Name, X: sp.X, Y: sp.Y, Z: sp.Z,
+			Values: append([]float64(nil), r.Values...),
+		})
+	}
+	return out
+}
+
+// EngineStats holds the parallel engine's communication counters: the
+// shared-memory analogues of MPI message and volume counts.
+type EngineStats struct {
+	// Applies counts stiffness applications dispatched to the engine.
+	Applies int64
+	// Messages counts per-apply active-rank contributions.
+	Messages int64
+	// Volume counts node-values exchanged in merges.
+	Volume int64
+}
+
+// Stats describes a simulation's configuration and accumulated work. The
+// speedup fields follow the paper: TheoreticalSpeedup is the Eq. 9 model
+// for the level assignment, EffectiveSpeedup the work-based saving the
+// LTS scheme actually achieves, and Efficiency their ratio (halo
+// overhead). EffectiveSpeedup and Efficiency are zero for the global
+// scheme.
+type Stats struct {
+	// Mesh is the benchmark mesh name.
+	Mesh string
+	// Elements, Nodes and DOF size the discretization; Comps is components
+	// per node; Degree the SEM polynomial degree.
+	Elements, Nodes, DOF, Comps, Degree int
+	// LTS reports which scheme is stepping.
+	LTS bool
+	// Levels is the number of LTS p-levels; PMax the finest substep
+	// multiplier; CoarseDt the coarse step Δt.
+	Levels   int
+	PMax     int
+	CoarseDt float64
+	// TheoreticalSpeedup is the paper's Eq. 9 model.
+	TheoreticalSpeedup float64
+	// EffectiveSpeedup and Efficiency report the measured work saving
+	// (LTS only).
+	EffectiveSpeedup float64
+	Efficiency       float64
+	// Cycles counts completed coarse cycles; ElemApplies the element
+	// stiffness applications performed.
+	Cycles      int64
+	ElemApplies int64
+	// Workers is the resolved rank-worker count; Partitioner the strategy
+	// used when the engine is active (empty otherwise).
+	Workers     int
+	Partitioner Partitioner
+	// Engine holds the parallel engine's counters; nil when running
+	// sequentially.
+	Engine *EngineStats
+}
+
+// Stats returns the simulation's metadata and work counters. It may be
+// called before, during (from probes) and after Run.
+func (s *Simulation) Stats() Stats {
+	st := Stats{
+		Mesh:               s.m.Name,
+		Elements:           s.m.NumElements(),
+		Nodes:              s.geom.NumNodes(),
+		DOF:                s.geom.NDof(),
+		Comps:              s.geom.Comps(),
+		Degree:             s.set.degree,
+		LTS:                s.set.lts,
+		Levels:             s.lv.NumLevels,
+		PMax:               s.lv.PMax(),
+		CoarseDt:           s.lv.CoarseDt,
+		TheoreticalSpeedup: s.lv.TheoreticalSpeedup(),
+		Workers:            s.workers,
+	}
+	if s.ltsS != nil {
+		st.Cycles = s.ltsS.CycleCount()
+		st.ElemApplies = s.ltsS.Work.ElemApplies
+		st.EffectiveSpeedup = s.ltsS.EffectiveSpeedup()
+		st.Efficiency = s.ltsS.Efficiency()
+	} else {
+		st.Cycles = s.gS.StepCount() / int64(s.lv.PMax())
+		st.ElemApplies = s.gS.ElementSteps
+	}
+	if s.pop != nil {
+		st.Partitioner = s.set.partitioner
+		es := s.pop.Stats()
+		st.Engine = &EngineStats{Applies: es.Applies, Messages: es.Messages, Volume: es.Volume}
+	}
+	return st
+}
+
+// Plan is the cheap, operator-free description of a configuration that
+// Describe resolves: mesh size, LTS level structure and bounding box —
+// what a caller needs to place sources and receivers or to pick a wavelet
+// frequency before building the full Simulation.
+type Plan struct {
+	// Mesh is the benchmark mesh name; Elements its element count.
+	Mesh     string
+	Elements int
+	// Levels, PMax, CoarseDt and LevelCounts describe the LTS level
+	// assignment for the configured degree and CFL.
+	Levels      int
+	PMax        int
+	CoarseDt    float64
+	LevelCounts []int
+	// TheoreticalSpeedup is the paper's Eq. 9 model.
+	TheoreticalSpeedup float64
+	// X0..Z1 is the mesh bounding box.
+	X0, X1, Y0, Y1, Z0, Z1 float64
+}
+
+// Describe resolves the mesh and LTS level assignment of a configuration
+// without building operators or steppers. Only the mesh, degree and CFL
+// options matter; the rest are validated and ignored.
+func Describe(opts ...Option) (*Plan, error) {
+	set := defaultSettings()
+	for _, o := range opts {
+		if err := o(set); err != nil {
+			return nil, err
+		}
+	}
+	gen := mesh.Generators[set.mesh]
+	m := gen(set.scale)
+	lv := mesh.AssignLevels(m, set.cfl/float64(set.degree*set.degree), 0)
+	p := &Plan{
+		Mesh:               set.mesh,
+		Elements:           m.NumElements(),
+		Levels:             lv.NumLevels,
+		PMax:               lv.PMax(),
+		CoarseDt:           lv.CoarseDt,
+		LevelCounts:        append([]int(nil), lv.Count...),
+		TheoreticalSpeedup: lv.TheoreticalSpeedup(),
+	}
+	p.X0, p.X1, p.Y0, p.Y1, p.Z0, p.Z1 = m.Extent()
+	return p, nil
+}
