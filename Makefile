@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet fmt check examples
+.PHONY: build test race bench bench-kernels bench-smoke vet fmt check examples
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,16 @@ race:
 bench: bench-kernels
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-# Per-operator stiffness-kernel benchmarks (ns/elem), written as JSON.
+# Per-operator stiffness-kernel benchmarks (ns/elem) including the
+# batched-kernel sweep, written as JSON.
 bench-kernels:
 	$(GO) run ./cmd/kernelbench -out BENCH_kernels.json
+
+# Tiny-N kernel smoke: asserts the batched path runs and stays
+# allocation-free (structural checks only — no timing thresholds), so CI
+# catches kernel regressions without benchmark flakiness.
+bench-smoke:
+	$(GO) run ./cmd/kernelbench -smoke -out /dev/null
 
 # Smoke-run every example at tiny scales, so facade changes cannot
 # silently break them (they are not covered by `go test`).

@@ -6,9 +6,20 @@
 // shared with BenchmarkAddKu in internal/sem, so both measure the same
 // workload.
 //
+// Alongside the per-element rows, the batched-kernel sweep
+// (sem.KernelSweepOperators, 512-element fixtures) times AddKuBatch at
+// element-list sizes 1, 8, 64 and 512 and reports batched_vs_scalar —
+// the speedup of the fused SoA path over the per-element path on the
+// same element set.
+//
 // Usage:
 //
-//	kernelbench [-out BENCH_kernels.json] [-benchtime 1s]
+//	kernelbench [-out BENCH_kernels.json] [-benchtime 1s] [-smoke]
+//
+// -smoke shrinks the measurement time and exits non-zero if the batched
+// path fails to run or allocates in steady state: the allocation-free
+// fused path is asserted structurally, without timing-dependent
+// thresholds, so CI can run it without flakiness.
 package main
 
 import (
@@ -22,7 +33,7 @@ import (
 	"golts/internal/sem"
 )
 
-// result is one kernel measurement row.
+// result is one per-element kernel measurement row.
 type result struct {
 	Op          string  `json:"op"`
 	Deg         int     `json:"deg"`
@@ -33,19 +44,47 @@ type result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// sweepPoint is one batched measurement at a given element-list size.
+type sweepPoint struct {
+	Batch       int     `json:"batch"`
+	NsPerElem   float64 `json:"ns_per_elem"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// batchedResult is one operator's batched-kernel sweep.
+type batchedResult struct {
+	Op              string       `json:"op"`
+	Deg             int          `json:"deg"`
+	Elements        int          `json:"elements"`
+	ScalarNsPerElem float64      `json:"scalar_ns_per_elem"`
+	Sweep           []sweepPoint `json:"sweep"`
+	// BatchedVsScalar is the speedup of AddKuBatch over AddKuScratch at
+	// the largest batch: scalar ns/elem divided by batched ns/elem.
+	BatchedVsScalar float64 `json:"batched_vs_scalar"`
+}
+
+// batchSizes is the element-list sweep of the batched kernels.
+var batchSizes = []int{1, 8, 64, 512}
+
 func main() {
 	testing.Init() // register test.* flags so test.benchtime is settable
 	out := flag.String("out", "BENCH_kernels.json", "output JSON path (- for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measurement time per kernel")
+	smoke := flag.Bool("smoke", false, "tiny-N correctness smoke: assert the batched path runs alloc-free, ignore timings")
 	flag.Parse()
 
 	const deg = 4 // the paper's 125-node configuration (specialised kernels)
-	cases, err := sem.KernelBenchOperators(deg)
-	if err != nil {
-		fatal(err)
+	if *smoke {
+		*benchtime = 20 * time.Millisecond
 	}
 	if f := flag.Lookup("test.benchtime"); f != nil {
 		f.Value.Set(benchtime.String())
+	}
+
+	cases, err := sem.KernelBenchOperators(deg)
+	if err != nil {
+		fatal(err)
 	}
 	var results []result
 	for _, c := range cases {
@@ -54,10 +93,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-14s deg=%d  %10.1f ns/elem  %12.0f elem/s  %d allocs/op\n",
 			r.Op, r.Deg, r.NsPerElem, r.ElemPerSec, r.AllocsPerOp)
 	}
+
+	sweepCases, err := sem.KernelSweepOperators(deg)
+	if err != nil {
+		fatal(err)
+	}
+	var batched []batchedResult
+	for _, c := range sweepCases {
+		br := measureBatched(c.Name, deg, c.Op.(sem.BatchKernel))
+		batched = append(batched, br)
+		fmt.Fprintf(os.Stderr, "%-14s deg=%d  batched %8.1f ns/elem @%d  vs scalar %8.1f  speedup %.2fx\n",
+			br.Op, br.Deg, br.Sweep[len(br.Sweep)-1].NsPerElem, batchSizes[len(batchSizes)-1],
+			br.ScalarNsPerElem, br.BatchedVsScalar)
+		if *smoke {
+			for _, p := range br.Sweep {
+				if p.AllocsPerOp != 0 {
+					fatal(fmt.Errorf("%s: AddKuBatch allocates %d/op at batch %d (want 0)", br.Op, p.AllocsPerOp, p.Batch))
+				}
+			}
+			if !(br.BatchedVsScalar > 0) {
+				fatal(fmt.Errorf("%s: batched sweep produced no speedup figure", br.Op))
+			}
+		}
+	}
+
 	enc, err := json.MarshalIndent(map[string]any{
 		"benchmark": "AddKuScratch",
 		"unit_note": "ns_per_elem is wall time per element stiffness application",
 		"results":   results,
+		"batched": map[string]any{
+			"benchmark": "AddKuBatch",
+			"unit_note": "sweep times the fused SoA batch path per element-list size; batched_vs_scalar is scalar ns/elem over batched ns/elem at the largest batch",
+			"results":   batched,
+		},
 	}, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -77,8 +145,8 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// measure runs the kernel under testing.Benchmark and converts to
-// per-element numbers.
+// measure runs the per-element kernel under testing.Benchmark and
+// converts to per-element numbers.
 func measure(name string, deg int, op sem.Operator) result {
 	u := make([]float64, op.NDof())
 	sem.BenchField(u)
@@ -103,4 +171,52 @@ func measure(name string, deg int, op sem.Operator) result {
 		AllocsPerOp: br.AllocsPerOp(),
 		BytesPerOp:  br.AllocedBytesPerOp(),
 	}
+}
+
+// measureBatched times AddKuScratch and AddKuBatch on the same sweep
+// fixture: the scalar baseline over all elements, then the batched path
+// at each element-list size.
+func measureBatched(name string, deg int, op sem.BatchKernel) batchedResult {
+	u := make([]float64, op.NDof())
+	sem.BenchField(u)
+	dst := make([]float64, op.NDof())
+	all := sem.AllElements(op)
+	var sc sem.Scratch
+	op.AddKuScratch(dst, u, all, &sc)
+	sbr := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op.AddKuScratch(dst, u, all, &sc)
+		}
+	})
+	out := batchedResult{
+		Op:              name,
+		Deg:             deg,
+		Elements:        len(all),
+		ScalarNsPerElem: float64(sbr.NsPerOp()) / float64(len(all)),
+	}
+	var bs sem.BatchScratch
+	for _, n := range batchSizes {
+		if n > len(all) {
+			continue
+		}
+		elems := all[:n]
+		plan := op.NewBatchPlan(elems)
+		op.AddKuBatch(dst, u, plan, &bs) // warm-up
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op.AddKuBatch(dst, u, plan, &bs)
+			}
+		})
+		out.Sweep = append(out.Sweep, sweepPoint{
+			Batch:       n,
+			NsPerElem:   float64(br.NsPerOp()) / float64(n),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	if last := out.Sweep[len(out.Sweep)-1]; last.NsPerElem > 0 {
+		out.BatchedVsScalar = out.ScalarNsPerElem / last.NsPerElem
+	}
+	return out
 }

@@ -26,21 +26,24 @@ func TestStepZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, optimized := range []bool{false, true} {
-		s, err := FromMeshLevels(op, lv, optimized)
-		if err != nil {
-			t.Fatal(err)
-		}
-		s.SetSources([]sem.Source{{Dof: 3, W: sem.Ricker{F0: 1, T0: 1.2}}})
-		s.Step() // warm-up: scratch grows, first-cycle branch taken
-		s.Step()
-		if n := testing.AllocsPerRun(5, s.Step); n != 0 {
-			t.Errorf("optimized=%v: Step allocates %v per cycle, want 0", optimized, n)
-		}
-		// The Energy diagnostic caches its all-elements restriction and
-		// work buffer on first use, so warm calls allocate nothing either.
-		s.Energy()
-		if n := testing.AllocsPerRun(5, func() { s.Energy() }); n != 0 {
-			t.Errorf("optimized=%v: Energy allocates %v per call, want 0", optimized, n)
+		for _, kern := range []sem.Kernel{sem.KernelBatched, sem.KernelPerElement} {
+			s, err := FromMeshLevels(op, lv, optimized)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Kernel = kern
+			s.SetSources([]sem.Source{{Dof: 3, W: sem.Ricker{F0: 1, T0: 1.2}}})
+			s.Step() // warm-up: scratch grows, first-cycle branch taken
+			s.Step()
+			if n := testing.AllocsPerRun(5, s.Step); n != 0 {
+				t.Errorf("optimized=%v kernel=%v: Step allocates %v per cycle, want 0", optimized, kern, n)
+			}
+			// The Energy diagnostic caches its all-elements restriction and
+			// work buffer on first use, so warm calls allocate nothing either.
+			s.Energy()
+			if n := testing.AllocsPerRun(5, func() { s.Energy() }); n != 0 {
+				t.Errorf("optimized=%v kernel=%v: Energy allocates %v per call, want 0", optimized, kern, n)
+			}
 		}
 	}
 }

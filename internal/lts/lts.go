@@ -55,6 +55,13 @@ type Scheme struct {
 	// Sigma is an optional per-node sponge damping profile applied to the
 	// velocity once per coarse step.
 	Sigma []float64
+	// Kernel selects the stiffness execution strategy. The zero value is
+	// sem.KernelBatched: when the operator supports batching, every
+	// substep's A·P_k·u runs as one fused batch over the level's
+	// precomputed BatchPlan (bitwise-identical to the per-element path).
+	// Set sem.KernelPerElement before stepping to force the per-element
+	// reference path.
+	Kernel sem.Kernel
 
 	// U is the displacement at t_n; V the velocity at t_{n-1/2}.
 	U, V []float64
@@ -77,6 +84,14 @@ type Scheme struct {
 	mask []float64   // masked copy of u (support levelNodes[li])
 	kbuf []float64   // stiffness accumulation (support forceNodes[li])
 	scr  sem.Scratch // kernel scratch: steady-state Step() allocates nothing
+	// Batched-kernel state: one plan per level (the per-level element sets
+	// are stable for the scheme's lifetime) and one owned workspace, built
+	// lazily on the first batched apply so KernelPerElement schemes never
+	// pay the plans' memory.
+	batch      sem.BatchKernel
+	bplans     []sem.BatchPlan
+	bscr       sem.BatchScratch
+	batchTried bool
 	// Diagnostic scratch, built lazily by Energy:
 	energy *sem.Restriction // all-elements restriction
 	ebuf   []float64        // Energy work buffer (all-zero between uses)
@@ -107,7 +122,9 @@ func New(op sem.Operator, elemLevel []uint8, numLevels int, dt float64, optimize
 	// Announce the per-level force-element lists to parallel backends: for
 	// a parallel.PartitionedOperator these become the per-level activation
 	// masks (which ranks wake at each substep) plus merge plans, built once
-	// here instead of on the first substep of every level.
+	// here instead of on the first substep of every level. (The batched
+	// kernel's per-level BatchPlans are built lazily by ensureBatch on the
+	// first batched apply, so per-element schemes never hold them.)
 	for li := 0; li < numLevels; li++ {
 		sem.Prepare(op, st.forceElems[li])
 	}
@@ -181,7 +198,11 @@ func (s *Scheme) applyAP(li int, u []float64, t float64, dst []float64) {
 			s.mask[int(n)*nc+c] = u[int(n)*nc+c]
 		}
 	}
-	s.Op.AddKuScratch(s.kbuf, s.mask, s.sets.forceElems[li], &s.scr)
+	if s.Kernel == sem.KernelBatched && s.ensureBatch() {
+		s.batch.AddKuBatch(s.kbuf, s.mask, s.bplans[li], &s.bscr)
+	} else {
+		s.Op.AddKuScratch(s.kbuf, s.mask, s.sets.forceElems[li], &s.scr)
+	}
 	s.Work.ElemApplies += int64(len(s.sets.forceElems[li]))
 	s.Work.PerLevel[li] += int64(len(s.sets.forceElems[li]))
 	for _, n := range s.sets.forceNodes[li] {
@@ -212,6 +233,30 @@ func (s *Scheme) applyAP(li int, u []float64, t float64, dst []float64) {
 			dst[sc.Dof] -= amp * minv[sc.Dof/nc]
 		}
 	}
+}
+
+// ensureBatch reports whether the batched kernel is usable, building the
+// per-level BatchPlans on first call (one bool check afterwards). Lazy
+// construction keeps KernelPerElement schemes from ever holding the
+// plans' packed constants.
+func (s *Scheme) ensureBatch() bool {
+	if !s.batchTried {
+		s.batchTried = true
+		if bk, ok := s.Op.(sem.BatchKernel); ok {
+			plans := make([]sem.BatchPlan, s.nlv)
+			usable := true
+			for li := 0; li < s.nlv; li++ {
+				if plans[li] = bk.NewBatchPlan(s.sets.forceElems[li]); plans[li] == nil {
+					usable = false // wrapper whose inner operator cannot batch
+					break
+				}
+			}
+			if usable {
+				s.batch, s.bplans = bk, plans
+			}
+		}
+	}
+	return s.batch != nil
 }
 
 // eachStepNode calls f for every dof in the active update set of level li

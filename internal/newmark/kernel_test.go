@@ -1,0 +1,43 @@
+package newmark
+
+import (
+	"testing"
+
+	"golts/internal/mesh"
+	"golts/internal/sem"
+)
+
+// TestKernelModesBitwise pins the batched (default) and per-element
+// global-Newmark paths bitwise against each other, including the
+// Kelvin-Voigt attenuation term (a second stiffness application per
+// step).
+func TestKernelModesBitwise(t *testing.T) {
+	m := mesh.Uniform(5, 4, 4, 1, 1)
+	for e := range m.C {
+		m.C[e] = 1 + 0.2*float64(e%3)
+		m.Rho[e] = 1 + 0.1*float64(e%5)
+	}
+	op, err := sem.NewElastic3D(m, 4, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := 0.3 * m.StableDt(0, 0.4/16)
+	run := func(k sem.Kernel) *Stepper {
+		s := New(op, dt)
+		s.Kernel = k
+		s.Eta = dt / 50
+		s.Sources = []sem.Source{{Dof: op.NDof() / 3, W: sem.Ricker{F0: 2, T0: 0.5}}}
+		s.Run(8)
+		return s
+	}
+	batched := run(sem.KernelBatched)
+	scalar := run(sem.KernelPerElement)
+	for i := range batched.U {
+		if batched.U[i] != scalar.U[i] {
+			t.Fatalf("U[%d]: batched %v != per-element %v", i, batched.U[i], scalar.U[i])
+		}
+		if batched.V[i] != scalar.V[i] {
+			t.Fatalf("V[%d]: batched %v != per-element %v", i, batched.V[i], scalar.V[i])
+		}
+	}
+}

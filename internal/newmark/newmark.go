@@ -35,6 +35,13 @@ type Stepper struct {
 	// simplest member of that family and is only supported by the global
 	// scheme.
 	Eta float64
+	// Kernel selects the stiffness execution strategy. The zero value is
+	// sem.KernelBatched: when the operator supports batching, the
+	// all-elements stiffness application (and the Kelvin-Voigt term) runs
+	// as fused batches over a precomputed BatchPlan, bitwise-identical to
+	// the per-element path. Set sem.KernelPerElement before stepping to
+	// force the per-element reference path.
+	Kernel sem.Kernel
 
 	t       float64
 	n       int64
@@ -42,8 +49,14 @@ type Stepper struct {
 	elems   []int32
 	accel   []float64
 	visc    []float64
-	scr     sem.Scratch      // kernel scratch: steady-state Step() allocates nothing
-	energy  *sem.Restriction // cached by Energy so diagnostics allocate nothing
+	scr     sem.Scratch // kernel scratch: steady-state Step() allocates nothing
+	// Batched-kernel state, built lazily on the first batched apply so
+	// KernelPerElement steppers never pay the plan's memory.
+	batch      sem.BatchKernel  // batched kernel of Op, when supported
+	bplan      sem.BatchPlan    // all-elements batch plan
+	bscr       sem.BatchScratch // owned batch workspace
+	batchTried bool
+	energy     *sem.Restriction // cached by Energy so diagnostics allocate nothing
 	// ElementSteps counts element stiffness applications, for work
 	// accounting in performance comparisons.
 	ElementSteps int64
@@ -60,9 +73,34 @@ func New(op sem.Operator, dt float64) *Stepper {
 		accel: make([]float64, op.NDof()),
 	}
 	// Let parallel backends build the ownership split and merge plan for
-	// the all-elements list once, outside the stepping loop.
+	// the all-elements list once, outside the stepping loop. (The batched
+	// kernel's all-elements BatchPlan is built lazily on the first batched
+	// apply, so per-element steppers never hold it.)
 	sem.Prepare(op, s.elems)
 	return s
+}
+
+// addKu applies the stiffness of all elements through the selected
+// kernel: the fused batch path by default, the per-element path when
+// Kernel is sem.KernelPerElement or the operator cannot batch. The two
+// are bitwise-identical. The batch plan is built on the first batched
+// apply (one bool check afterwards).
+func (s *Stepper) addKu(dst, u []float64) {
+	if s.Kernel == sem.KernelBatched {
+		if !s.batchTried {
+			s.batchTried = true
+			if bk, ok := s.Op.(sem.BatchKernel); ok {
+				if pl := bk.NewBatchPlan(s.elems); pl != nil {
+					s.batch, s.bplan = bk, pl
+				}
+			}
+		}
+		if s.batch != nil {
+			s.batch.AddKuBatch(dst, u, s.bplan, &s.bscr)
+			return
+		}
+	}
+	s.Op.AddKuScratch(dst, u, s.elems, &s.scr)
 }
 
 // SetInitial sets u(0) and v(0) (both at t = 0, unstaggered). Must be
@@ -93,7 +131,7 @@ func (s *Stepper) Step() {
 	for i := range a {
 		a[i] = 0
 	}
-	s.Op.AddKuScratch(a, s.U, s.elems, &s.scr)
+	s.addKu(a, s.U)
 	s.ElementSteps += int64(len(s.elems))
 	if s.Eta > 0 {
 		// Kelvin-Voigt term: K applied to Eta * v (explicit, evaluated at
@@ -104,7 +142,7 @@ func (s *Stepper) Step() {
 		for i, v := range s.V {
 			s.visc[i] = s.Eta * v
 		}
-		s.Op.AddKuScratch(a, s.visc, s.elems, &s.scr)
+		s.addKu(a, s.visc)
 		s.ElementSteps += int64(len(s.elems))
 	}
 	minv := s.Op.MInv()

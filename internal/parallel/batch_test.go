@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"testing"
+
+	"golts/internal/mesh"
+	"golts/internal/partition"
+	"golts/internal/sem"
+)
+
+// TestAddKuBatchMatchesScratch pins the engine's batched apply bitwise
+// against both its own per-element apply and the inner sequential
+// operator, across worker counts: the per-rank batches reproduce each
+// rank's per-element accumulation exactly, and the deterministic sharded
+// merge is shared by both paths.
+func TestAddKuBatchMatchesScratch(t *testing.T) {
+	m, op := eqSetup(t)
+	lv := mesh.AssignLevels(m, 0.3/9, 2)
+	elems := sem.AllElements(op)
+	// A restricted, non-contiguous list too: the first level's force set.
+	restricted := elems[:len(elems)/3*2]
+	u := make([]float64, op.NDof())
+	sem.BenchField(u)
+	for _, k := range []int{1, 2, 4} {
+		part, err := partition.Assign(m, lv, k, partition.ScotchP, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewOperator(op, part, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, list := range [][]int32{elems, restricted, {}} {
+			want := make([]float64, op.NDof())
+			var sc sem.Scratch
+			p.AddKuScratch(want, u, list, &sc)
+			plan := p.NewBatchPlan(list)
+			if plan == nil {
+				t.Fatalf("K=%d: NewBatchPlan returned nil for a batchable inner operator", k)
+			}
+			got := make([]float64, op.NDof())
+			var bs sem.BatchScratch
+			p.AddKuBatch(got, u, plan, &bs)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("K=%d len=%d dof=%d: batched %v != per-element %v", k, len(list), i, got[i], want[i])
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// noBatchOp hides the inner operator's BatchKernel methods, modelling a
+// wrapped operator without a batched kernel.
+type noBatchOp struct{ sem.Operator }
+
+// TestNewBatchPlanNilForNonBatchInner checks the documented fallback
+// contract: wrapping an operator without a batched kernel yields nil
+// plans, which callers treat as "use AddKuScratch".
+func TestNewBatchPlanNilForNonBatchInner(t *testing.T) {
+	m, op := eqSetup(t)
+	lv := mesh.AssignLevels(m, 0.3/9, 2)
+	part, err := partition.Assign(m, lv, 2, partition.ScotchP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewOperator(noBatchOp{op}, part, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if plan := p.NewBatchPlan(sem.AllElements(op)); plan != nil {
+		t.Fatalf("NewBatchPlan = %T, want nil for a non-batchable inner operator", plan)
+	}
+}

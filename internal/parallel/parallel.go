@@ -71,9 +71,12 @@ type PartitionedOperator struct {
 
 	plans planCache
 
-	// scrPool backs the plain AddKu entry point, mirroring the sem
-	// operators' pooled delegation: warm steady state without making
-	// concurrent AddKu callers share one arena.
+	// scrPool backs the plain AddKu entry point on the K == 1 delegation
+	// path only — a cold convenience for callers without an owned scratch
+	// (one-shot diagnostics, tests). Every hot caller holds a plan-owned
+	// scratch: the steppers call AddKuBatch/AddKuScratch with their own
+	// workspace, and for K > 1 the rank workers own theirs, so AddKu
+	// never touches the pool there.
 	scrPool sync.Pool
 
 	mu    sync.Mutex
@@ -102,10 +105,12 @@ func NewOperator(inner sem.Operator, part []int32, k int) (*PartitionedOperator,
 	p.plans.init()
 	nd := inner.NDof()
 	p.workers = make([]*rankWorker, k)
+	bop, _ := inner.(sem.BatchKernel)
 	for r := 0; r < k; r++ {
 		w := &rankWorker{
 			id:  r,
 			op:  inner,
+			bop: bop,
 			ch:  make(chan task, 1),
 			acc: make([]float64, nd),
 		}
@@ -131,15 +136,25 @@ func (p *PartitionedOperator) Prepare(elems []int32) {
 // the per-rank contributions with a sharded parallel merge. The element
 // list must not be mutated between applies that reuse it (the plan cache
 // validates content and rebuilds on change, at O(len) cost).
+//
+// For K > 1 no scratch is needed at all — the rank workers own theirs —
+// so the call goes straight to AddKuScratch; only the K == 1 delegation
+// path draws from the scratch pool (cold-only: hot callers hold a
+// plan-owned scratch and use AddKuScratch or AddKuBatch directly).
 func (p *PartitionedOperator) AddKu(dst, u []float64, elems []int32) {
+	if p.K > 1 {
+		p.AddKuScratch(dst, u, elems, nil)
+		return
+	}
 	sc := p.scrPool.Get().(*sem.Scratch)
 	p.AddKuScratch(dst, u, elems, sc)
 	p.scrPool.Put(sc)
 }
 
 // AddKuScratch implements sem.Operator. For K > 1 the parallelism is
-// internal — every rank worker owns its own scratch — and sc is unused;
-// for K = 1 the apply delegates to the inner operator with sc.
+// internal — every rank worker owns its own scratch — and sc is unused
+// (callers may pass nil); for K = 1 the apply delegates to the inner
+// operator with sc.
 func (p *PartitionedOperator) AddKuScratch(dst, u []float64, elems []int32, sc *sem.Scratch) {
 	plan := p.plans.lookup(p, elems)
 	// Single rank: delegate straight to the inner operator — bitwise the
@@ -148,33 +163,123 @@ func (p *PartitionedOperator) AddKuScratch(dst, u []float64, elems []int32, sc *
 	// stays to keep the Stats accounting identical.
 	if p.K == 1 {
 		p.inner.AddKuScratch(dst, u, elems, sc)
-		p.mu.Lock()
-		p.stats.Applies++
-		p.stats.Messages += plan.messages
-		p.stats.Volume += plan.volume
-		p.mu.Unlock()
+		p.account(plan)
 		return
 	}
-	// Phase 1 — compute: wake only the ranks owning active elements (the
-	// per-level activation mask); each accumulates into its private buffer.
+	p.runPhases(plan, dst, u, false)
+}
+
+// runPhases executes the shared two-phase protocol of an apply.
+//
+// Phase 1 — compute: wake only the ranks owning active elements (the
+// per-level activation mask); each accumulates into its private buffer —
+// as one fused batch when batched is set, per element otherwise.
+//
+// Phase 2 — merge: deterministic parallel reduction over node-range
+// shards. Each shard sums rank contributions in ascending rank order and
+// restores the accumulation buffers' all-zero invariant. The merge is
+// identical for both kernels, which is what keeps them bitwise-equal.
+func (p *PartitionedOperator) runPhases(plan *applyPlan, dst, u []float64, batched bool) {
 	p.phase.Add(len(plan.activeRanks))
 	for _, r := range plan.activeRanks {
-		p.workers[r].ch <- task{kind: taskCompute, plan: plan, u: u}
+		t := task{kind: taskCompute, plan: plan, u: u}
+		if batched {
+			t.bplan = plan.rankBatch[r]
+		}
+		p.workers[r].ch <- t
 	}
 	p.phase.Wait()
-	// Phase 2 — merge: deterministic parallel reduction over node-range
-	// shards. Each shard sums rank contributions in ascending rank order
-	// and restores the accumulation buffers' all-zero invariant.
 	p.phase.Add(len(plan.activeShards))
 	for _, m := range plan.activeShards {
 		p.workers[m].ch <- task{kind: taskMerge, plan: plan, shard: m, dst: dst}
 	}
 	p.phase.Wait()
+	p.account(plan)
+}
+
+// account applies one apply's communication-accounting deltas.
+func (p *PartitionedOperator) account(plan *applyPlan) {
 	p.mu.Lock()
 	p.stats.Applies++
 	p.stats.Messages += plan.messages
 	p.stats.Volume += plan.volume
 	p.mu.Unlock()
+}
+
+// rankBatchPlan is the PartitionedOperator's BatchPlan: the cached
+// execution plan plus its per-rank inner batch plans — the "per level,
+// per rank" layout, with the level dimension owned by the stepper and
+// the rank dimension owned here.
+type rankBatchPlan struct {
+	p    *PartitionedOperator
+	plan *applyPlan
+}
+
+// Elems implements sem.BatchPlan.
+func (rp *rankBatchPlan) Elems() []int32 { return rp.plan.elems }
+
+// BatchedElems implements sem.BatchPlan: the sum over ranks of the
+// elements executing through full SoA blocks.
+func (rp *rankBatchPlan) BatchedElems() int {
+	n := 0
+	for _, bp := range rp.plan.rankBatch {
+		if bp != nil {
+			n += bp.BatchedElems()
+		}
+	}
+	return n
+}
+
+// NewBatchPlan implements sem.BatchKernel: the element list's execution
+// plan (ownership split, merge shards) is built or fetched from the plan
+// cache, and one inner BatchPlan per active rank is attached on first
+// request — per-element configurations that never ask for the batched
+// kernel never hold the packed plan constants. Returns nil when the
+// inner operator has no batched kernel; callers fall back to
+// AddKuScratch.
+func (p *PartitionedOperator) NewBatchPlan(elems []int32) sem.BatchPlan {
+	bk, ok := p.inner.(sem.BatchKernel)
+	if !ok {
+		return nil
+	}
+	pl := p.plans.lookup(p, elems)
+	p.plans.mu.Lock()
+	defer p.plans.mu.Unlock()
+	if pl.rankBatch == nil {
+		rb := make([]sem.BatchPlan, p.K)
+		for _, r := range pl.activeRanks {
+			if rb[r] = bk.NewBatchPlan(pl.rankElems[r]); rb[r] == nil {
+				return nil // wrapper whose inner operator cannot batch
+			}
+		}
+		pl.rankBatch = rb
+	}
+	return &rankBatchPlan{p: p, plan: pl}
+}
+
+// AddKuBatch implements sem.BatchKernel: the compute phase runs each
+// active rank's owned slice as one fused batch on the worker's own
+// BatchScratch; the deterministic sharded merge is unchanged, so the
+// result is bitwise-identical to AddKuScratch with the same plan (and,
+// lane for lane, to the sequential per-element path). For K = 1 the
+// apply delegates to the inner operator's batched kernel with bs.
+func (p *PartitionedOperator) AddKuBatch(dst, u []float64, plan sem.BatchPlan, bs *sem.BatchScratch) {
+	rp, ok := plan.(*rankBatchPlan)
+	if !ok {
+		panic(fmt.Sprintf("parallel: AddKuBatch: foreign plan type %T", plan))
+	}
+	if rp.p != p {
+		panic("parallel: AddKuBatch: plan built by a different operator")
+	}
+	pl := rp.plan
+	if p.K == 1 {
+		if bp := pl.rankBatch[0]; bp != nil { // nil only for an empty list
+			p.inner.(sem.BatchKernel).AddKuBatch(dst, u, bp, bs)
+		}
+		p.account(pl)
+		return
+	}
+	p.runPhases(pl, dst, u, true)
 }
 
 // Close shuts down the rank goroutines. The operator must not be used
@@ -231,4 +336,5 @@ var (
 	_ sem.Operator     = (*PartitionedOperator)(nil)
 	_ sem.Preparer     = (*PartitionedOperator)(nil)
 	_ sem.Connectivity = (*PartitionedOperator)(nil)
+	_ sem.BatchKernel  = (*PartitionedOperator)(nil)
 )

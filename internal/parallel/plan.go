@@ -21,6 +21,14 @@ type applyPlan struct {
 	shardIdx     [][]int32
 	activeRanks  []int
 	activeShards []int
+	// rankBatch holds one inner-operator BatchPlan per active rank (nil
+	// entries for idle ranks): the per-rank half of the "BatchPlan per LTS
+	// level, per rank" layout. Compute tasks carrying one of these run the
+	// rank's owned slice as one fused batch on the worker's own
+	// BatchScratch. Built lazily by PartitionedOperator.NewBatchPlan (nil
+	// until a caller asks for the batched kernel), so per-element
+	// configurations never hold the packed plan constants.
+	rankBatch []sem.BatchPlan
 	// Per-apply accounting deltas (MPI analogy): one message per rank with
 	// data, volume in touched nodes.
 	messages, volume int64

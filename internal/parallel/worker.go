@@ -11,27 +11,33 @@ const (
 )
 
 // task is one unit of work handed to a rank worker: either "apply your
-// owned slice of the plan's elements" or "reduce one merge shard".
+// owned slice of the plan's elements" — as one fused batch when bplan is
+// set, per element otherwise — or "reduce one merge shard".
 type task struct {
 	kind  taskKind
 	plan  *applyPlan
-	u     []float64 // compute: shared read-only input field
-	dst   []float64 // merge: shared output (shards write disjoint ranges)
-	shard int       // merge: shard index
+	bplan sem.BatchPlan // compute: the rank's batch plan (nil = per-element)
+	u     []float64     // compute: shared read-only input field
+	dst   []float64     // merge: shared output (shards write disjoint ranges)
+	shard int           // merge: shard index
 }
 
 // rankWorker is one persistent goroutine owning a private accumulation
-// buffer and its own kernel scratch. The buffer is all-zero between
-// applies: the compute phase writes the rank's contributions, the merge
-// phase drains and re-zeroes exactly the touched entries. The scratch
-// warms on the first apply, after which the compute phase is
-// allocation-free.
+// buffer and its own kernel scratches — the per-element Scratch and the
+// batched-kernel BatchScratch (one per worker serves every level's plan,
+// since a worker executes one task at a time and the arena grows to the
+// largest request). The buffer is all-zero between applies: the compute
+// phase writes the rank's contributions, the merge phase drains and
+// re-zeroes exactly the touched entries. The scratches warm on the first
+// apply, after which the compute phase is allocation-free.
 type rankWorker struct {
-	id  int
-	op  sem.Operator
-	ch  chan task
-	acc []float64
-	scr sem.Scratch
+	id   int
+	op   sem.Operator
+	bop  sem.BatchKernel // op's batched kernel, when supported
+	ch   chan task
+	acc  []float64
+	scr  sem.Scratch
+	bscr sem.BatchScratch
 }
 
 // serve processes tasks until the channel closes. The master's
@@ -41,7 +47,11 @@ func (w *rankWorker) serve(p *PartitionedOperator) {
 	for t := range w.ch {
 		switch t.kind {
 		case taskCompute:
-			w.op.AddKuScratch(w.acc, t.u, t.plan.rankElems[w.id], &w.scr)
+			if t.bplan != nil {
+				w.bop.AddKuBatch(w.acc, t.u, t.bplan, &w.bscr)
+			} else {
+				w.op.AddKuScratch(w.acc, t.u, t.plan.rankElems[w.id], &w.scr)
+			}
 		case taskMerge:
 			t.plan.mergeShard(t.shard, t.dst, p.workers)
 		}

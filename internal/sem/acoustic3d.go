@@ -137,7 +137,10 @@ func (op *Acoustic3D) AddKuScratch(dst, u []float64, elems []int32, sc *Scratch)
 				}
 			}
 		}
-		// Transposed scatter: dst_l += Σ_m D[m][l] f(m).
+		// Transposed scatter: dst_l += Σ_m D[m][l] f(m). The three axis
+		// sums accumulate in x-then-y-then-z order — the same chain as the
+		// deg=4 kernel and the batched axis sweeps, so all three paths are
+		// bitwise-identical.
 		for c := 0; c < nq; c++ {
 			dc := dt[c*nq : c*nq+nq]
 			for b := 0; b < nq; b++ {
@@ -150,7 +153,13 @@ func (op *Acoustic3D) AddKuScratch(dst, u []float64, elems []int32, sc *Scratch)
 					zi := b*nq + a
 					var acc float64
 					for m := 0; m < nq; m++ {
-						acc += da[m]*fx[cb+m] + db[m]*fy[yi+m*nq] + dc[m]*fz[zi+m*nq*nq]
+						acc += da[m] * fx[cb+m]
+					}
+					for m := 0; m < nq; m++ {
+						acc += db[m] * fy[yi+m*nq]
+					}
+					for m := 0; m < nq; m++ {
+						acc += dc[m] * fz[zi+m*nq*nq]
 					}
 					dst[nb[cb+a]] += acc
 				}

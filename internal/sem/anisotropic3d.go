@@ -206,13 +206,27 @@ func (op *Anisotropic3D) AddKuScratch(dst, u []float64, elems []int32, sc *Scrat
 					da := dt[a*nq : a*nq+nq]
 					yi := c*nq*nq + a
 					zi := b*nq + a
+					// Axis sums in x-then-y-then-z order: the same chain as
+					// the deg=4 kernel and the batched axis sweeps, so all
+					// three paths are bitwise-identical.
 					var s0, s1, s2 float64
 					for m := 0; m < nq; m++ {
-						dm, em, fm := da[m], db[m], dc[m]
-						xm, ym, zm := cb+m, yi+m*nq, zi+m*nq*nq
-						s0 += dm*tf[0][xm] + em*tf[1][ym] + fm*tf[2][zm]
-						s1 += dm*tf[3][xm] + em*tf[4][ym] + fm*tf[5][zm]
-						s2 += dm*tf[6][xm] + em*tf[7][ym] + fm*tf[8][zm]
+						dm, xm := da[m], cb+m
+						s0 += dm * tf[0][xm]
+						s1 += dm * tf[3][xm]
+						s2 += dm * tf[6][xm]
+					}
+					for m := 0; m < nq; m++ {
+						em, ym := db[m], yi+m*nq
+						s0 += em * tf[1][ym]
+						s1 += em * tf[4][ym]
+						s2 += em * tf[7][ym]
+					}
+					for m := 0; m < nq; m++ {
+						fm, zm := dc[m], zi+m*nq*nq
+						s0 += fm * tf[2][zm]
+						s1 += fm * tf[5][zm]
+						s2 += fm * tf[8][zm]
 					}
 					j := 3 * int(nb[cb+a])
 					dst[j] += s0

@@ -1,0 +1,153 @@
+package sem
+
+import "fmt"
+
+// This file is the public surface of the batched kernel layer: the paper's
+// speedup model (Eq. 9) treats the per-element stiffness application as the
+// fixed unit of work, so every nanosecond shaved off it multiplies through
+// all p LTS levels. The batched layer executes a whole element set — one
+// LTS level's force elements, one rank's owned slice — as fused
+// gather → contract → scatter passes over a flat structure-of-arrays
+// workspace (the SPECFEM3D-GPU kernel structure): all elements' nodal
+// values are gathered into per-component planes of batchB lanes, the
+// D/Dᵀ tensor contractions run as blocked matrix–matrix loops over whole
+// planes (long contiguous rows instead of one 125-node element at a
+// time), and the results scatter back in element-list order — the
+// conflict-free ordering the flat connectivity already defines for a
+// single goroutine (the parallel engine keeps ranks on private
+// accumulation buffers, so batched scatter never races there either).
+//
+// Every lane of every batched pass reproduces the per-element kernels'
+// floating-point chains exactly — same products, same one-rounding-per-add
+// order — so AddKuBatch is bitwise-identical to AddKuScratch. That makes
+// the per-element path the always-available reference oracle, lets the
+// steppers default to batched without disturbing golden outputs, and is
+// what allows the amd64 microkernels to vectorise across lanes (each SIMD
+// lane is an independent element).
+
+// Kernel selects how the steppers execute their stiffness applications.
+// The zero value is KernelBatched: the fused batch path is the default
+// wherever an operator supports it.
+type Kernel uint8
+
+const (
+	// KernelBatched executes each prepared element set as fused SoA batch
+	// passes via AddKuBatch.
+	KernelBatched Kernel = iota
+	// KernelPerElement applies elements one at a time through
+	// AddKuScratch — the bitwise-testable reference path.
+	KernelPerElement
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelBatched:
+		return "batched"
+	case KernelPerElement:
+		return "per-element"
+	}
+	return fmt.Sprintf("Kernel(%d)", uint8(k))
+}
+
+// BatchPlan is the precomputed execution layout of one element set: the
+// element list (owned copy), the per-block packed material and metric
+// constants, and the per-point quadrature weights. Plans are built once
+// per stable element set — per LTS level, per rank — and reused for every
+// apply; they are immutable after construction and safe for concurrent
+// reads.
+type BatchPlan interface {
+	// Elems returns the plan's element list (callers must not mutate it).
+	Elems() []int32
+	// BatchedElems returns how many of the elements execute through full
+	// SoA blocks; the remainder (len(Elems()) - BatchedElems()) runs
+	// through the per-element fallback inside AddKuBatch.
+	BatchedElems() int
+}
+
+// BatchKernel is an optional Operator extension: operators that can
+// execute a prepared element set as one fused batch. All four concrete
+// operators implement it; parallel.PartitionedOperator forwards it to
+// per-rank sub-plans.
+type BatchKernel interface {
+	Operator
+	// NewBatchPlan precomputes the batch execution layout for the element
+	// list (copied; later mutation of elems is safe). Wrapper operators
+	// may return nil when their inner operator cannot batch; callers must
+	// fall back to AddKuScratch on a nil plan.
+	NewBatchPlan(elems []int32) BatchPlan
+	// AddKuBatch accumulates dst += K u over the plan's elements, bitwise
+	// identical to AddKuScratch(dst, u, plan.Elems(), ·). The plan must
+	// have been built by this operator; bs is the caller-owned workspace
+	// (zero heap allocations once warm).
+	AddKuBatch(dst, u []float64, plan BatchPlan, bs *BatchScratch)
+}
+
+// BatchScratch is the reusable workspace of AddKuBatch: the SoA plane
+// arena plus a per-element Scratch for ragged-tail elements. Like
+// Scratch, it may be shared across operators (it grows to the largest
+// request) but not across goroutines: each parallel rank worker and each
+// sequential stepper owns its own.
+type BatchScratch struct {
+	buf  []float64
+	tail Scratch
+}
+
+// floats returns a slice of length n backed by the arena, growing it when
+// needed. Contents are unspecified: kernels must fully overwrite what
+// they read.
+func (b *BatchScratch) floats(n int) []float64 {
+	if cap(b.buf) < n {
+		b.buf = make([]float64, n)
+	}
+	return b.buf[:n]
+}
+
+// elemBatchPlan is the concrete plan of the four sem operators.
+type elemBatchPlan struct {
+	owner Operator
+	elems []int32
+	nfull int       // elements executing through full batchB-lane blocks
+	cst   []float64 // per-block packed constants, op-specific row layout
+	wpair []float64 // deg-4 3-D: n3 interleaved (w[a], w[b]·w[c]) pairs
+}
+
+// Elems implements BatchPlan.
+func (p *elemBatchPlan) Elems() []int32 { return p.elems }
+
+// BatchedElems implements BatchPlan.
+func (p *elemBatchPlan) BatchedElems() int { return p.nfull }
+
+// checkPlan validates plan ownership and type for the concrete operators.
+func checkPlan(op Operator, plan BatchPlan) *elemBatchPlan {
+	pl, ok := plan.(*elemBatchPlan)
+	if !ok {
+		panic(fmt.Sprintf("sem: AddKuBatch: foreign plan type %T", plan))
+	}
+	if pl.owner != op {
+		panic("sem: AddKuBatch: plan built by a different operator")
+	}
+	return pl
+}
+
+// newElemBatchPlan fills the shared plan fields: the element-list copy,
+// the full-block count, and (for 3-D operators) the per-point quadrature
+// weight pairs matching the scalar kernels' w[a] and w[b]·w[c] factors.
+func newElemBatchPlan(op Operator, elems []int32, nq int, weights []float64) *elemBatchPlan {
+	pl := &elemBatchPlan{
+		owner: op,
+		elems: append([]int32(nil), elems...),
+		nfull: len(elems) / batchB * batchB,
+	}
+	if weights != nil {
+		pl.wpair = make([]float64, 0, 2*nq*nq*nq)
+		for c := 0; c < nq; c++ {
+			for b := 0; b < nq; b++ {
+				for a := 0; a < nq; a++ {
+					pl.wpair = append(pl.wpair, weights[a], weights[b]*weights[c])
+				}
+			}
+		}
+	}
+	return pl
+}

@@ -1,0 +1,222 @@
+package sem
+
+import (
+	"testing"
+
+	"golts/internal/mesh"
+	"golts/internal/race"
+)
+
+// batchMesh returns a heterogeneous 36-element mesh: big enough for
+// several full 8-lane blocks plus a ragged tail, with per-element
+// material variation so any lane/constant mix-up shows up.
+func batchMesh(t testing.TB) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.New("batch",
+		[]float64{0, 0.7, 1.5, 2.0, 2.4},
+		[]float64{0, 1.1, 2.0, 2.8},
+		[]float64{0, 0.9, 2.1, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range m.C {
+		m.C[e] = 1 + 0.3*float64(e%5)
+		m.Rho[e] = 1 + 0.1*float64(e%3)
+	}
+	return m
+}
+
+// batchOps builds the three 3-D operators on the batch mesh.
+func batchOps(t testing.TB, m *mesh.Mesh, deg int, periodic bool) []struct {
+	name string
+	op   BatchKernel
+} {
+	t.Helper()
+	ac, err := NewAcoustic3D(m, deg, periodic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := NewElastic3D(m, deg, periodic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := make([]VoigtC, m.NumElements())
+	for e := range cs {
+		f := 1 + 0.2*float64(e%4)
+		cs[e] = VTIC(4*f, 3.6*f, 1.1*f, 1.3*f, 1.4*f)
+	}
+	an, err := NewAnisotropic3D(m, deg, periodic, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		op   BatchKernel
+	}{{"acoustic", ac}, {"elastic", el}, {"anisotropic", an}}
+}
+
+// batchLists returns element lists exercising the block structure: full
+// sweeps, single blocks, ragged tails, permuted non-contiguous subsets
+// with shared faces, and the empty list.
+func batchLists(ne int) map[string][]int32 {
+	all := make([]int32, ne)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	perm := []int32{int32(ne - 1), 2, 17, 8, 1, 30, 12, 9, 21, 3}
+	for i, e := range perm {
+		perm[i] = e % int32(ne)
+	}
+	return map[string][]int32{
+		"all":      all,
+		"single":   {5},
+		"block":    all[:batchB],
+		"ragged11": all[:batchB+3],
+		"permuted": perm,
+		"empty":    {},
+	}
+}
+
+// TestAddKuBatchBitwise pins the batched kernels bitwise against the
+// per-element path across degrees, boundary types, and ragged element
+// lists, with nonzero initial dst (AddKu accumulates).
+func TestAddKuBatchBitwise(t *testing.T) {
+	m := batchMesh(t)
+	for _, deg := range []int{2, 3, 4, 5} {
+		for _, periodic := range []bool{false, true} {
+			for _, tc := range batchOps(t, m, deg, periodic) {
+				nd := tc.op.NDof()
+				u := make([]float64, nd)
+				pseudoField(u)
+				base := make([]float64, nd)
+				randFill(base, 42)
+				var sc Scratch
+				var bs BatchScratch
+				for name, elems := range batchLists(m.NumElements()) {
+					plan := tc.op.NewBatchPlan(elems)
+					if got := len(plan.Elems()); got != len(elems) {
+						t.Fatalf("plan.Elems() has %d entries, want %d", got, len(elems))
+					}
+					want := append([]float64(nil), base...)
+					tc.op.AddKuScratch(want, u, elems, &sc)
+					got := append([]float64(nil), base...)
+					tc.op.AddKuBatch(got, u, plan, &bs)
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("%s deg=%d periodic=%v list=%s dof=%d: batched %v != per-element %v",
+								tc.name, deg, periodic, name, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAddKuBatch1D pins the 1-D batched kernel bitwise against the
+// per-element path, including the ragged tail and fixed boundaries.
+func TestAddKuBatch1D(t *testing.T) {
+	const ne = 21
+	xc := make([]float64, ne+1)
+	c := make([]float64, ne)
+	rho := make([]float64, ne)
+	x := 0.0
+	for i := range xc {
+		xc[i] = x
+		x += 0.5 + 0.1*float64(i%4)
+	}
+	for i := range c {
+		c[i] = 1 + 0.2*float64(i%3)
+		rho[i] = 1 + 0.1*float64(i%5)
+	}
+	for _, deg := range []int{1, 2, 4, 6} {
+		op, err := NewOp1D(xc, c, rho, deg, FreeBC, FixedBC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := make([]float64, op.NDof())
+		pseudoField(u)
+		var sc Scratch
+		var bs BatchScratch
+		for _, elems := range [][]int32{
+			AllElements(op), {0}, {20, 3, 7, 11, 1, 8, 2, 9, 15}, {},
+		} {
+			plan := op.NewBatchPlan(elems)
+			want := make([]float64, op.NDof())
+			op.AddKuScratch(want, u, elems, &sc)
+			got := make([]float64, op.NDof())
+			op.AddKuBatch(got, u, plan, &bs)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("deg=%d dof=%d: batched %v != per-element %v", deg, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAddKuBatchZeroAllocs pins the warm batched path at zero heap
+// allocations, for the specialised deg=4 kernels and a generic degree.
+func TestAddKuBatchZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	m := batchMesh(t)
+	for _, deg := range []int{3, 4} {
+		for _, tc := range batchOps(t, m, deg, false) {
+			u := make([]float64, tc.op.NDof())
+			pseudoField(u)
+			dst := make([]float64, tc.op.NDof())
+			plan := tc.op.NewBatchPlan(AllElements(tc.op))
+			var bs BatchScratch
+			tc.op.AddKuBatch(dst, u, plan, &bs) // warm the arena
+			if n := testing.AllocsPerRun(5, func() {
+				tc.op.AddKuBatch(dst, u, plan, &bs)
+			}); n != 0 {
+				t.Errorf("%s deg=%d: AddKuBatch allocates %v per op, want 0", tc.name, deg, n)
+			}
+		}
+	}
+}
+
+// TestBatchPlanOwnership checks that a plan built by one operator is
+// rejected by another (programmer error, reported by panic).
+func TestBatchPlanOwnership(t *testing.T) {
+	m := batchMesh(t)
+	a, err := NewAcoustic3D(m, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAcoustic3D(m, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := a.NewBatchPlan(AllElements(a))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddKuBatch accepted a foreign plan")
+		}
+	}()
+	dst := make([]float64, b.NDof())
+	u := make([]float64, b.NDof())
+	var bs BatchScratch
+	b.AddKuBatch(dst, u, plan, &bs)
+}
+
+// TestBatchPlanCounts checks the BatchedElems accounting.
+func TestBatchPlanCounts(t *testing.T) {
+	m := batchMesh(t)
+	op, err := NewElastic3D(m, 4, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ n, full int }{
+		{0, 0}, {1, 0}, {batchB - 1, 0}, {batchB, batchB},
+		{batchB + 1, batchB}, {36, 32},
+	} {
+		plan := op.NewBatchPlan(AllElements(op)[:tc.n])
+		if got := plan.BatchedElems(); got != tc.full {
+			t.Errorf("n=%d: BatchedElems %d, want %d", tc.n, got, tc.full)
+		}
+	}
+}

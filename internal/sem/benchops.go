@@ -50,6 +50,46 @@ func KernelBenchOperators(deg int) ([]KernelBenchCase, error) {
 	}, nil
 }
 
+// KernelSweepOperators builds the batch-sweep fixtures: 512-element
+// meshes (8×8×8 boxes, a 512-element line) so the batched-kernel sweep
+// can run element-list sizes up to 512 with realistic shared-face
+// gather/scatter overlap. All returned operators implement BatchKernel.
+func KernelSweepOperators(deg int) ([]KernelBenchCase, error) {
+	m := mesh.Uniform(8, 8, 8, 1, 1)
+	ac, err := NewAcoustic3D(m, deg, false)
+	if err != nil {
+		return nil, err
+	}
+	el, err := NewElastic3D(m, deg, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	cs := make([]VoigtC, m.NumElements())
+	for e := range cs {
+		cs[e] = VTIC(4, 3.6, 1.1, 1.3, 1.4)
+	}
+	an, err := NewAnisotropic3D(m, deg, false, cs)
+	if err != nil {
+		return nil, err
+	}
+	xc := make([]float64, 513)
+	cl := make([]float64, 512)
+	rho := make([]float64, 512)
+	for i := range xc {
+		xc[i] = float64(i)
+	}
+	for i := range cl {
+		cl[i], rho[i] = 1, 1
+	}
+	o1, err := NewOp1D(xc, cl, rho, deg, FreeBC, FreeBC)
+	if err != nil {
+		return nil, err
+	}
+	return []KernelBenchCase{
+		{"Op1D", o1}, {"Acoustic3D", ac}, {"Elastic3D", el}, {"Anisotropic3D", an},
+	}, nil
+}
+
 // BenchField fills u with the deterministic non-smooth pseudo-random
 // field shared by the kernel tests and benchmarks.
 func BenchField(u []float64) {

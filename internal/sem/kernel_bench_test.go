@@ -40,3 +40,34 @@ func BenchmarkAddKu(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAddKuBatch measures the fused batched kernel on the
+// 512-element sweep fixtures, next to the per-element path on the same
+// workload; the ns/elem ratio is the batched_vs_scalar speedup that
+// cmd/kernelbench records in BENCH_kernels.json.
+func BenchmarkAddKuBatch(b *testing.B) {
+	cases, err := KernelSweepOperators(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range cases {
+		bk := tc.Op.(BatchKernel)
+		b.Run(fmt.Sprintf("%s/deg=4/scalar", tc.Name), func(b *testing.B) {
+			benchAddKuCase(b, tc.Op)
+		})
+		b.Run(fmt.Sprintf("%s/deg=4/batched", tc.Name), func(b *testing.B) {
+			u := make([]float64, bk.NDof())
+			BenchField(u)
+			dst := make([]float64, bk.NDof())
+			plan := bk.NewBatchPlan(AllElements(bk))
+			var bs BatchScratch
+			bk.AddKuBatch(dst, u, plan, &bs) // warm arena + page buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bk.AddKuBatch(dst, u, plan, &bs)
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(len(plan.Elems()))*1e9, "ns/elem")
+		})
+	}
+}

@@ -1,0 +1,68 @@
+//go:build amd64
+
+package sem
+
+// Declarations for the asm microkernels (mm5_amd64.s). SSE2 is part of
+// the amd64 baseline, so no runtime feature detection is needed. The
+// pure-Go references in mm5.go compute bitwise-identical results; tests
+// pin the two against each other.
+
+//go:noescape
+func mm5asm(dst, src, d *float64, n, blocks int)
+
+//go:noescape
+func mm5accasm(dst, src, d *float64, n, blocks int)
+
+//go:noescape
+func elStress8asm(gp, cst, w *float64)
+
+//go:noescape
+func acStress8asm(fp, cst, w *float64)
+
+//go:noescape
+func anStress8asm(gp, cst, w *float64)
+
+// mul5 computes dst[g*5n+a*n+j] = Σ_m d[a*5+m]·src[g*5n+m*n+j] over
+// `blocks` consecutive 5-row groups, with the same per-lane rounding
+// chain as the scalar kernels (see mm5go).
+func mul5(dst, src, d []float64, n, blocks int) {
+	_ = dst[5*n*blocks-1]
+	_ = src[5*n*blocks-1]
+	_ = d[24]
+	mm5asm(&dst[0], &src[0], &d[0], n, blocks)
+}
+
+// mul5acc is mul5 accumulating into dst (see mm5accgo).
+func mul5acc(dst, src, d []float64, n, blocks int) {
+	_ = dst[5*n*blocks-1]
+	_ = src[5*n*blocks-1]
+	_ = d[24]
+	mm5accasm(&dst[0], &src[0], &d[0], n, blocks)
+}
+
+// elStress8 runs the batched elastic stress pass over one 8-lane deg=4
+// block (see the pure-Go reference elStressN).
+func elStress8(g, cst, w []float64) {
+	_ = g[9*125*batchB-1]
+	_ = cst[elCstRows*batchB-1]
+	_ = w[249]
+	elStress8asm(&g[0], &cst[0], &w[0])
+}
+
+// acStress8 runs the batched acoustic pointwise pass over one 8-lane
+// deg=4 block (see acStressN).
+func acStress8(f, cst, w []float64) {
+	_ = f[3*125*batchB-1]
+	_ = cst[acCstRows*batchB-1]
+	_ = w[249]
+	acStress8asm(&f[0], &cst[0], &w[0])
+}
+
+// anStress8 runs the batched anisotropic stress pass over one 8-lane
+// deg=4 block (see anStressN).
+func anStress8(g, cst, w []float64) {
+	_ = g[9*125*batchB-1]
+	_ = cst[anCstRows*batchB-1]
+	_ = w[249]
+	anStress8asm(&g[0], &cst[0], &w[0])
+}

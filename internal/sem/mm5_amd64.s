@@ -1,0 +1,638 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Batched contraction microkernels of the deg=4 (nq=5) SoA kernels.
+// mm5asm / mm5accasm compute, for a 5-row coefficient matrix d
+// (row-major, stride 5) and `blocks` consecutive groups of 5 input rows
+// of length n at stride n,
+//
+//	dst[g*5*n + a*n + j] (=|+=) Σ_{m<5} d[a*5+m] · src[g*5*n + m*n + j]
+//
+// with the products summed in ascending m, one rounding per add — the
+// same left-to-right chain as the scalar per-element kernels. The SIMD
+// width runs across j (independent batch lanes), so every lane is
+// bitwise-identical to the scalar path. SSE2 only: part of the amd64
+// baseline, no feature detection needed.
+
+// func mm5asm(dst, src, d *float64, n, blocks int)
+TEXT ·mm5asm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ d+16(FP), DX
+	MOVQ n+24(FP), CX
+	MOVQ CX, AX
+	SHLQ $3, AX        // row stride in bytes
+	MOVQ SI, R8        // src rows m = 0..4
+	LEAQ (SI)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	LEAQ (R10)(AX*1), R11
+	LEAQ (R11)(AX*1), R12
+	MOVQ CX, R14
+	SUBQ $4, R14       // quad-loop bound: j <= n-4
+	MOVQ CX, R15
+	SUBQ $2, R15       // pair-loop bound: j <= n-2
+	MOVQ blocks+32(FP), SI
+
+mm5block:
+	MOVQ $5, R13       // output rows left in this block
+
+mm5row:
+	// Broadcast the five coefficients of this output row.
+	MOVQ 0(DX), X0
+	UNPCKLPD X0, X0
+	MOVQ 8(DX), X1
+	UNPCKLPD X1, X1
+	MOVQ 16(DX), X2
+	UNPCKLPD X2, X2
+	MOVQ 24(DX), X3
+	UNPCKLPD X3, X3
+	MOVQ 32(DX), X4
+	UNPCKLPD X4, X4
+	XORQ BX, BX        // j
+
+mm5quad:
+	CMPQ BX, R14
+	JG   mm5pair
+	MOVUPD (R8)(BX*8), X8
+	MULPD X0, X8
+	MOVUPD 16(R8)(BX*8), X12
+	MULPD X0, X12
+	MOVUPD (R9)(BX*8), X9
+	MULPD X1, X9
+	ADDPD X9, X8
+	MOVUPD 16(R9)(BX*8), X13
+	MULPD X1, X13
+	ADDPD X13, X12
+	MOVUPD (R10)(BX*8), X10
+	MULPD X2, X10
+	ADDPD X10, X8
+	MOVUPD 16(R10)(BX*8), X14
+	MULPD X2, X14
+	ADDPD X14, X12
+	MOVUPD (R11)(BX*8), X11
+	MULPD X3, X11
+	ADDPD X11, X8
+	MOVUPD 16(R11)(BX*8), X15
+	MULPD X3, X15
+	ADDPD X15, X12
+	MOVUPD (R12)(BX*8), X9
+	MULPD X4, X9
+	ADDPD X9, X8
+	MOVUPD 16(R12)(BX*8), X13
+	MULPD X4, X13
+	ADDPD X13, X12
+	MOVUPD X8, (DI)(BX*8)
+	MOVUPD X12, 16(DI)(BX*8)
+	ADDQ $4, BX
+	JMP  mm5quad
+
+mm5pair:
+	CMPQ BX, R15
+	JG   mm5tail
+	MOVUPD (R8)(BX*8), X8
+	MULPD X0, X8
+	MOVUPD (R9)(BX*8), X9
+	MULPD X1, X9
+	ADDPD X9, X8
+	MOVUPD (R10)(BX*8), X10
+	MULPD X2, X10
+	ADDPD X10, X8
+	MOVUPD (R11)(BX*8), X11
+	MULPD X3, X11
+	ADDPD X11, X8
+	MOVUPD (R12)(BX*8), X9
+	MULPD X4, X9
+	ADDPD X9, X8
+	MOVUPD X8, (DI)(BX*8)
+	ADDQ $2, BX
+	JMP  mm5pair
+
+mm5tail:
+	CMPQ BX, CX
+	JGE  mm5next
+	MOVQ (R8)(BX*8), X8
+	MULSD X0, X8
+	MOVQ (R9)(BX*8), X9
+	MULSD X1, X9
+	ADDSD X9, X8
+	MOVQ (R10)(BX*8), X10
+	MULSD X2, X10
+	ADDSD X10, X8
+	MOVQ (R11)(BX*8), X11
+	MULSD X3, X11
+	ADDSD X11, X8
+	MOVQ (R12)(BX*8), X9
+	MULSD X4, X9
+	ADDSD X9, X8
+	MOVQ X8, (DI)(BX*8)
+	INCQ BX
+	JMP  mm5tail
+
+mm5next:
+	ADDQ AX, DI        // next dst row
+	ADDQ $40, DX       // next coefficient row
+	DECQ R13
+	JNZ  mm5row
+	// Next block: dst already advanced 5 rows; advance the src row
+	// pointers by 5 rows and rewind the coefficient pointer.
+	LEAQ (AX)(AX*4), DX
+	ADDQ DX, R8
+	ADDQ DX, R9
+	ADDQ DX, R10
+	ADDQ DX, R11
+	ADDQ DX, R12
+	MOVQ d+16(FP), DX
+	DECQ SI
+	JNZ  mm5block
+	RET
+
+// func mm5accasm(dst, src, d *float64, n, blocks int)
+TEXT ·mm5accasm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ d+16(FP), DX
+	MOVQ n+24(FP), CX
+	MOVQ CX, AX
+	SHLQ $3, AX
+	MOVQ SI, R8
+	LEAQ (SI)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	LEAQ (R10)(AX*1), R11
+	LEAQ (R11)(AX*1), R12
+	MOVQ CX, R14
+	SUBQ $4, R14
+	MOVQ CX, R15
+	SUBQ $2, R15
+	MOVQ blocks+32(FP), SI
+
+accblock:
+	MOVQ $5, R13
+
+accrow:
+	MOVQ 0(DX), X0
+	UNPCKLPD X0, X0
+	MOVQ 8(DX), X1
+	UNPCKLPD X1, X1
+	MOVQ 16(DX), X2
+	UNPCKLPD X2, X2
+	MOVQ 24(DX), X3
+	UNPCKLPD X3, X3
+	MOVQ 32(DX), X4
+	UNPCKLPD X4, X4
+	XORQ BX, BX
+
+accquad:
+	CMPQ BX, R14
+	JG   accpair
+	MOVUPD (DI)(BX*8), X8
+	MOVUPD 16(DI)(BX*8), X12
+	MOVUPD (R8)(BX*8), X9
+	MULPD X0, X9
+	ADDPD X9, X8
+	MOVUPD 16(R8)(BX*8), X13
+	MULPD X0, X13
+	ADDPD X13, X12
+	MOVUPD (R9)(BX*8), X10
+	MULPD X1, X10
+	ADDPD X10, X8
+	MOVUPD 16(R9)(BX*8), X14
+	MULPD X1, X14
+	ADDPD X14, X12
+	MOVUPD (R10)(BX*8), X11
+	MULPD X2, X11
+	ADDPD X11, X8
+	MOVUPD 16(R10)(BX*8), X15
+	MULPD X2, X15
+	ADDPD X15, X12
+	MOVUPD (R11)(BX*8), X9
+	MULPD X3, X9
+	ADDPD X9, X8
+	MOVUPD 16(R11)(BX*8), X13
+	MULPD X3, X13
+	ADDPD X13, X12
+	MOVUPD (R12)(BX*8), X10
+	MULPD X4, X10
+	ADDPD X10, X8
+	MOVUPD 16(R12)(BX*8), X14
+	MULPD X4, X14
+	ADDPD X14, X12
+	MOVUPD X8, (DI)(BX*8)
+	MOVUPD X12, 16(DI)(BX*8)
+	ADDQ $4, BX
+	JMP  accquad
+
+accpair:
+	CMPQ BX, R15
+	JG   acctail
+	MOVUPD (DI)(BX*8), X8
+	MOVUPD (R8)(BX*8), X9
+	MULPD X0, X9
+	ADDPD X9, X8
+	MOVUPD (R9)(BX*8), X10
+	MULPD X1, X10
+	ADDPD X10, X8
+	MOVUPD (R10)(BX*8), X11
+	MULPD X2, X11
+	ADDPD X11, X8
+	MOVUPD (R11)(BX*8), X9
+	MULPD X3, X9
+	ADDPD X9, X8
+	MOVUPD (R12)(BX*8), X10
+	MULPD X4, X10
+	ADDPD X10, X8
+	MOVUPD X8, (DI)(BX*8)
+	ADDQ $2, BX
+	JMP  accpair
+
+acctail:
+	CMPQ BX, CX
+	JGE  accnext
+	MOVQ (DI)(BX*8), X8
+	MOVQ (R8)(BX*8), X9
+	MULSD X0, X9
+	ADDSD X9, X8
+	MOVQ (R9)(BX*8), X10
+	MULSD X1, X10
+	ADDSD X10, X8
+	MOVQ (R10)(BX*8), X11
+	MULSD X2, X11
+	ADDSD X11, X8
+	MOVQ (R11)(BX*8), X9
+	MULSD X3, X9
+	ADDSD X9, X8
+	MOVQ (R12)(BX*8), X10
+	MULSD X4, X10
+	ADDSD X10, X8
+	MOVQ X8, (DI)(BX*8)
+	INCQ BX
+	JMP  acctail
+
+accnext:
+	ADDQ AX, DI
+	ADDQ $40, DX
+	DECQ R13
+	JNZ  accrow
+	LEAQ (AX)(AX*4), DX
+	ADDQ DX, R8
+	ADDQ DX, R9
+	ADDQ DX, R10
+	ADDQ DX, R11
+	ADDQ DX, R12
+	MOVQ d+16(FP), DX
+	DECQ SI
+	JNZ  accblock
+	RET
+
+// func elStress8asm(gp, cst, w *float64)
+//
+// The pointwise stress pass of the batched deg=4 isotropic elastic
+// kernel, over one 8-lane block: g points at 9 gradient planes of
+// 125×8 values (plane stride 8000 bytes) holding the raw axis
+// derivatives; they are rewritten in place with the weighted stress-flux
+// planes t0..t8. cst holds 8 rows of 8 per-element constants
+// (ax, ay, az, jdet, lam, mu, unused, unused); w holds 125 interleaved
+// (w[a], w[b]*w[c]) pairs. Lane arithmetic follows the scalar kernel's
+// chains exactly (see the pure-Go elStress8 in batch3d.go).
+TEXT ·elStress8asm(SB), NOSPLIT, $0-24
+	MOVQ gp+0(FP), DI
+	MOVQ cst+8(FP), SI
+	MOVQ w+16(FP), DX
+	MOVQ $125, CX
+
+esq:
+	// Broadcast wa and wbc of this quadrature point.
+	MOVQ 0(DX), X0
+	UNPCKLPD X0, X0
+	MOVQ 8(DX), X1
+	UNPCKLPD X1, X1
+	XORQ BX, BX        // lane
+
+eslane:
+	MOVUPD (SI)(BX*8), X2     // ax
+	MOVUPD 64(SI)(BX*8), X3   // ay
+	MOVUPD 128(SI)(BX*8), X4  // az
+	// wbc = wbc0·jdet ; wq = wa·wbc ; wx/wy/wz = wq·a{x,y,z}
+	MOVUPD 192(SI)(BX*8), X5  // jdet
+	MULPD X1, X5              // wbc
+	MULPD X0, X5              // wq
+	MOVAPD X5, X6
+	MULPD X2, X6              // wx
+	MOVAPD X5, X7
+	MULPD X3, X7              // wy
+	MULPD X4, X5              // wz (X5 now free as wq)
+	MOVUPD 256(SI)(BX*8), X9  // lam
+	MOVUPD 320(SI)(BX*8), X10 // mu
+	MOVAPD X10, X11
+	ADDPD X10, X11            // 2mu
+	// Diagonal: v00 = ax·g00, v11 = ay·g11, v22 = az·g22,
+	// tr = (v00+v11)+v22, lt = lam·tr, tkk = w·(2mu·vkk + lt).
+	MOVUPD (DI)(BX*8), X12
+	MULPD X2, X12
+	MOVUPD 32000(DI)(BX*8), X13
+	MULPD X3, X13
+	MOVUPD 64000(DI)(BX*8), X14
+	MULPD X4, X14
+	MOVAPD X12, X15
+	ADDPD X13, X15
+	ADDPD X14, X15            // tr
+	MULPD X15, X9             // lt = lam·tr
+	MULPD X11, X12
+	ADDPD X9, X12
+	MULPD X6, X12
+	MOVUPD X12, (DI)(BX*8)    // t0
+	MULPD X11, X13
+	ADDPD X9, X13
+	MULPD X7, X13
+	MOVUPD X13, 32000(DI)(BX*8) // t4
+	MULPD X11, X14
+	ADDPD X9, X14
+	MULPD X5, X14
+	MOVUPD X14, 64000(DI)(BX*8) // t8
+	// Shear xy: sxy = mu·(ay·g01 + ax·g10); t1 = wy·sxy, t3 = wx·sxy.
+	MOVUPD 8000(DI)(BX*8), X12
+	MULPD X3, X12
+	MOVUPD 24000(DI)(BX*8), X13
+	MULPD X2, X13
+	ADDPD X13, X12
+	MULPD X10, X12
+	MOVAPD X12, X14
+	MULPD X7, X14
+	MOVUPD X14, 8000(DI)(BX*8)  // t1
+	MULPD X6, X12
+	MOVUPD X12, 24000(DI)(BX*8) // t3
+	// Shear xz: sxz = mu·(az·g02 + ax·g20); t2 = wz·sxz, t6 = wx·sxz.
+	MOVUPD 16000(DI)(BX*8), X12
+	MULPD X4, X12
+	MOVUPD 48000(DI)(BX*8), X13
+	MULPD X2, X13
+	ADDPD X13, X12
+	MULPD X10, X12
+	MOVAPD X12, X14
+	MULPD X5, X14
+	MOVUPD X14, 16000(DI)(BX*8) // t2
+	MULPD X6, X12
+	MOVUPD X12, 48000(DI)(BX*8) // t6
+	// Shear yz: syz = mu·(az·g12 + ay·g21); t5 = wz·syz, t7 = wy·syz.
+	MOVUPD 40000(DI)(BX*8), X12
+	MULPD X4, X12
+	MOVUPD 56000(DI)(BX*8), X13
+	MULPD X3, X13
+	ADDPD X13, X12
+	MULPD X10, X12
+	MOVAPD X12, X14
+	MULPD X5, X14
+	MOVUPD X14, 40000(DI)(BX*8) // t5
+	MULPD X7, X12
+	MOVUPD X12, 56000(DI)(BX*8) // t7
+	ADDQ $2, BX
+	CMPQ BX, $8
+	JL   eslane
+	ADDQ $64, DI       // next quadrature point (8 lanes)
+	ADDQ $16, DX       // next (wa, wbc) pair
+	DECQ CX
+	JNZ  esq
+	RET
+
+// func acStress8asm(fp, cst, w *float64)
+//
+// The pointwise pass of the batched deg=4 acoustic kernel over one
+// 8-lane block: fp points at 3 derivative planes of 125×8 values (plane
+// stride 8000 bytes), rescaled in place by the premultiplied metric
+// factors sx, sy, sz (cst, 3 rows of 8) and the quadrature weights (w,
+// 125 interleaved (w[a], w[b]·w[c]) pairs), following the scalar
+// kernel's ((s·wa)·wbc)·∂u chain (see acStressN).
+TEXT ·acStress8asm(SB), NOSPLIT, $0-24
+	MOVQ fp+0(FP), DI
+	MOVQ cst+8(FP), SI
+	MOVQ w+16(FP), DX
+	MOVQ $125, CX
+
+acq:
+	MOVQ 0(DX), X0
+	UNPCKLPD X0, X0
+	MOVQ 8(DX), X1
+	UNPCKLPD X1, X1
+	XORQ BX, BX
+
+aclane:
+	MOVUPD (SI)(BX*8), X2
+	MULPD X0, X2
+	MULPD X1, X2
+	MOVUPD (DI)(BX*8), X5
+	MULPD X2, X5
+	MOVUPD X5, (DI)(BX*8)
+	MOVUPD 64(SI)(BX*8), X3
+	MULPD X0, X3
+	MULPD X1, X3
+	MOVUPD 8000(DI)(BX*8), X6
+	MULPD X3, X6
+	MOVUPD X6, 8000(DI)(BX*8)
+	MOVUPD 128(SI)(BX*8), X4
+	MULPD X0, X4
+	MULPD X1, X4
+	MOVUPD 16000(DI)(BX*8), X7
+	MULPD X4, X7
+	MOVUPD X7, 16000(DI)(BX*8)
+	ADDQ $2, BX
+	CMPQ BX, $8
+	JL   aclane
+	ADDQ $64, DI
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  acq
+	RET
+
+// func anStress8asm(gp, cst, w *float64)
+//
+// The pointwise stress pass of the batched deg=4 anisotropic elastic
+// kernel over one 8-lane block: gp points at 9 gradient planes of 125×8
+// values (plane stride 8000 bytes), rewritten in place with the
+// stress-flux planes. cst holds 40 rows of 8 per-element constants
+// (ax, ay, az, jdet, then the 6×6 Voigt tensor row-major); w holds 125
+// interleaved (w[a], w[b]·w[c]) pairs. Chains match the scalar kernel
+// (see anStressN).
+TEXT ·anStress8asm(SB), NOSPLIT, $0-24
+	MOVQ gp+0(FP), DI
+	MOVQ cst+8(FP), SI
+	MOVQ w+16(FP), DX
+	MOVQ $125, CX
+
+anq:
+	MOVQ 0(DX), X0
+	UNPCKLPD X0, X0
+	MOVQ 8(DX), X1
+	UNPCKLPD X1, X1
+	XORQ BX, BX
+
+anlane:
+	MOVUPD (SI)(BX*8), X2       // ax
+	MOVUPD 64(SI)(BX*8), X3     // ay
+	MOVUPD 128(SI)(BX*8), X4    // az
+	MOVUPD 192(SI)(BX*8), X5    // jdet
+	MULPD X1, X5                // wbc
+	MULPD X0, X5                // wq
+	MOVAPD X5, X6
+	MULPD X2, X6                // wx
+	MOVAPD X5, X7
+	MULPD X3, X7                // wy
+	MULPD X4, X5                // wz
+	// Voigt strain from the nine scaled gradients.
+	MOVUPD (DI)(BX*8), X8
+	MULPD X2, X8                // e0 = ax·g00
+	MOVUPD 32000(DI)(BX*8), X9
+	MULPD X3, X9                // e1 = ay·g11
+	MOVUPD 64000(DI)(BX*8), X10
+	MULPD X4, X10               // e2 = az·g22
+	MOVUPD 40000(DI)(BX*8), X11
+	MULPD X4, X11
+	MOVUPD 56000(DI)(BX*8), X15
+	MULPD X3, X15
+	ADDPD X15, X11              // e3 = az·g12 + ay·g21
+	MOVUPD 16000(DI)(BX*8), X12
+	MULPD X4, X12
+	MOVUPD 48000(DI)(BX*8), X15
+	MULPD X2, X15
+	ADDPD X15, X12              // e4 = az·g02 + ax·g20
+	MOVUPD 8000(DI)(BX*8), X13
+	MULPD X3, X13
+	MOVUPD 24000(DI)(BX*8), X15
+	MULPD X2, X15
+	ADDPD X15, X13              // e5 = ay·g01 + ax·g10
+	// s0 = C0:e ; t0 = wx·s0
+	MOVUPD 256(SI)(BX*8), X14
+	MULPD X8, X14
+	MOVUPD 320(SI)(BX*8), X2
+	MULPD X9, X2
+	ADDPD X2, X14
+	MOVUPD 384(SI)(BX*8), X2
+	MULPD X10, X2
+	ADDPD X2, X14
+	MOVUPD 448(SI)(BX*8), X2
+	MULPD X11, X2
+	ADDPD X2, X14
+	MOVUPD 512(SI)(BX*8), X2
+	MULPD X12, X2
+	ADDPD X2, X14
+	MOVUPD 576(SI)(BX*8), X2
+	MULPD X13, X2
+	ADDPD X2, X14
+	MULPD X6, X14
+	MOVUPD X14, (DI)(BX*8)
+	// s1 ; t4 = wy·s1
+	MOVUPD 640(SI)(BX*8), X14
+	MULPD X8, X14
+	MOVUPD 704(SI)(BX*8), X2
+	MULPD X9, X2
+	ADDPD X2, X14
+	MOVUPD 768(SI)(BX*8), X2
+	MULPD X10, X2
+	ADDPD X2, X14
+	MOVUPD 832(SI)(BX*8), X2
+	MULPD X11, X2
+	ADDPD X2, X14
+	MOVUPD 896(SI)(BX*8), X2
+	MULPD X12, X2
+	ADDPD X2, X14
+	MOVUPD 960(SI)(BX*8), X2
+	MULPD X13, X2
+	ADDPD X2, X14
+	MULPD X7, X14
+	MOVUPD X14, 32000(DI)(BX*8)
+	// s2 ; t8 = wz·s2
+	MOVUPD 1024(SI)(BX*8), X14
+	MULPD X8, X14
+	MOVUPD 1088(SI)(BX*8), X2
+	MULPD X9, X2
+	ADDPD X2, X14
+	MOVUPD 1152(SI)(BX*8), X2
+	MULPD X10, X2
+	ADDPD X2, X14
+	MOVUPD 1216(SI)(BX*8), X2
+	MULPD X11, X2
+	ADDPD X2, X14
+	MOVUPD 1280(SI)(BX*8), X2
+	MULPD X12, X2
+	ADDPD X2, X14
+	MOVUPD 1344(SI)(BX*8), X2
+	MULPD X13, X2
+	ADDPD X2, X14
+	MULPD X5, X14
+	MOVUPD X14, 64000(DI)(BX*8)
+	// s3 ; t5 = wz·s3, t7 = wy·s3
+	MOVUPD 1408(SI)(BX*8), X14
+	MULPD X8, X14
+	MOVUPD 1472(SI)(BX*8), X2
+	MULPD X9, X2
+	ADDPD X2, X14
+	MOVUPD 1536(SI)(BX*8), X2
+	MULPD X10, X2
+	ADDPD X2, X14
+	MOVUPD 1600(SI)(BX*8), X2
+	MULPD X11, X2
+	ADDPD X2, X14
+	MOVUPD 1664(SI)(BX*8), X2
+	MULPD X12, X2
+	ADDPD X2, X14
+	MOVUPD 1728(SI)(BX*8), X2
+	MULPD X13, X2
+	ADDPD X2, X14
+	MOVAPD X14, X2
+	MULPD X5, X2
+	MOVUPD X2, 40000(DI)(BX*8)
+	MULPD X7, X14
+	MOVUPD X14, 56000(DI)(BX*8)
+	// s4 ; t2 = wz·s4, t6 = wx·s4
+	MOVUPD 1792(SI)(BX*8), X14
+	MULPD X8, X14
+	MOVUPD 1856(SI)(BX*8), X2
+	MULPD X9, X2
+	ADDPD X2, X14
+	MOVUPD 1920(SI)(BX*8), X2
+	MULPD X10, X2
+	ADDPD X2, X14
+	MOVUPD 1984(SI)(BX*8), X2
+	MULPD X11, X2
+	ADDPD X2, X14
+	MOVUPD 2048(SI)(BX*8), X2
+	MULPD X12, X2
+	ADDPD X2, X14
+	MOVUPD 2112(SI)(BX*8), X2
+	MULPD X13, X2
+	ADDPD X2, X14
+	MOVAPD X14, X2
+	MULPD X5, X2
+	MOVUPD X2, 16000(DI)(BX*8)
+	MULPD X6, X14
+	MOVUPD X14, 48000(DI)(BX*8)
+	// s5 ; t1 = wy·s5, t3 = wx·s5
+	MOVUPD 2176(SI)(BX*8), X14
+	MULPD X8, X14
+	MOVUPD 2240(SI)(BX*8), X2
+	MULPD X9, X2
+	ADDPD X2, X14
+	MOVUPD 2304(SI)(BX*8), X2
+	MULPD X10, X2
+	ADDPD X2, X14
+	MOVUPD 2368(SI)(BX*8), X2
+	MULPD X11, X2
+	ADDPD X2, X14
+	MOVUPD 2432(SI)(BX*8), X2
+	MULPD X12, X2
+	ADDPD X2, X14
+	MOVUPD 2496(SI)(BX*8), X2
+	MULPD X13, X2
+	ADDPD X2, X14
+	MOVAPD X14, X2
+	MULPD X7, X2
+	MOVUPD X2, 8000(DI)(BX*8)
+	MULPD X6, X14
+	MOVUPD X14, 24000(DI)(BX*8)
+	ADDQ $2, BX
+	CMPQ BX, $8
+	JL   anlane
+	ADDQ $64, DI
+	ADDQ $16, DX
+	DECQ CX
+	JNZ  anq
+	RET

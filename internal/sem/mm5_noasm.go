@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package sem
+
+// Portable fallbacks for the batched microkernel primitives: identical
+// arithmetic (and therefore bitwise-identical results) to the amd64 asm
+// kernels.
+
+func mul5(dst, src, d []float64, n, blocks int) { mm5go(dst, src, d, n, blocks) }
+
+func mul5acc(dst, src, d []float64, n, blocks int) { mm5accgo(dst, src, d, n, blocks) }
+
+func elStress8(g, cst, w []float64) { elStressN(g, cst, w, 125) }
+
+func acStress8(f, cst, w []float64) { acStressN(f, cst, w, 125) }
+
+func anStress8(g, cst, w []float64) { anStressN(g, cst, w, 125) }

@@ -42,6 +42,9 @@ var (
 	// ErrPartsRange is returned for a partition request with fewer than one
 	// part.
 	ErrPartsRange = errors.New("parts must be >= 1")
+	// ErrUnknownKernel is returned for a kernel other than Batched or
+	// PerElement.
+	ErrUnknownKernel = errors.New("unknown kernel")
 	// ErrNilArgument is returned when an option receives a nil sink or
 	// probe.
 	ErrNilArgument = errors.New("nil argument")
@@ -77,6 +80,21 @@ const (
 	// Elastic is the isotropic elastic wave equation (3 components per
 	// node).
 	Elastic Physics = "elastic"
+)
+
+// Kernel names a stiffness-kernel execution strategy.
+type Kernel string
+
+// The two kernel strategies. Batched — the default — fuses each stable
+// element set (the whole mesh for the global scheme, each LTS level's
+// force elements, each rank's owned slice) into single
+// gather→contract→scatter passes over a flat structure-of-arrays
+// workspace; PerElement applies one element at a time. The two are
+// bitwise-identical, so switching kernels never changes results — only
+// speed.
+const (
+	Batched    Kernel = "batched"
+	PerElement Kernel = "per-element"
 )
 
 // Partitioner names an element-partitioning strategy for the parallel
@@ -159,8 +177,9 @@ type settings struct {
 	cycles      int
 	workers     int
 	partitioner Partitioner
+	kernel      Kernel
 	seed        int64
-	source      *Source
+	sources     []Source
 	srcComp     int
 	receivers   []Receiver
 	sponge      Sponge
@@ -179,6 +198,7 @@ func defaultSettings() *settings {
 		cycles:      20,
 		workers:     1,
 		partitioner: ScotchP,
+		kernel:      Batched,
 		seed:        1,
 	}
 }
@@ -300,6 +320,20 @@ func WithPartitioner(p Partitioner) Option {
 	}
 }
 
+// WithKernel selects the stiffness-kernel execution strategy (default
+// Batched). Results are bitwise-identical between the two kernels; the
+// per-element path exists as the always-available reference and for
+// A/B benchmarking.
+func WithKernel(k Kernel) Option {
+	return func(s *settings) error {
+		if k != Batched && k != PerElement {
+			return optErr("WithKernel", ErrUnknownKernel, "%q", k)
+		}
+		s.kernel = k
+		return nil
+	}
+}
+
 // WithSeed sets the partitioner seed (default 1).
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {
@@ -308,21 +342,22 @@ func WithSeed(seed int64) Option {
 	}
 }
 
-// WithSource places the point source explicitly. Without this option a
-// default Ricker source is placed at the horizontal centre, a quarter of
-// the depth above the bottom, with a duration matched to the configured
-// cycle count. The component is validated against the physics when the
-// simulation is built.
+// WithSource adds a point source. Like WithReceiver, the option
+// accumulates: each call appends one source, and every source is
+// injected at its node's LTS level at that level's local substep times.
+// Without any WithSource a default Ricker source is placed at the
+// horizontal centre, a quarter of the depth above the bottom, with a
+// duration matched to the configured cycle count. Components are
+// validated against the physics when the simulation is built.
 func WithSource(src Source) Option {
 	return func(s *settings) error {
 		if src.F0 <= 0 {
 			return optErr("WithSource", ErrSourceSpec, "F0 must be positive, got %g", src.F0)
 		}
 		if src.Comp < 0 || src.Comp > 2 {
-			return optErr("WithSource", ErrComponentRange, "got %d", src.Comp)
+			return optErr("WithSource", ErrComponentRange, "source %d: got %d", len(s.sources), src.Comp)
 		}
-		cp := src
-		s.source = &cp
+		s.sources = append(s.sources, src)
 		return nil
 	}
 }

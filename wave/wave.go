@@ -63,7 +63,7 @@ type Simulation struct {
 	gS      *newmark.Stepper
 	stepper Stepper
 
-	source    Source
+	sources   []Source
 	receivers []Receiver
 	recs      []*sem.Receiver
 	samples   []float64
@@ -117,11 +117,13 @@ func build(set *settings) (*Simulation, error) {
 
 	// Cross-field validation: components against the physics. This is the
 	// eager replacement for the old driver's silent min(comp, nc-1) clamp.
-	if set.source != nil && set.source.Comp > nc-1 {
-		return nil, optErr("WithSource", ErrComponentRange,
-			"component %d for %s physics (max %d)", set.source.Comp, set.physics, nc-1)
+	for i, src := range set.sources {
+		if src.Comp > nc-1 {
+			return nil, optErr("WithSource", ErrComponentRange,
+				"source %d component %d for %s physics (max %d)", i, src.Comp, set.physics, nc-1)
+		}
 	}
-	if set.source == nil && set.srcComp > nc-1 {
+	if len(set.sources) == 0 && set.srcComp > nc-1 {
 		return nil, optErr("WithSourceComponent", ErrComponentRange,
 			"component %d for %s physics (max %d)", set.srcComp, set.physics, nc-1)
 	}
@@ -156,20 +158,20 @@ func build(set *settings) (*Simulation, error) {
 
 	// Defaults: source near the refinement, one receiver nearby.
 	x0, x1, y0, y1, z0, z1 := m.Extent()
-	if set.source != nil {
-		s.source = *set.source
+	if len(set.sources) > 0 {
+		s.sources = append([]Source(nil), set.sources...)
 	} else {
 		dur := float64(set.cycles) * lv.CoarseDt
-		s.source = Source{
+		s.sources = []Source{{
 			X: (x0 + x1) / 2, Y: (y0 + y1) / 2, Z: z0 + (z1-z0)/4,
 			Comp: set.srcComp, F0: 8 / dur, T0: dur / 5,
-		}
+		}}
 	}
 	s.receivers = append([]Receiver(nil), set.receivers...)
 	if len(s.receivers) == 0 {
 		s.receivers = []Receiver{{
 			Name: "st0", X: (x0+x1)/2 + (x1-x0)/12, Y: (y0 + y1) / 2, Z: z0,
-			Comp: s.source.Comp,
+			Comp: s.sources[0].Comp,
 		}}
 	}
 	for i := range s.receivers {
@@ -178,10 +180,13 @@ func build(set *settings) (*Simulation, error) {
 		}
 	}
 
-	srcNode := nearestNode(geom, s.source.X, s.source.Y, s.source.Z)
-	semSrc := sem.Source{
-		Dof: int(srcNode)*nc + s.source.Comp,
-		W:   sem.Ricker{F0: s.source.F0, T0: s.source.T0},
+	semSrcs := make([]sem.Source, len(s.sources))
+	for i, src := range s.sources {
+		srcNode := nearestNode(geom, src.X, src.Y, src.Z)
+		semSrcs[i] = sem.Source{
+			Dof: int(srcNode)*nc + src.Comp,
+			W:   sem.Ricker{F0: src.F0, T0: src.T0},
+		}
 	}
 	for _, r := range s.receivers {
 		n := nearestNode(geom, r.X, r.Y, r.Z)
@@ -195,18 +200,24 @@ func build(set *settings) (*Simulation, error) {
 			x0, x1, y0, y1, z0, z1, set.sponge.Faces, set.sponge.Width, set.sponge.Strength)
 	}
 
+	kern := sem.KernelBatched
+	if set.kernel == PerElement {
+		kern = sem.KernelPerElement
+	}
 	if set.lts {
 		sch, err := lts.FromMeshLevels(step, lv, true)
 		if err != nil {
 			return nil, fmt.Errorf("wave: %w", err)
 		}
-		sch.SetSources([]sem.Source{semSrc})
+		sch.Kernel = kern
+		sch.SetSources(semSrcs)
 		sch.Sigma = sigma
 		s.ltsS = sch
 		s.stepper = ltsStepper{sch}
 	} else {
 		g := newmark.New(step, lv.CoarseDt/float64(lv.PMax()))
-		g.Sources = []sem.Source{semSrc}
+		g.Kernel = kern
+		g.Sources = semSrcs
 		g.Sigma = sigma
 		s.gS = g
 		s.stepper = newmarkStepper{g, lv.PMax()}
@@ -360,8 +371,14 @@ func (s *Simulation) State() []float64 { return s.stepper.State() }
 // Cycles returns the configured default cycle count (WithCycles).
 func (s *Simulation) Cycles() int { return s.set.cycles }
 
-// Source returns the resolved point source, after default placement.
-func (s *Simulation) Source() Source { return s.source }
+// Source returns the first resolved point source (after default
+// placement) — the only one unless WithSource was used repeatedly.
+func (s *Simulation) Source() Source { return s.sources[0] }
+
+// Sources returns all resolved point sources, after default placement.
+func (s *Simulation) Sources() []Source {
+	return append([]Source(nil), s.sources...)
+}
 
 // Receivers returns the resolved recording stations, after default
 // placement and name assignment.
@@ -427,9 +444,11 @@ type Stats struct {
 	Cycles      int64
 	ElemApplies int64
 	// Workers is the resolved rank-worker count; Partitioner the strategy
-	// used when the engine is active (empty otherwise).
+	// used when the engine is active (empty otherwise); Kernel the
+	// stiffness execution strategy.
 	Workers     int
 	Partitioner Partitioner
+	Kernel      Kernel
 	// Engine holds the parallel engine's counters; nil when running
 	// sequentially.
 	Engine *EngineStats
@@ -451,6 +470,7 @@ func (s *Simulation) Stats() Stats {
 		CoarseDt:           s.lv.CoarseDt,
 		TheoreticalSpeedup: s.lv.TheoreticalSpeedup(),
 		Workers:            s.workers,
+		Kernel:             s.set.kernel,
 	}
 	if s.ltsS != nil {
 		st.Cycles = s.ltsS.CycleCount()
