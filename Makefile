@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-kernels bench-smoke vet fmt check examples
+.PHONY: build test race bench bench-kernels bench-smoke dist-smoke lint vet fmt check examples
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector job over the shared-memory engine and the LTS scheme that
-# drives it; -short shrinks the equivalence matrix to its corners so this
-# stays CI-friendly.
+# Race-detector job over the engines with internal concurrency: the
+# shared-memory engine, the LTS scheme that drives it, and the
+# distributed backend (whose coordinator multiplexes rank connections on
+# goroutines and whose ranks run reader goroutines per peer); -short
+# shrinks the equivalence matrices to their corners so this stays
+# CI-friendly.
 race:
-	$(GO) test -race -short ./internal/parallel ./internal/lts
+	$(GO) test -race -short ./internal/parallel ./internal/lts ./internal/dist
 
 # Quick-config benchmarks, including BenchmarkParallelSpeedup, plus the
 # kernel trajectory file: BENCH_kernels.json records ns/elem and allocs/op
@@ -32,6 +35,31 @@ bench-kernels:
 bench-smoke:
 	$(GO) run ./cmd/kernelbench -smoke -out /dev/null
 
+# Distributed smoke: a tiny trench run on 1, 2 and 4 local rank
+# processes with the decomposition width pinned to 4 parts. The
+# decomposition — not the process count — fixes the floating-point
+# assembly order, so all three receiver CSVs must be byte-identical.
+dist-smoke:
+	@rm -rf .dist-smoke && mkdir -p .dist-smoke
+	$(GO) build -o .dist-smoke/distrun ./cmd/distrun
+	./.dist-smoke/distrun -ranks 1 -parts 4 -scale 0.004 -cycles 6 -out .dist-smoke/r1.csv
+	./.dist-smoke/distrun -ranks 2 -parts 4 -scale 0.004 -cycles 6 -out .dist-smoke/r2.csv
+	./.dist-smoke/distrun -ranks 4 -parts 4 -scale 0.004 -cycles 6 -out .dist-smoke/r4.csv
+	cmp .dist-smoke/r1.csv .dist-smoke/r2.csv
+	cmp .dist-smoke/r1.csv .dist-smoke/r4.csv
+	@rm -rf .dist-smoke
+	@echo "dist-smoke: 1-, 2- and 4-rank receiver CSVs byte-identical"
+
+# Static analysis beyond go vet. CI installs staticcheck; locally the
+# target runs it when present and skips (loudly) when not, so `make
+# check` mirrors CI wherever the tool is installed.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Smoke-run every example at tiny scales, so facade changes cannot
 # silently break them (they are not covered by `go test`).
 examples:
@@ -46,4 +74,4 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet build test race examples
+check: fmt vet lint build test race examples dist-smoke

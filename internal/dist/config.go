@@ -1,0 +1,185 @@
+// Package dist is the distributed multi-process execution backend: the
+// process-level analogue of the shared-memory engine in internal/parallel,
+// with the same owner-computes decomposition plans (package decomp) and
+// real message passing over loopback sockets in place of the in-memory
+// merge.
+//
+// A run is SPMD: a coordinator process spawns N rank processes of the
+// same binary (see RankMain), each rank rebuilds the mesh, operator and
+// time stepper deterministically from a broadcast RunConfig, and all
+// ranks step the same scheme in lockstep. The stiffness application is
+// the only coupled operation of either stepper — every other update is
+// pointwise in the degrees of freedom — so each rank computes K·u only
+// over its owned partition slice (with the batched SoA kernels) and
+// exchanges halo node contributions with its neighbouring ranks at every
+// LTS substep, using the per-rank, per-level halo sets induced by the
+// decomposition plans. After the exchange a rank's field values are
+// exact on every node its elements touch and harmlessly stale elsewhere;
+// receivers are sampled by the rank owning their node.
+//
+// Determinism: contributions assemble at every node in ascending part
+// order — the same order as the shared-memory engine's merge — so for a
+// fixed decomposition width (Parts) the seismograms are bitwise
+// identical to the shared-memory engine with Parts workers, for any
+// number of rank processes executing those parts.
+package dist
+
+import (
+	"fmt"
+
+	"golts/internal/decomp"
+	"golts/internal/mesh"
+	"golts/internal/sem"
+)
+
+// SourceSpec is one collocated Ricker point force, resolved to a global
+// degree of freedom by the coordinator.
+type SourceSpec struct {
+	Dof          int
+	F0, T0, Gain float64
+}
+
+// SpongeSpec configures the absorbing boundary layer; ranks rebuild the
+// per-node damping profile deterministically from it.
+type SpongeSpec struct {
+	Width, Strength float64
+	Faces           [6]bool
+}
+
+// RunConfig is everything a rank needs to rebuild the simulation. It is
+// broadcast once, gob-encoded, right after the handshake. Every field
+// must be deterministic: ranks reconstruct mesh, operator, level
+// assignment and stepper from it, and the equivalence tests pin the
+// reconstruction bitwise against the in-process build.
+type RunConfig struct {
+	// Mesh names a registered benchmark mesh generator; Scale its size.
+	Mesh  string
+	Scale float64
+	// Physics is "acoustic" or "elastic".
+	Physics string
+	// Degree is the SEM polynomial degree.
+	Degree int
+	// LevelCFL is the normalised Courant number handed to
+	// mesh.AssignLevels (the facade's cfl/degree²).
+	LevelCFL float64
+	// LTS selects the multi-level scheme; false runs global Newmark with
+	// p_max substeps per coarse cycle.
+	LTS bool
+	// PerElement forces the per-element reference kernel instead of the
+	// batched SoA kernel.
+	PerElement bool
+	// Ranks is the number of rank processes; Parts the decomposition
+	// width (Parts ≥ Ranks; parts map onto ranks in contiguous blocks).
+	Ranks, Parts int
+	// Part is the element → part assignment, len NumElements.
+	Part []int32
+	// Sources are the resolved point forces; Receivers the recorded
+	// degrees of freedom, in facade receiver order.
+	Sources   []SourceSpec
+	Receivers []int
+	// Sponge configures absorbing boundaries; zero disables.
+	Sponge SpongeSpec
+}
+
+// validate checks the structural invariants the handshake relies on.
+func (c *RunConfig) validate() error {
+	if c.Ranks < 1 {
+		return fmt.Errorf("dist: ranks must be >= 1, got %d", c.Ranks)
+	}
+	if c.Parts < c.Ranks {
+		return fmt.Errorf("dist: parts (%d) must be >= ranks (%d)", c.Parts, c.Ranks)
+	}
+	if _, ok := mesh.Generators[c.Mesh]; !ok {
+		return fmt.Errorf("dist: unknown mesh %q", c.Mesh)
+	}
+	if c.Physics != "acoustic" && c.Physics != "elastic" {
+		return fmt.Errorf("dist: unknown physics %q", c.Physics)
+	}
+	for _, p := range c.Part {
+		if p < 0 || int(p) >= c.Parts {
+			return fmt.Errorf("dist: part id %d outside [0,%d)", p, c.Parts)
+		}
+	}
+	return nil
+}
+
+// partRange returns the half-open part range [lo, hi) owned by rank r:
+// parts split into contiguous ascending blocks, so each rank's parts are
+// consecutive in the global part order (which is what lets a receiving
+// rank read one neighbour message sequentially while assembling parts in
+// ascending order).
+func partRange(r, parts, ranks int) (lo, hi int) {
+	return r * parts / ranks, (r + 1) * parts / ranks
+}
+
+// ownerRanks maps every part to its rank via partRange, as a lookup
+// table.
+func ownerRanks(parts, ranks int) []int {
+	own := make([]int, parts)
+	for r := 0; r < ranks; r++ {
+		lo, hi := partRange(r, parts, ranks)
+		for p := lo; p < hi; p++ {
+			own[p] = r
+		}
+	}
+	return own
+}
+
+// geomOperator is the slice of the concrete operators the rank runtime
+// needs beyond sem.Operator: node coordinates for the sponge profile.
+type geomOperator interface {
+	sem.Operator
+	NodeCoords(n int32) (x, y, z float64)
+}
+
+// buildOperator reconstructs the discretization a RunConfig describes.
+// It is the deterministic twin of the facade's operator construction.
+func buildOperator(cfg *RunConfig) (*mesh.Mesh, *mesh.Levels, geomOperator, error) {
+	gen, ok := mesh.Generators[cfg.Mesh]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("dist: unknown mesh %q", cfg.Mesh)
+	}
+	m := gen(cfg.Scale)
+	lv := mesh.AssignLevels(m, cfg.LevelCFL, 0)
+	var geom geomOperator
+	switch cfg.Physics {
+	case "acoustic":
+		op, err := sem.NewAcoustic3D(m, cfg.Degree, false)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("dist: %w", err)
+		}
+		geom = op
+	case "elastic":
+		op, err := sem.NewElastic3D(m, cfg.Degree, false, 0)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("dist: %w", err)
+		}
+		geom = op
+	default:
+		return nil, nil, nil, fmt.Errorf("dist: unknown physics %q", cfg.Physics)
+	}
+	return m, lv, geom, nil
+}
+
+// ReceiverOwners maps every configured receiver to the rank that samples
+// it: the rank executing the lowest part whose elements touch the
+// receiver's node. The coordinator's caller and every rank compute the
+// same mapping from the broadcast configuration.
+func ReceiverOwners(op sem.Operator, cfg *RunConfig) ([]int, error) {
+	dp := decomp.Build(op, cfg.Part, cfg.Parts, sem.AllElements(op))
+	owners := decomp.Owners(op.NumNodes(), dp.Touched)
+	ranks := ownerRanks(cfg.Parts, cfg.Ranks)
+	nc := op.Comps()
+	out := make([]int, len(cfg.Receivers))
+	for i, dof := range cfg.Receivers {
+		if dof < 0 || dof >= op.NDof() {
+			return nil, fmt.Errorf("dist: receiver dof %d outside [0,%d)", dof, op.NDof())
+		}
+		p := owners[dof/nc]
+		if p < 0 {
+			return nil, fmt.Errorf("dist: receiver dof %d on a node no part touches", dof)
+		}
+		out[i] = ranks[p]
+	}
+	return out, nil
+}

@@ -1,0 +1,386 @@
+package dist
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// Handshake and stepping deadlines. Handshake failures almost always
+// mean a spawned child did not call RankMain, so the timeout error says
+// so; the step timeout only guards CI against a deadlocked run.
+const (
+	handshakeTimeout = 30 * time.Second
+	stepTimeout      = 5 * time.Minute
+)
+
+// Config configures Start.
+type Config struct {
+	// Run is the SPMD run description broadcast to every rank.
+	Run RunConfig
+	// InProcess runs the ranks as goroutines of this process instead of
+	// spawned subprocesses. The full wire protocol still runs over
+	// loopback sockets; only the process boundary is elided. Tests use
+	// this for speed and so the race detector observes the rank runtime.
+	InProcess bool
+	// Stderr receives the spawned ranks' output (default os.Stderr).
+	Stderr io.Writer
+}
+
+// ctrlFrame is one control-plane message from a rank, read off the
+// connection by the coordinator's per-rank reader goroutine.
+type ctrlFrame struct {
+	t       byte
+	payload []byte
+}
+
+// rankHandle is the coordinator's view of one rank: its control
+// connection, the reader goroutine's channels, and the subprocess (nil
+// for in-process ranks).
+type rankHandle struct {
+	c      *conn
+	proc   *exec.Cmd
+	frames chan ctrlFrame
+	errs   chan error
+	done   chan error // in-process rank completion
+}
+
+// Coordinator owns a distributed run: it spawns the ranks, broadcasts
+// the configuration, drives lockstep cycles, collects receiver samples
+// and statistics, and shuts the ranks down. The control connections are
+// multiplexed on one reader goroutine per rank; halo traffic never
+// touches the coordinator. A Coordinator is driven by one goroutine at a
+// time.
+type Coordinator struct {
+	cfg    Config
+	ranks  []*rankHandle
+	recOwn []int // receiver index → owning rank
+	t      float64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Start launches a distributed run: it validates the configuration,
+// spawns cfg.Run.Ranks rank processes (or goroutines), and completes the
+// startup handshake. On return every rank has built its operators and
+// stands ready for Step.
+func Start(cfg Config) (*Coordinator, error) {
+	if IsRank() {
+		return nil, fmt.Errorf("dist: Start called inside a rank process — the parent binary " +
+			"did not call RankMain before starting distributed work")
+	}
+	if err := cfg.Run.validate(); err != nil {
+		return nil, err
+	}
+	tokenRaw := make([]byte, 16)
+	if _, err := rand.Read(tokenRaw); err != nil {
+		return nil, err
+	}
+	token := hex.EncodeToString(tokenRaw)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+
+	co := &Coordinator{cfg: cfg, ranks: make([]*rankHandle, cfg.Run.Ranks)}
+	fail := func(err error) (*Coordinator, error) {
+		co.kill()
+		return nil, err
+	}
+	stderr := cfg.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+
+	// Launch.
+	for i := 0; i < cfg.Run.Ranks; i++ {
+		if cfg.InProcess {
+			h := &rankHandle{done: make(chan error, 1)}
+			co.ranks[i] = h
+			params := rankParams{rank: i, addr: ln.Addr().String(), token: token}
+			go func() { h.done <- runRank(params) }()
+			continue
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			return fail(err)
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", envRank, i),
+			fmt.Sprintf("%s=%s", envAddr, ln.Addr().String()),
+			fmt.Sprintf("%s=%s", envToken, token),
+		)
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("dist: spawning rank %d: %w", i, err))
+		}
+		co.ranks[i] = &rankHandle{proc: cmd}
+	}
+
+	// Accept the control connections and match hellos to ranks. Stray
+	// connections — bad tokens, malformed hellos, immediate disconnects
+	// from port probes — are discarded and accepting continues; only the
+	// deadline aborts the run. A *valid-token* hello with an impossible
+	// rank id is one of our own children misbehaving, which is fatal.
+	deadline := time.Now().Add(handshakeTimeout)
+	for accepted := 0; accepted < cfg.Run.Ranks; {
+		nc, err := acceptWithDeadline(ln, deadline)
+		if err != nil {
+			return fail(fmt.Errorf("dist: waiting for rank hellos: %w (a spawned binary that "+
+				"does not call wave.RankMain at the top of main cannot join the run)", err))
+		}
+		c := newConn(nc)
+		c.setDeadline(deadline)
+		payload, err := c.expect(msgHello)
+		if err != nil || len(payload) < 4 || string(payload[4:]) != token {
+			c.close()
+			continue // stray connection; keep waiting
+		}
+		id := int(binary.LittleEndian.Uint32(payload[:4]))
+		if id < 0 || id >= cfg.Run.Ranks || co.ranks[id].c != nil {
+			return fail(fmt.Errorf("dist: unexpected hello from rank %d", id))
+		}
+		co.ranks[id].c = c
+		accepted++
+	}
+
+	// Broadcast config, gather peer listeners, broadcast the peer list,
+	// await readiness.
+	for _, h := range co.ranks {
+		if err := h.c.sendGob(msgConfig, &cfg.Run); err != nil {
+			return fail(err)
+		}
+	}
+	addrs := make([]string, cfg.Run.Ranks)
+	for i, h := range co.ranks {
+		payload, err := h.c.expect(msgPeerAddr)
+		if err != nil {
+			return fail(fmt.Errorf("dist: rank %d: %w", i, err))
+		}
+		addrs[i] = string(payload)
+	}
+	for _, h := range co.ranks {
+		if err := h.c.sendGob(msgPeers, addrs); err != nil {
+			return fail(err)
+		}
+	}
+	for i, h := range co.ranks {
+		if _, err := h.c.expect(msgReady); err != nil {
+			return fail(fmt.Errorf("dist: rank %d: %w", i, err))
+		}
+		h.c.setDeadline(time.Time{})
+	}
+
+	// Hand each control connection to a reader goroutine; from here on
+	// all receives are multiplexed through channels.
+	for _, h := range co.ranks {
+		h.frames = make(chan ctrlFrame, 4)
+		h.errs = make(chan error, 1)
+		go func(h *rankHandle) {
+			for {
+				t, payload, err := h.c.recv()
+				if err != nil {
+					h.errs <- err
+					close(h.frames)
+					return
+				}
+				h.frames <- ctrlFrame{t, payload}
+			}
+		}(h)
+	}
+	return co, nil
+}
+
+// recvFrame pops the next control frame from rank i, converting remote
+// msgErr frames and dead connections into errors.
+func (co *Coordinator) recvFrame(i int, timeout time.Duration) (ctrlFrame, error) {
+	h := co.ranks[i]
+	select {
+	case fr, ok := <-h.frames:
+		if !ok {
+			return ctrlFrame{}, fmt.Errorf("dist: rank %d connection lost: %w", i, <-h.errs)
+		}
+		if fr.t == msgErr {
+			return ctrlFrame{}, fmt.Errorf("dist: rank %d: %s", i, fr.payload)
+		}
+		return fr, nil
+	case <-time.After(timeout):
+		return ctrlFrame{}, fmt.Errorf("dist: rank %d: no response within %v", i, timeout)
+	}
+}
+
+// Receivers returns the number of configured receiver dofs.
+func (co *Coordinator) Receivers() int { return len(co.cfg.Run.Receivers) }
+
+// SetReceiverOwners installs the receiver → sampling-rank mapping (see
+// ReceiverOwners). Operator construction is the caller's concern — the
+// facade already holds the geometry operator — so the owners arrive
+// precomputed; Step refuses to run without them.
+func (co *Coordinator) SetReceiverOwners(owners []int) error {
+	if len(owners) != len(co.cfg.Run.Receivers) {
+		return fmt.Errorf("dist: %d owners for %d receivers", len(owners), len(co.cfg.Run.Receivers))
+	}
+	for _, r := range owners {
+		if r < 0 || r >= co.cfg.Run.Ranks {
+			return fmt.Errorf("dist: receiver owner rank %d outside [0,%d)", r, co.cfg.Run.Ranks)
+		}
+	}
+	co.recOwn = append([]int(nil), owners...)
+	return nil
+}
+
+// Step advances every rank by one coarse cycle and returns the cycle
+// time plus the receiver samples, in configured receiver order. The
+// samples slice is valid until the next Step.
+func (co *Coordinator) Step() (t float64, samples []float64, err error) {
+	if co.recOwn == nil {
+		return 0, nil, fmt.Errorf("dist: Step before SetReceiverOwners")
+	}
+	var cmd [4]byte
+	binary.LittleEndian.PutUint32(cmd[:], 1)
+	for i, h := range co.ranks {
+		if err := h.c.send(msgStep, cmd[:]); err != nil {
+			return 0, nil, fmt.Errorf("dist: rank %d: %w", i, err)
+		}
+	}
+	samples = make([]float64, len(co.cfg.Run.Receivers))
+	for i := range co.ranks {
+		fr, err := co.recvFrame(i, stepTimeout)
+		if err != nil {
+			return 0, nil, err
+		}
+		if fr.t != msgCycleDone {
+			return 0, nil, fmt.Errorf("dist: rank %d: unexpected frame type %d", i, fr.t)
+		}
+		vals, err := getFloats(fr.payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		want := 1
+		for _, o := range co.recOwn {
+			if o == i {
+				want++
+			}
+		}
+		if len(vals) != want {
+			return 0, nil, fmt.Errorf("dist: rank %d reported %d values, want %d", i, len(vals), want)
+		}
+		if i == 0 {
+			co.t = vals[0]
+		}
+		k := 1
+		for ri, o := range co.recOwn {
+			if o == i {
+				samples[ri] = vals[k]
+				k++
+			}
+		}
+	}
+	return co.t, samples, nil
+}
+
+// Time returns the cycle time reported by rank 0 after the last Step.
+func (co *Coordinator) Time() float64 { return co.t }
+
+// Stats gathers every rank's statistics. The first element is rank 0's
+// (whose scheme-level work model the facade reports); the distributed
+// operator counters differ per rank and are summed by callers as needed.
+func (co *Coordinator) Stats() ([]RankStats, error) {
+	out := make([]RankStats, len(co.ranks))
+	for i, h := range co.ranks {
+		if err := h.c.send(msgStats, nil); err != nil {
+			return nil, fmt.Errorf("dist: rank %d: %w", i, err)
+		}
+	}
+	for i := range co.ranks {
+		fr, err := co.recvFrame(i, handshakeTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if fr.t != msgStatsResp {
+			return nil, fmt.Errorf("dist: rank %d: unexpected frame type %d", i, fr.t)
+		}
+		if err := decodeGob(fr.payload, &out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close shuts the ranks down cleanly, escalating to kill after a grace
+// period. It is idempotent and safe after a failed Step.
+func (co *Coordinator) Close() error {
+	co.closeOnce.Do(func() {
+		for _, h := range co.ranks {
+			if h.c != nil {
+				h.c.send(msgShutdown, nil)
+			}
+		}
+		// One absolute grace deadline shared by all ranks: each wait gets
+		// its own timer on the remaining time, so several wedged ranks are
+		// all killed instead of only the first.
+		deadline := time.Now().Add(10 * time.Second)
+		for i, h := range co.ranks {
+			switch {
+			case h.proc != nil:
+				done := make(chan error, 1)
+				go func() { done <- h.proc.Wait() }()
+				select {
+				case err := <-done:
+					if err != nil && co.closeErr == nil {
+						co.closeErr = fmt.Errorf("dist: rank %d: %w", i, err)
+					}
+				case <-time.After(time.Until(deadline)):
+					h.proc.Process.Kill()
+					<-done
+					if co.closeErr == nil {
+						co.closeErr = fmt.Errorf("dist: rank %d killed after shutdown timeout", i)
+					}
+				}
+			case h.done != nil:
+				select {
+				case err := <-h.done:
+					if err != nil && co.closeErr == nil {
+						co.closeErr = fmt.Errorf("dist: rank %d: %w", i, err)
+					}
+				case <-time.After(time.Until(deadline)):
+					if co.closeErr == nil {
+						co.closeErr = fmt.Errorf("dist: rank %d did not exit after shutdown", i)
+					}
+				}
+			}
+			if h.c != nil {
+				h.c.close()
+			}
+		}
+	})
+	return co.closeErr
+}
+
+// kill tears down a partially-started run.
+func (co *Coordinator) kill() {
+	for _, h := range co.ranks {
+		if h == nil {
+			continue
+		}
+		if h.c != nil {
+			h.c.close()
+		}
+		if h.proc != nil {
+			h.proc.Process.Kill()
+			h.proc.Wait()
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package dist
+
+import (
+	"fmt"
+
+	"golts/internal/decomp"
+	"golts/internal/sem"
+)
+
+// exchanger is the rank runtime's message fabric, as the operator sees
+// it: send a halo frame to a peer rank and receive the next halo frame
+// from a peer rank. Receives are per-peer ordered (one TCP stream per
+// pair) and block until the frame arrives.
+type exchanger interface {
+	sendHalo(rank int, seq, planID uint32, values []float64) error
+	recvHalo(rank int) (seq, planID uint32, values []float64, err error)
+}
+
+// Stats accumulates the operator's real communication counters: one
+// message per neighbour send, volume in node-contribution values
+// (node count, not components, matching internal/parallel's units).
+type Stats struct {
+	Applies  int64
+	Messages int64
+	Volume   int64
+}
+
+// Operator is the message-passing analogue of
+// parallel.PartitionedOperator: it implements sem.Operator (and
+// sem.BatchKernel when the inner operator supports batching) for one
+// rank of an SPMD run. Every stiffness application computes the owned
+// parts' contributions locally — per part, into private accumulation
+// buffers — exchanges the halo values with neighbouring ranks, and
+// assembles all contributions in ascending part order, which makes the
+// result at every locally-touched node bitwise identical to the
+// shared-memory engine with Parts workers. Nodes no local element
+// touches receive no contributions (their field values are harmlessly
+// stale under the replicated-state stepping discipline; see the package
+// comment).
+//
+// The operator is driven by a single stepping goroutine; the parallelism
+// lives across processes.
+type Operator struct {
+	inner sem.Operator
+	bk    sem.BatchKernel // inner's batched kernel, nil when unsupported
+	cfg   *RunConfig
+	rank  int
+	ex    exchanger
+
+	pLo, pHi int         // owned part range
+	acc      [][]float64 // per owned part, full-length accumulation buffers
+	scr      sem.Scratch
+	bscr     sem.BatchScratch
+
+	// rankNodes[q] is rank q's global element-node footprint: the sorted
+	// union of all nodes its owned elements touch, over the whole mesh.
+	// This — not the per-level touched set — is the halo target: the
+	// stepper reads u at every node of its owned elements at *some*
+	// level, so every level's apply must deliver assembled contributions
+	// on the full footprint to keep the replicated state exact there.
+	rankNodes [][]int32
+
+	partRank []int // part → executing rank
+
+	plans      *decomp.Cache
+	ext        map[*decomp.Plan]*distPlan
+	nextPlanID uint32
+	seq        uint32
+
+	vals []float64   // reusable halo extraction buffer
+	recv [][]float64 // per-rank frame values of the apply in flight
+	offs []int       // per-rank read offsets of the assembly phase
+
+	stats Stats
+}
+
+// distPlan is the per-element-list execution state layered on a
+// decomposition plan: the halo index sets against every neighbouring
+// rank and the per-owned-part inner batch plans.
+type distPlan struct {
+	dp *decomp.Plan
+	id uint32
+	// sendRanks lists the ranks we send halo values to for this element
+	// list and recvRanks the ranks we receive from, both ascending. The
+	// two differ in general: a rank with no elements at this level still
+	// receives contributions on its global footprint but sends none.
+	// Both sides derive both lists from the shared plan, so the pairing
+	// always matches.
+	sendRanks, recvRanks []int
+	// sendNodes[q][i] lists, for rank q and owned part pLo+i, the
+	// ascending nodes of Touched[pLo+i] ∩ rankNodes[q] whose
+	// contributions we send to q. recvNodes[p] lists, for each remote
+	// part p, the ascending nodes of Touched[p] ∩ rankNodes[self] we
+	// receive; remote parts of one rank are consecutive, so one message
+	// is consumed sequentially while assembling parts in ascending
+	// order.
+	sendNodes map[int][][]int32
+	recvNodes [][]int32
+	sendCount map[int]int // total nodes sent to q per apply
+	// batch[i] is the inner batch plan of owned part pLo+i (nil for empty
+	// parts); built lazily on the first batched apply so per-element
+	// configurations never hold the packed constants.
+	batch      []sem.BatchPlan
+	batchTried bool
+}
+
+// NewOperator builds the rank-local distributed operator. part maps
+// every element to a part in [0, cfg.Parts); parts map onto ranks in
+// contiguous blocks.
+func NewOperator(inner sem.Operator, cfg *RunConfig, rank int, ex exchanger) (*Operator, error) {
+	if rank < 0 || rank >= cfg.Ranks {
+		return nil, fmt.Errorf("dist: rank %d outside [0,%d)", rank, cfg.Ranks)
+	}
+	if len(cfg.Part) != inner.NumElements() {
+		return nil, fmt.Errorf("dist: partition has %d entries for %d elements",
+			len(cfg.Part), inner.NumElements())
+	}
+	d := &Operator{
+		inner: inner,
+		cfg:   cfg,
+		rank:  rank,
+		ex:    ex,
+		plans: decomp.NewCache(inner, cfg.Part, cfg.Parts),
+		ext:   make(map[*decomp.Plan]*distPlan),
+	}
+	d.bk, _ = inner.(sem.BatchKernel)
+	d.partRank = ownerRanks(cfg.Parts, cfg.Ranks)
+	d.pLo, d.pHi = partRange(rank, cfg.Parts, cfg.Ranks)
+	d.acc = make([][]float64, d.pHi-d.pLo)
+	for i := range d.acc {
+		d.acc[i] = make([]float64, inner.NDof())
+	}
+	// Global per-rank element-node footprints: one list of element ids
+	// per rank, then the shared touched-set construction.
+	rankElems := make([][]int32, cfg.Ranks)
+	for e, p := range cfg.Part {
+		r := d.partRank[p]
+		rankElems[r] = append(rankElems[r], int32(e))
+	}
+	d.rankNodes = decomp.TouchedNodes(inner, rankElems)
+	d.recv = make([][]float64, cfg.Ranks)
+	d.offs = make([]int, cfg.Ranks)
+	return d, nil
+}
+
+// Stats returns the accumulated communication counters.
+func (d *Operator) Stats() Stats { return d.stats }
+
+// lookup returns the execution state for one element list, building the
+// decomposition plan and halo index sets on first use. Plan ids are
+// assigned in first-use order; the SPMD ranks execute the same apply
+// sequence, so ids agree across ranks and serve as a desync check on
+// every halo frame.
+func (d *Operator) lookup(elems []int32) *distPlan {
+	dp, flushed := d.plans.Lookup(elems)
+	if flushed {
+		d.ext = make(map[*decomp.Plan]*distPlan)
+	}
+	if pl, ok := d.ext[dp]; ok {
+		return pl
+	}
+	pl := d.buildHalo(dp)
+	pl.id = d.nextPlanID
+	d.nextPlanID++
+	d.ext[dp] = pl
+	return pl
+}
+
+// Prepare implements sem.Preparer: the steppers announce their stable
+// element lists (the all-elements list, each LTS level's force elements)
+// at construction time, so the per-level halo sets exist before the
+// first substep. The announcement order is deterministic across ranks.
+func (d *Operator) Prepare(elems []int32) { d.lookup(elems) }
+
+// buildHalo computes the halo index sets of one decomposition plan for
+// this rank: which nodes go to and come from every other rank. Outgoing
+// values target the receiver's global element-node footprint (see
+// rankNodes); all ranks derive the same sets from the same plan, so no
+// negotiation is needed.
+func (d *Operator) buildHalo(dp *decomp.Plan) *distPlan {
+	pl := &distPlan{
+		dp:        dp,
+		sendNodes: make(map[int][][]int32),
+		sendCount: make(map[int]int),
+		recvNodes: make([][]int32, dp.P),
+	}
+	mine := d.rankNodes[d.rank]
+	for q := 0; q < d.cfg.Ranks; q++ {
+		if q == d.rank {
+			continue
+		}
+		// Outgoing: per owned part, the slice of this level's touched set
+		// inside q's footprint.
+		send := make([][]int32, d.pHi-d.pLo)
+		total := 0
+		for p := d.pLo; p < d.pHi; p++ {
+			send[p-d.pLo] = decomp.Shared(dp.Touched[p], d.rankNodes[q])
+			total += len(send[p-d.pLo])
+		}
+		if total > 0 {
+			pl.sendRanks = append(pl.sendRanks, q)
+			pl.sendNodes[q] = send
+			pl.sendCount[q] = total
+		}
+		// Incoming: per remote part of q, the slice of its touched set
+		// inside our footprint. The sender computes the identical lists
+		// from the same plan, so the payload needs no index header.
+		lo, hi := partRange(q, d.cfg.Parts, d.cfg.Ranks)
+		recvTotal := 0
+		for p := lo; p < hi; p++ {
+			pl.recvNodes[p] = decomp.Shared(dp.Touched[p], mine)
+			recvTotal += len(pl.recvNodes[p])
+		}
+		if recvTotal > 0 {
+			pl.recvRanks = append(pl.recvRanks, q)
+		}
+	}
+	return pl
+}
+
+// apply runs the three-phase distributed stiffness application —
+// owner-computes, halo exchange, ascending-part assembly — with compute
+// supplying the per-part kernel (batched or per-element).
+func (d *Operator) apply(dst []float64, pl *distPlan, compute func(i, p int)) {
+	seq := d.seq
+	d.seq++
+	dp := pl.dp
+	nc := d.inner.Comps()
+
+	// Phase 1 — compute: every owned part accumulates its elements into
+	// its private buffer (the request-order, per-part accumulation that
+	// matches one shared-memory rank worker bitwise).
+	for p := d.pLo; p < d.pHi; p++ {
+		if len(dp.Parts[p]) > 0 {
+			compute(p-d.pLo, p)
+		}
+	}
+
+	// Phase 2a — send: for every receiving rank, the owned parts' halo
+	// values in (part, node, component) order. Peer reader goroutines
+	// drain the stream on the far side, so these writes cannot deadlock
+	// against the symmetric sends of the neighbours.
+	for _, q := range pl.sendRanks {
+		vals := d.vals[:0]
+		for i := range pl.sendNodes[q] {
+			acc := d.acc[i]
+			for _, n := range pl.sendNodes[q][i] {
+				base := int(n) * nc
+				vals = append(vals, acc[base:base+nc]...)
+			}
+		}
+		d.vals = vals
+		if err := d.ex.sendHalo(q, seq, pl.id, vals); err != nil {
+			panic(&commError{err: fmt.Errorf("dist: rank %d send to %d: %w", d.rank, q, err)})
+		}
+		d.stats.Messages++
+		d.stats.Volume += int64(pl.sendCount[q])
+	}
+
+	// Phase 2b — receive: one frame per sending rank, any arrival order.
+	// The per-rank frame and offset tables live on the operator (dense,
+	// small), so the steady-state apply allocates nothing itself.
+	for _, q := range pl.recvRanks {
+		rseq, rid, vals, err := d.ex.recvHalo(q)
+		if err != nil {
+			panic(&commError{err: fmt.Errorf("dist: rank %d recv from %d: %w", d.rank, q, err)})
+		}
+		if rseq != seq || rid != pl.id {
+			panic(&commError{err: fmt.Errorf("dist: rank %d desync with %d: got (seq %d, plan %d), want (%d, %d)",
+				d.rank, q, rseq, rid, seq, pl.id)})
+		}
+		d.recv[q] = vals
+		d.offs[q] = 0
+	}
+
+	// Phase 3 — assemble: add every part's contribution in ascending
+	// part order. Local parts drain (and re-zero) their buffers; remote
+	// parts consume their neighbour's frame sequentially (remote parts of
+	// one rank are consecutive in part order). The ascending-part adds
+	// reproduce the shared-memory merge bitwise at every locally-touched
+	// node.
+	for p := 0; p < dp.P; p++ {
+		if p >= d.pLo && p < d.pHi {
+			acc := d.acc[p-d.pLo]
+			for _, n := range dp.Touched[p] {
+				base := int(n) * nc
+				for c := 0; c < nc; c++ {
+					dst[base+c] += acc[base+c]
+					acc[base+c] = 0
+				}
+			}
+			continue
+		}
+		nodes := pl.recvNodes[p]
+		if len(nodes) == 0 {
+			continue
+		}
+		q := d.partRank[p]
+		vals := d.recv[q]
+		o := d.offs[q]
+		for _, n := range nodes {
+			base := int(n) * nc
+			for c := 0; c < nc; c++ {
+				dst[base+c] += vals[o]
+				o++
+			}
+		}
+		d.offs[q] = o
+	}
+	for _, q := range pl.recvRanks {
+		d.recv[q] = nil // release the frame to the collector
+	}
+	d.stats.Applies++
+}
+
+// commError wraps a communication failure raised inside an apply; the
+// rank runtime recovers it at the stepping boundary and reports it to
+// the coordinator instead of crashing with a bare panic.
+type commError struct{ err error }
+
+func (e *commError) Error() string { return e.err.Error() }
+
+// AddKu implements sem.Operator.
+func (d *Operator) AddKu(dst, u []float64, elems []int32) {
+	d.AddKuScratch(dst, u, elems, &d.scr)
+}
+
+// AddKuScratch implements sem.Operator: the per-element compute path of
+// the distributed apply.
+func (d *Operator) AddKuScratch(dst, u []float64, elems []int32, sc *sem.Scratch) {
+	if sc == nil {
+		sc = &d.scr
+	}
+	pl := d.lookup(elems)
+	d.apply(dst, pl, func(i, p int) {
+		d.inner.AddKuScratch(d.acc[i], u, pl.dp.Parts[p], sc)
+	})
+}
+
+// distBatchPlan is the Operator's BatchPlan: the halo execution state
+// plus the inner per-part batch plans.
+type distBatchPlan struct {
+	d  *Operator
+	pl *distPlan
+}
+
+// Elems implements sem.BatchPlan.
+func (bp *distBatchPlan) Elems() []int32 { return bp.pl.dp.Elems }
+
+// BatchedElems implements sem.BatchPlan: the owned elements executing
+// through full SoA blocks.
+func (bp *distBatchPlan) BatchedElems() int {
+	n := 0
+	for _, b := range bp.pl.batch {
+		if b != nil {
+			n += b.BatchedElems()
+		}
+	}
+	return n
+}
+
+// NewBatchPlan implements sem.BatchKernel. Returns nil when the inner
+// operator cannot batch; callers fall back to AddKuScratch.
+func (d *Operator) NewBatchPlan(elems []int32) sem.BatchPlan {
+	if d.bk == nil {
+		return nil
+	}
+	pl := d.lookup(elems)
+	if !pl.batchTried {
+		pl.batchTried = true
+		b := make([]sem.BatchPlan, d.pHi-d.pLo)
+		ok := true
+		for p := d.pLo; p < d.pHi && ok; p++ {
+			if len(pl.dp.Parts[p]) == 0 {
+				continue
+			}
+			if b[p-d.pLo] = d.bk.NewBatchPlan(pl.dp.Parts[p]); b[p-d.pLo] == nil {
+				ok = false // wrapper whose inner operator cannot batch
+			}
+		}
+		if ok {
+			pl.batch = b
+		}
+	}
+	if pl.batch == nil {
+		return nil
+	}
+	return &distBatchPlan{d: d, pl: pl}
+}
+
+// AddKuBatch implements sem.BatchKernel: the batched compute path of the
+// distributed apply, bitwise identical to AddKuScratch with the same
+// plan.
+func (d *Operator) AddKuBatch(dst, u []float64, plan sem.BatchPlan, bs *sem.BatchScratch) {
+	bp, ok := plan.(*distBatchPlan)
+	if !ok {
+		panic(fmt.Sprintf("dist: AddKuBatch: foreign plan type %T", plan))
+	}
+	if bp.d != d {
+		panic("dist: AddKuBatch: plan built by a different operator")
+	}
+	if bs == nil {
+		bs = &d.bscr
+	}
+	pl := bp.pl
+	d.apply(dst, pl, func(i, p int) {
+		d.bk.AddKuBatch(d.acc[i], u, pl.batch[i], bs)
+	})
+}
+
+// NumNodes implements sem.Operator.
+func (d *Operator) NumNodes() int { return d.inner.NumNodes() }
+
+// Comps implements sem.Operator.
+func (d *Operator) Comps() int { return d.inner.Comps() }
+
+// NDof implements sem.Operator.
+func (d *Operator) NDof() int { return d.inner.NDof() }
+
+// NumElements implements sem.Operator.
+func (d *Operator) NumElements() int { return d.inner.NumElements() }
+
+// MInv implements sem.Operator.
+func (d *Operator) MInv() []float64 { return d.inner.MInv() }
+
+// ElemNodes implements sem.Operator.
+func (d *Operator) ElemNodes(e int, buf []int32) []int32 { return d.inner.ElemNodes(e, buf) }
+
+// ConnTable forwards the inner operator's flat connectivity table
+// (implements sem.Connectivity); (nil, 0) when it has none.
+func (d *Operator) ConnTable() ([]int32, int) {
+	if ct, ok := d.inner.(sem.Connectivity); ok {
+		return ct.ConnTable()
+	}
+	return nil, 0
+}
+
+var (
+	_ sem.Operator     = (*Operator)(nil)
+	_ sem.Preparer     = (*Operator)(nil)
+	_ sem.Connectivity = (*Operator)(nil)
+	_ sem.BatchKernel  = (*Operator)(nil)
+)

@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// Wire format: every message is one length-prefixed frame
+//
+//	[u32 payload length (little-endian)] [u8 type] [payload]
+//
+// over a stream connection (TCP on 127.0.0.1). Control payloads
+// (configuration, peer lists, statistics) are gob-encoded structs; hot
+// payloads (halo contributions, receiver samples) are raw little-endian
+// float64 arrays with a small fixed header, so the per-substep exchange
+// never touches an encoder. The protocol is strictly sequenced — every
+// participant knows which message type it expects next — so no message
+// carries a correlation id beyond the halo frames' (sequence, plan)
+// sanity pair.
+const (
+	// Rank → coordinator.
+	msgHello     byte = 1 // [u32 rank][token bytes]
+	msgPeerAddr  byte = 2 // rank's peer-listener address (string bytes)
+	msgReady     byte = 3 // operators built, peers connected
+	msgCycleDone byte = 4 // [f64 time][owned receiver samples ...f64]
+	msgStatsResp byte = 5 // gob RankStats
+	msgErr       byte = 6 // error text (any time; fatal)
+
+	// Coordinator → rank.
+	msgConfig   byte = 10 // gob RunConfig
+	msgPeers    byte = 11 // gob []string peer addresses, rank order
+	msgStep     byte = 12 // [u32 cycles]
+	msgStats    byte = 13 // request RankStats
+	msgShutdown byte = 14 // clean exit
+
+	// Rank → rank.
+	msgPeerHello byte = 20 // [u32 rank][token bytes]
+	msgHalo      byte = 21 // [u32 seq][u32 plan id][values ...f64]
+)
+
+// maxFrame bounds a frame payload; anything larger indicates a corrupt
+// or foreign stream.
+const maxFrame = 1 << 30
+
+// conn wraps a stream connection with buffered framed I/O. It is not
+// safe for concurrent use of the same direction; the protocol keeps one
+// goroutine per direction.
+type conn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
+}
+
+// send writes one framed message and flushes it.
+func (c *conn) send(t byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = t
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// recv reads one framed message. The returned payload is freshly
+// allocated and owned by the caller.
+func (c *conn) recv() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// expect reads one message and checks its type, converting msgErr frames
+// into errors carrying the remote text.
+func (c *conn) expect(t byte) ([]byte, error) {
+	got, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	if got == msgErr {
+		return nil, fmt.Errorf("dist: remote error: %s", payload)
+	}
+	if got != t {
+		return nil, fmt.Errorf("dist: expected message type %d, got %d", t, got)
+	}
+	return payload, nil
+}
+
+// sendGob gob-encodes v as the payload of one message.
+func (c *conn) sendGob(t byte, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	return c.send(t, buf.Bytes())
+}
+
+func decodeGob(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// setDeadline applies an absolute deadline to the underlying connection;
+// a zero time clears it.
+func (c *conn) setDeadline(t time.Time) { c.c.SetDeadline(t) }
+
+func (c *conn) close() { c.c.Close() }
+
+// putFloats appends the little-endian encoding of vals to buf.
+func putFloats(buf []byte, vals []float64) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, 8*len(vals))...)
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	return buf
+}
+
+// getFloats decodes a little-endian float64 array from payload into a
+// fresh slice.
+func getFloats(payload []byte) ([]float64, error) {
+	if len(payload)%8 != 0 {
+		return nil, fmt.Errorf("dist: float payload of %d bytes", len(payload))
+	}
+	out := make([]float64, len(payload)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"math"
+	"net"
+	"testing"
+)
+
+// TestFrameRoundTrip: framed messages survive a loopback connection,
+// including empty payloads and float arrays.
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := newConn(a), newConn(b)
+	defer ca.close()
+	defer cb.close()
+
+	vals := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	go func() {
+		ca.send(msgHalo, putFloats(nil, vals))
+		ca.send(msgReady, nil)
+	}()
+	typ, payload, err := cb.recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if typ != msgHalo {
+		t.Fatalf("type = %d, want %d", typ, msgHalo)
+	}
+	got, err := getFloats(payload)
+	if err != nil {
+		t.Fatalf("getFloats: %v", err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("got %d floats, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("float %d: %v != %v", i, got[i], vals[i])
+		}
+	}
+	if _, err := cb.expect(msgReady); err != nil {
+		t.Fatalf("expect ready: %v", err)
+	}
+}
+
+// TestExpectErrFrame: msgErr frames surface as errors carrying the
+// remote text.
+func TestExpectErrFrame(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := newConn(a), newConn(b)
+	defer ca.close()
+	defer cb.close()
+	go ca.send(msgErr, []byte("boom"))
+	_, err := cb.expect(msgReady)
+	if err == nil || err.Error() != "dist: remote error: boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestGobRoundTrip: control structs survive the gob path.
+func TestGobRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := newConn(a), newConn(b)
+	defer ca.close()
+	defer cb.close()
+	want := RunConfig{
+		Mesh: "trench", Scale: 0.5, Physics: "elastic", Degree: 4,
+		LevelCFL: 0.025, LTS: true, Ranks: 2, Parts: 4,
+		Part:      []int32{0, 1, 2, 3},
+		Sources:   []SourceSpec{{Dof: 7, F0: 10, T0: 0.05}},
+		Receivers: []int{1, 2, 3},
+	}
+	go ca.sendGob(msgConfig, &want)
+	payload, err := cb.expect(msgConfig)
+	if err != nil {
+		t.Fatalf("expect: %v", err)
+	}
+	var got RunConfig
+	if err := decodeGob(payload, &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Mesh != want.Mesh || got.Parts != want.Parts || len(got.Part) != 4 ||
+		got.Sources[0].F0 != 10 || got.Receivers[2] != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestGetFloatsRejectsRagged: a payload that is not a whole number of
+// float64s is rejected.
+func TestGetFloatsRejectsRagged(t *testing.T) {
+	if _, err := getFloats(make([]byte, 9)); err == nil {
+		t.Error("ragged payload accepted")
+	}
+}

@@ -1,0 +1,444 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"golts/internal/lts"
+	"golts/internal/newmark"
+	"golts/internal/sem"
+)
+
+// Environment variables of the spawn handshake. A process started with
+// these set is a rank of some coordinator's run and must hand control to
+// RankMain before doing anything else.
+const (
+	envRank  = "GOLTS_DIST_RANK"
+	envAddr  = "GOLTS_DIST_ADDR"
+	envToken = "GOLTS_DIST_TOKEN"
+)
+
+// IsRank reports whether this process was spawned as a rank.
+func IsRank() bool { return os.Getenv(envRank) != "" }
+
+// RankMain is the cooperative re-exec hook of the distributed backend:
+// binaries that start distributed runs (and test binaries whose tests
+// do) must call it at the top of main / TestMain. In a normal process it
+// returns immediately; in a spawned rank process it runs the rank
+// runtime to completion and exits, never returning.
+func RankMain() {
+	if !IsRank() {
+		return
+	}
+	rank, err := strconv.Atoi(os.Getenv(envRank))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist: bad %s: %v\n", envRank, err)
+		os.Exit(2)
+	}
+	if err := runRank(rankParams{
+		rank:  rank,
+		addr:  os.Getenv(envAddr),
+		token: os.Getenv(envToken),
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dist: rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// rankParams identifies one rank's place in a run; in spawned mode they
+// arrive through the environment, in in-process mode directly.
+type rankParams struct {
+	rank  int
+	addr  string // coordinator address
+	token string
+}
+
+// haloFrame is one received halo message, decoded off the wire by the
+// peer reader goroutine.
+type haloFrame struct {
+	seq, planID uint32
+	values      []float64
+}
+
+// peerLink is one rank↔rank connection: sends run on the stepping
+// goroutine (the far side's reader always drains, so writes cannot
+// deadlock), receives are decoded by a dedicated reader goroutine into a
+// buffered channel. Lockstep stepping bounds the frames in flight per
+// pair to a handful, far below the channel capacity.
+type peerLink struct {
+	c      *conn
+	frames chan haloFrame
+	errs   chan error
+}
+
+func newPeerLink(c *conn) *peerLink {
+	l := &peerLink{c: c, frames: make(chan haloFrame, 16), errs: make(chan error, 1)}
+	go func() {
+		for {
+			t, payload, err := c.recv()
+			if err != nil {
+				l.errs <- err
+				close(l.frames)
+				return
+			}
+			if t != msgHalo || len(payload) < 8 {
+				l.errs <- fmt.Errorf("dist: unexpected peer frame type %d (%d bytes)", t, len(payload))
+				close(l.frames)
+				return
+			}
+			vals, err := getFloats(payload[8:])
+			if err != nil {
+				l.errs <- err
+				close(l.frames)
+				return
+			}
+			l.frames <- haloFrame{
+				seq:    binary.LittleEndian.Uint32(payload[0:4]),
+				planID: binary.LittleEndian.Uint32(payload[4:8]),
+				values: vals,
+			}
+		}
+	}()
+	return l
+}
+
+// peerFabric implements exchanger over the rank's peer links.
+type peerFabric struct {
+	links []*peerLink // indexed by rank; nil for self
+	buf   []byte      // reusable send frame
+}
+
+func (f *peerFabric) sendHalo(rank int, seq, planID uint32, values []float64) error {
+	buf := f.buf[:0]
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], seq)
+	binary.LittleEndian.PutUint32(hdr[4:8], planID)
+	buf = append(buf, hdr[:]...)
+	buf = putFloats(buf, values)
+	f.buf = buf
+	return f.links[rank].c.send(msgHalo, buf)
+}
+
+func (f *peerFabric) recvHalo(rank int) (uint32, uint32, []float64, error) {
+	l := f.links[rank]
+	fr, ok := <-l.frames
+	if !ok {
+		return 0, 0, nil, <-l.errs
+	}
+	return fr.seq, fr.planID, fr.values, nil
+}
+
+func (f *peerFabric) close() {
+	for _, l := range f.links {
+		if l != nil {
+			l.c.close()
+		}
+	}
+}
+
+// rankStepper is the rank-local unified stepper: one Step advances one
+// coarse cycle, mirroring the facade's cycle semantics so receiver
+// sampling lands on the same time axis.
+type rankStepper interface {
+	Step()
+	Time() float64
+	State() []float64
+}
+
+type ltsRankStepper struct{ s *lts.Scheme }
+
+func (a ltsRankStepper) Step()            { a.s.Step() }
+func (a ltsRankStepper) Time() float64    { return a.s.Time() }
+func (a ltsRankStepper) State() []float64 { return a.s.U }
+
+type newmarkRankStepper struct {
+	s    *newmark.Stepper
+	pmax int
+}
+
+func (a newmarkRankStepper) Step()            { a.s.Run(a.pmax) }
+func (a newmarkRankStepper) Time() float64    { return a.s.Time() }
+func (a newmarkRankStepper) State() []float64 { return a.s.U }
+
+// RankStats is one rank's contribution to the aggregated run statistics:
+// the real communication counters of its distributed operator plus the
+// rank-local scheme's work model (identical on every rank under the
+// replicated stepping discipline, so the coordinator reports rank 0's).
+type RankStats struct {
+	Applies, Messages, Volume int64
+	ElemApplies               int64
+	Cycles                    int64
+	EffectiveSpeedup          float64
+	Efficiency                float64
+}
+
+// rankRun is the live state of one rank process.
+type rankRun struct {
+	params rankParams
+	cfg    RunConfig
+	coord  *conn
+	fabric *peerFabric
+	dop    *Operator
+	st     rankStepper
+	ltsS   *lts.Scheme
+	gS     *newmark.Stepper
+	// recIdx lists the indices into cfg.Receivers this rank owns,
+	// ascending; samples are reported in this order.
+	recIdx []int
+}
+
+// runRank executes one rank to completion: handshake, deterministic
+// rebuild, peer wiring, then the lockstep step/stats/shutdown service
+// loop.
+func runRank(params rankParams) error {
+	nc, err := net.Dial("tcp", params.addr)
+	if err != nil {
+		return fmt.Errorf("dialing coordinator: %w", err)
+	}
+	r := &rankRun{params: params, coord: newConn(nc)}
+	defer r.coord.close()
+	if err := r.handshake(); err != nil {
+		return err
+	}
+	defer r.fabric.close()
+	if err := r.build(); err != nil {
+		r.coord.send(msgErr, []byte(err.Error()))
+		return err
+	}
+	if err := r.coord.send(msgReady, nil); err != nil {
+		return err
+	}
+	return r.serve()
+}
+
+// handshake runs the startup dance: hello, config broadcast, peer
+// listener exchange, full-mesh peer wiring.
+func (r *rankRun) handshake() error {
+	deadline := time.Now().Add(handshakeTimeout)
+	r.coord.setDeadline(deadline)
+	defer r.coord.setDeadline(time.Time{})
+
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(r.params.rank))
+	if err := r.coord.send(msgHello, append(hello[:], r.params.token...)); err != nil {
+		return err
+	}
+	payload, err := r.coord.expect(msgConfig)
+	if err != nil {
+		return err
+	}
+	if err := decodeGob(payload, &r.cfg); err != nil {
+		return fmt.Errorf("decoding config: %w", err)
+	}
+	if err := r.cfg.validate(); err != nil {
+		return err
+	}
+
+	// Publish a peer listener, learn everyone's, then wire the mesh:
+	// dial every lower rank, accept every higher rank. Peer hellos carry
+	// the rank id and the run token, so stray connections are rejected.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	if err := r.coord.send(msgPeerAddr, []byte(ln.Addr().String())); err != nil {
+		return err
+	}
+	payload, err = r.coord.expect(msgPeers)
+	if err != nil {
+		return err
+	}
+	var addrs []string
+	if err := decodeGob(payload, &addrs); err != nil {
+		return fmt.Errorf("decoding peer list: %w", err)
+	}
+	if len(addrs) != r.cfg.Ranks {
+		return fmt.Errorf("peer list has %d entries for %d ranks", len(addrs), r.cfg.Ranks)
+	}
+
+	links := make([]*peerLink, r.cfg.Ranks)
+	for q := 0; q < r.params.rank; q++ {
+		c, err := net.DialTimeout("tcp", addrs[q], handshakeTimeout)
+		if err != nil {
+			return fmt.Errorf("dialing rank %d: %w", q, err)
+		}
+		pc := newConn(c)
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(r.params.rank))
+		if err := pc.send(msgPeerHello, append(hdr[:], r.params.token...)); err != nil {
+			return err
+		}
+		links[q] = newPeerLink(pc)
+	}
+	// Accept until every higher rank has identified itself. Stray
+	// connections (port probes, misdirected clients, bad tokens, or
+	// malformed hellos) are discarded and accepting continues; only the
+	// deadline aborts the run.
+	for connected := r.params.rank + 1; connected < r.cfg.Ranks; {
+		c, err := acceptWithDeadline(ln, deadline)
+		if err != nil {
+			return fmt.Errorf("accepting peer: %w", err)
+		}
+		pc := newConn(c)
+		pc.setDeadline(deadline)
+		payload, err := pc.expect(msgPeerHello)
+		if err != nil || len(payload) < 4 || string(payload[4:]) != r.params.token {
+			pc.close()
+			continue // stray connection; keep accepting
+		}
+		from := int(binary.LittleEndian.Uint32(payload[:4]))
+		if from <= r.params.rank || from >= r.cfg.Ranks || links[from] != nil {
+			pc.close()
+			continue
+		}
+		pc.setDeadline(time.Time{})
+		links[from] = newPeerLink(pc)
+		connected++
+	}
+	r.fabric = &peerFabric{links: links}
+	return nil
+}
+
+func acceptWithDeadline(ln net.Listener, deadline time.Time) (net.Conn, error) {
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	return ln.Accept()
+}
+
+// build reconstructs the rank-local simulation from the broadcast
+// configuration: mesh, operator, distributed wrapper, scheme, sources,
+// sponge and owned receivers. Every step is deterministic, so all ranks
+// (and the shared-memory baseline) agree bitwise.
+func (r *rankRun) build() error {
+	m, lv, geom, err := buildOperator(&r.cfg)
+	if err != nil {
+		return err
+	}
+	dop, err := NewOperator(geom, &r.cfg, r.params.rank, r.fabric)
+	if err != nil {
+		return err
+	}
+	r.dop = dop
+
+	srcs := make([]sem.Source, len(r.cfg.Sources))
+	for i, s := range r.cfg.Sources {
+		srcs[i] = sem.Source{Dof: s.Dof, W: sem.Ricker{F0: s.F0, T0: s.T0, Scale: s.Gain}}
+	}
+	var sigma []float64
+	if r.cfg.Sponge.Strength > 0 {
+		x0, x1, y0, y1, z0, z1 := m.Extent()
+		sigma = sem.SpongeProfile(geom.NumNodes(), geom.NodeCoords,
+			x0, x1, y0, y1, z0, z1, r.cfg.Sponge.Faces, r.cfg.Sponge.Width, r.cfg.Sponge.Strength)
+	}
+	kern := sem.KernelBatched
+	if r.cfg.PerElement {
+		kern = sem.KernelPerElement
+	}
+	if r.cfg.LTS {
+		sch, err := lts.FromMeshLevels(dop, lv, true)
+		if err != nil {
+			return err
+		}
+		sch.Kernel = kern
+		sch.SetSources(srcs)
+		sch.Sigma = sigma
+		r.ltsS = sch
+		r.st = ltsRankStepper{sch}
+	} else {
+		g := newmark.New(dop, lv.CoarseDt/float64(lv.PMax()))
+		g.Kernel = kern
+		g.Sources = srcs
+		g.Sigma = sigma
+		r.gS = g
+		r.st = newmarkRankStepper{g, lv.PMax()}
+	}
+
+	owners, err := ReceiverOwners(geom, &r.cfg)
+	if err != nil {
+		return err
+	}
+	for i, owner := range owners {
+		if owner == r.params.rank {
+			r.recIdx = append(r.recIdx, i)
+		}
+	}
+	return nil
+}
+
+// serve is the control loop: execute coordinator commands until
+// shutdown. Halo traffic flows rank-to-rank inside st.Step; only
+// control and samples touch the coordinator link.
+func (r *rankRun) serve() error {
+	for {
+		t, payload, err := r.coord.recv()
+		if err != nil {
+			// A vanished coordinator means the run is over (crash or kill);
+			// exiting is the only useful response.
+			return fmt.Errorf("coordinator link lost: %w", err)
+		}
+		switch t {
+		case msgStep:
+			if len(payload) != 4 {
+				return fmt.Errorf("malformed step frame (%d bytes)", len(payload))
+			}
+			cycles := int(binary.LittleEndian.Uint32(payload))
+			for i := 0; i < cycles; i++ {
+				if err := r.stepOnce(); err != nil {
+					r.coord.send(msgErr, []byte(err.Error()))
+					return err
+				}
+			}
+		case msgStats:
+			st := RankStats{}
+			ds := r.dop.Stats()
+			st.Applies, st.Messages, st.Volume = ds.Applies, ds.Messages, ds.Volume
+			if r.ltsS != nil {
+				st.ElemApplies = r.ltsS.Work.ElemApplies
+				st.Cycles = r.ltsS.CycleCount()
+				st.EffectiveSpeedup = r.ltsS.EffectiveSpeedup()
+				st.Efficiency = r.ltsS.Efficiency()
+			} else {
+				st.ElemApplies = r.gS.ElementSteps
+				st.Cycles = r.gS.StepCount()
+			}
+			if err := r.coord.sendGob(msgStatsResp, &st); err != nil {
+				return err
+			}
+		case msgShutdown:
+			return nil
+		default:
+			return fmt.Errorf("unexpected control frame type %d", t)
+		}
+	}
+}
+
+// stepOnce advances one coarse cycle and reports the cycle time plus the
+// owned receivers' samples. Communication failures inside the halo
+// exchange surface as commError panics; they are converted back into
+// errors here, at the cycle boundary.
+func (r *rankRun) stepOnce() (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ce, ok := rec.(*commError)
+			if !ok {
+				panic(rec)
+			}
+			err = ce.err
+		}
+	}()
+	r.st.Step()
+	u := r.st.State()
+	vals := make([]float64, 0, 1+len(r.recIdx))
+	vals = append(vals, r.st.Time())
+	for _, i := range r.recIdx {
+		vals = append(vals, u[r.cfg.Receivers[i]])
+	}
+	return r.coord.send(msgCycleDone, putFloats(nil, vals))
+}

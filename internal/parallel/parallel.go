@@ -102,7 +102,7 @@ func NewOperator(inner sem.Operator, part []int32, k int) (*PartitionedOperator,
 			return nil, fmt.Errorf("parallel: element %d in part %d (K=%d)", e, r, k)
 		}
 	}
-	p.plans.init()
+	p.plans.init(p)
 	nd := inner.NDof()
 	p.workers = make([]*rankWorker, k)
 	bop, _ := inner.(sem.BatchKernel)
@@ -180,8 +180,8 @@ func (p *PartitionedOperator) AddKuScratch(dst, u []float64, elems []int32, sc *
 // restores the accumulation buffers' all-zero invariant. The merge is
 // identical for both kernels, which is what keeps them bitwise-equal.
 func (p *PartitionedOperator) runPhases(plan *applyPlan, dst, u []float64, batched bool) {
-	p.phase.Add(len(plan.activeRanks))
-	for _, r := range plan.activeRanks {
+	p.phase.Add(len(plan.dp.Active))
+	for _, r := range plan.dp.Active {
 		t := task{kind: taskCompute, plan: plan, u: u}
 		if batched {
 			t.bplan = plan.rankBatch[r]
@@ -201,8 +201,8 @@ func (p *PartitionedOperator) runPhases(plan *applyPlan, dst, u []float64, batch
 func (p *PartitionedOperator) account(plan *applyPlan) {
 	p.mu.Lock()
 	p.stats.Applies++
-	p.stats.Messages += plan.messages
-	p.stats.Volume += plan.volume
+	p.stats.Messages += plan.dp.Messages
+	p.stats.Volume += plan.dp.Volume
 	p.mu.Unlock()
 }
 
@@ -216,7 +216,7 @@ type rankBatchPlan struct {
 }
 
 // Elems implements sem.BatchPlan.
-func (rp *rankBatchPlan) Elems() []int32 { return rp.plan.elems }
+func (rp *rankBatchPlan) Elems() []int32 { return rp.plan.dp.Elems }
 
 // BatchedElems implements sem.BatchPlan: the sum over ranks of the
 // elements executing through full SoA blocks.
@@ -247,8 +247,8 @@ func (p *PartitionedOperator) NewBatchPlan(elems []int32) sem.BatchPlan {
 	defer p.plans.mu.Unlock()
 	if pl.rankBatch == nil {
 		rb := make([]sem.BatchPlan, p.K)
-		for _, r := range pl.activeRanks {
-			if rb[r] = bk.NewBatchPlan(pl.rankElems[r]); rb[r] == nil {
+		for _, r := range pl.dp.Active {
+			if rb[r] = bk.NewBatchPlan(pl.dp.Parts[r]); rb[r] == nil {
 				return nil // wrapper whose inner operator cannot batch
 			}
 		}

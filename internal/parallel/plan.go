@@ -4,22 +4,22 @@ import (
 	"sort"
 	"sync"
 
+	"golts/internal/decomp"
 	"golts/internal/sem"
 )
 
 // applyPlan is the cached execution layout for one element list: the
-// per-rank ownership split (the activation mask — ranks with an empty
-// slice are never woken), the per-rank sorted touched-node lists, and the
-// node-range shard boundaries of the parallel merge.
+// shared owner-computes decomposition (per-rank ownership split — the
+// activation mask — and per-rank sorted touched-node lists, built by
+// package decomp) plus the backend-specific state of the shared-memory
+// merge: the node-range shard boundaries of the parallel reduction and
+// the per-rank inner batch plans.
 type applyPlan struct {
-	nc        int
-	elems     []int32   // private copy of the request, for cache validation
-	rankElems [][]int32 // owned ∩ requested per rank, request order
-	touched   [][]int32 // unique touched nodes per rank, ascending
-	// shardIdx[r] holds K+1 boundaries into touched[r]: shard m covers
-	// touched[r][shardIdx[r][m]:shardIdx[r][m+1]].
+	dp *decomp.Plan
+	nc int // component count, cached for the merge inner loop
+	// shardIdx[r] holds K+1 boundaries into dp.Touched[r]: shard m covers
+	// dp.Touched[r][shardIdx[r][m]:shardIdx[r][m+1]].
 	shardIdx     [][]int32
-	activeRanks  []int
 	activeShards []int
 	// rankBatch holds one inner-operator BatchPlan per active rank (nil
 	// entries for idle ranks): the per-rank half of the "BatchPlan per LTS
@@ -29,127 +29,53 @@ type applyPlan struct {
 	// until a caller asks for the batched kernel), so per-element
 	// configurations never hold the packed plan constants.
 	rankBatch []sem.BatchPlan
-	// Per-apply accounting deltas (MPI analogy): one message per rank with
-	// data, volume in touched nodes.
-	messages, volume int64
 }
 
-// maxCachedPlans bounds the plan cache; steppers use a handful of stable
-// lists (one per LTS level), so eviction only triggers under adversarial
-// call patterns, where dropping everything is acceptable.
-const maxCachedPlans = 256
-
-// planCache maps element-list fingerprints to plans. Hits validate full
-// content against the stored copy, so a hash collision or a caller
-// mutating a cached list in place degrades to a rebuild, never to a wrong
-// result.
+// planCache maps decomp plans (content-validated by decomp.Cache) to the
+// shared-memory merge state layered on top of them.
 type planCache struct {
-	mu sync.Mutex
-	m  map[uint64]*applyPlan
+	cache *decomp.Cache
+	mu    sync.Mutex
+	ext   map[*decomp.Plan]*applyPlan
 }
 
-func (c *planCache) init() { c.m = make(map[uint64]*applyPlan) }
+func (c *planCache) init(p *PartitionedOperator) {
+	c.cache = decomp.NewCache(p.inner, p.part, p.K)
+	c.ext = make(map[*decomp.Plan]*applyPlan)
+}
 
 func (c *planCache) lookup(p *PartitionedOperator, elems []int32) *applyPlan {
-	h := hashElems(elems)
+	dp, flushed := c.cache.Lookup(elems)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if pl, ok := c.m[h]; ok && sameElems(pl.elems, elems) {
+	if flushed {
+		c.ext = make(map[*decomp.Plan]*applyPlan)
+	}
+	if pl, ok := c.ext[dp]; ok {
 		return pl
 	}
-	pl := buildPlan(p, elems)
-	if len(c.m) >= maxCachedPlans {
-		c.m = make(map[uint64]*applyPlan)
-	}
-	c.m[h] = pl
+	pl := buildMerge(p, dp)
+	c.ext[dp] = pl
 	return pl
 }
 
-// hashElems is FNV-1a over the element ids.
-func hashElems(elems []int32) uint64 {
-	h := uint64(14695981039346656037)
-	for _, e := range elems {
-		for s := 0; s < 32; s += 8 {
-			h ^= uint64(uint8(e >> s))
-			h *= 1099511628211
-		}
-	}
-	return h
-}
-
-func sameElems(a, b []int32) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i, v := range a {
-		if v != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// buildPlan computes the full execution layout for one element list.
-func buildPlan(p *PartitionedOperator, elems []int32) *applyPlan {
+// buildMerge computes the shared-memory merge layout on top of a
+// decomposition plan: contiguous node-id shard ranges balanced by
+// touched volume. Boundaries are node-id values taken at volume
+// quantiles of the merged touched multiset; per-rank boundary indices
+// follow by binary search.
+func buildMerge(p *PartitionedOperator, dp *decomp.Plan) *applyPlan {
 	k := p.K
-	pl := &applyPlan{
-		nc:        p.inner.Comps(),
-		elems:     append([]int32(nil), elems...),
-		rankElems: make([][]int32, k),
-		touched:   make([][]int32, k),
-		shardIdx:  make([][]int32, k),
-	}
-	// Ownership split, preserving request order so a single rank reproduces
-	// the sequential accumulation order bitwise.
-	for _, e := range elems {
-		r := p.part[e]
-		pl.rankElems[r] = append(pl.rankElems[r], e)
-	}
-	// Per-rank touched-node lists, deduped and sorted. Element
-	// connectivity comes from the operator's flat table when it exposes
-	// one, avoiding a per-element copy through ElemNodes.
-	conn, npe := sem.ConnOf(p.inner)
-	touchMap := make([]bool, p.inner.NumNodes())
-	var nb []int32
+	pl := &applyPlan{dp: dp, nc: p.inner.Comps(), shardIdx: make([][]int32, k)}
 	total := 0
-	for r := 0; r < k; r++ {
-		if len(pl.rankElems[r]) == 0 {
-			continue
-		}
-		pl.activeRanks = append(pl.activeRanks, r)
-		var t []int32
-		for _, e := range pl.rankElems[r] {
-			var en []int32
-			if conn != nil {
-				en = conn[int(e)*npe : (int(e)+1)*npe]
-			} else {
-				nb = p.inner.ElemNodes(int(e), nb[:0])
-				en = nb
-			}
-			for _, n := range en {
-				if !touchMap[n] {
-					touchMap[n] = true
-					t = append(t, n)
-				}
-			}
-		}
-		for _, n := range t {
-			touchMap[n] = false
-		}
-		sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
-		pl.touched[r] = t
+	for _, t := range dp.Touched {
 		total += len(t)
-		pl.messages++
-		pl.volume += int64(len(t))
 	}
-	// Merge shards: contiguous node-id ranges balanced by touched volume.
-	// Boundaries are node-id values taken at volume quantiles of the merged
-	// touched multiset; per-rank boundary indices follow by binary search.
 	bounds := make([]int32, k+1)
 	bounds[k] = int32(p.inner.NumNodes())
 	if total > 0 && k > 1 {
 		all := make([]int32, 0, total)
-		for _, t := range pl.touched {
+		for _, t := range dp.Touched {
 			all = append(all, t...)
 		}
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
@@ -163,7 +89,7 @@ func buildPlan(p *PartitionedOperator, elems []int32) *applyPlan {
 	shardWork := make([]int, k)
 	for r := 0; r < k; r++ {
 		idx := make([]int32, k+1)
-		t := pl.touched[r]
+		t := dp.Touched[r]
 		for m := 1; m <= k; m++ {
 			b := bounds[m]
 			idx[m] = int32(sort.Search(len(t), func(i int) bool { return t[i] >= b }))

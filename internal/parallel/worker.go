@@ -50,7 +50,7 @@ func (w *rankWorker) serve(p *PartitionedOperator) {
 			if t.bplan != nil {
 				w.bop.AddKuBatch(w.acc, t.u, t.bplan, &w.bscr)
 			} else {
-				w.op.AddKuScratch(w.acc, t.u, t.plan.rankElems[w.id], &w.scr)
+				w.op.AddKuScratch(w.acc, t.u, t.plan.dp.Parts[w.id], &w.scr)
 			}
 		case taskMerge:
 			t.plan.mergeShard(t.shard, t.dst, p.workers)
@@ -67,7 +67,7 @@ func (w *rankWorker) serve(p *PartitionedOperator) {
 // point sum per node deterministic.
 func (pl *applyPlan) mergeShard(m int, dst []float64, workers []*rankWorker) {
 	nc := pl.nc
-	for r, touched := range pl.touched {
+	for r, touched := range pl.dp.Touched {
 		lo, hi := pl.shardIdx[r][m], pl.shardIdx[r][m+1]
 		if lo == hi {
 			continue

@@ -1,0 +1,174 @@
+package wave
+
+import (
+	"fmt"
+
+	"golts/internal/dist"
+)
+
+// Backend selects the execution engine behind the facade. Two backends
+// exist: Local (this process, optionally with shared-memory workers via
+// WithWorkers) and Distributed (N spawned rank processes exchanging halo
+// contributions over loopback sockets).
+type Backend interface {
+	// backendName keeps the set of backends closed; the two
+	// implementations live in this package.
+	backendName() string
+}
+
+type localBackend struct{}
+
+func (localBackend) backendName() string { return "local" }
+
+// Local is the default backend: everything runs in this process.
+var Local Backend = localBackend{}
+
+// Distributed executes the run on Ranks spawned rank processes of the
+// same binary — main (or TestMain) must call RankMain first. Each rank
+// owns a contiguous block of the decomposition's parts, applies the
+// stiffness of its owned elements with the batched SoA kernels, and
+// exchanges halo node contributions with neighbouring ranks at every
+// substep.
+//
+// Parts sets the owner-computes decomposition width and defaults to
+// Ranks. The decomposition — not the process count — pins the
+// floating-point assembly order, so runs with the same Parts are bitwise
+// identical for any Ranks (including 1), and match the Local backend
+// with WithWorkers(Parts) exactly.
+type Distributed struct {
+	// Ranks is the number of rank processes (>= 1).
+	Ranks int
+	// Parts is the decomposition width; 0 means Ranks. Must be >= Ranks
+	// otherwise.
+	Parts int
+}
+
+func (Distributed) backendName() string { return "distributed" }
+
+// parts resolves the effective decomposition width.
+func (d Distributed) parts() int {
+	if d.Parts == 0 {
+		return d.Ranks
+	}
+	return d.Parts
+}
+
+// WithBackend selects the execution backend (default Local). The
+// distributed backend is incompatible with WithWorkers > 1 (or the
+// auto-sizing 0): within-rank shared-memory parallelism is not layered
+// yet, and the conflict is reported at build time.
+func WithBackend(b Backend) Option {
+	return func(s *settings) error {
+		switch be := b.(type) {
+		case nil:
+			return optErr("WithBackend", ErrBackendSpec, "nil backend")
+		case localBackend:
+			s.backend = be
+		case Distributed:
+			if be.Ranks < 1 {
+				return optErr("WithBackend", ErrRanksRange, "got %d", be.Ranks)
+			}
+			if be.Parts != 0 && be.Parts < be.Ranks {
+				return optErr("WithBackend", ErrPartsRange,
+					"parts %d below ranks %d", be.Parts, be.Ranks)
+			}
+			s.backend = be
+		default:
+			return optErr("WithBackend", ErrBackendSpec, "unknown backend %T", b)
+		}
+		return nil
+	}
+}
+
+// RankMain is the cooperative re-exec hook of the distributed backend.
+// Binaries (and test binaries) that build Simulations with
+// WithBackend(Distributed{...}) must call it at the top of main or
+// TestMain: in a normal process it returns immediately; in a process
+// spawned as a rank it runs the rank runtime and exits. Without it the
+// spawned children re-run the caller's main and the coordinator's
+// handshake times out.
+func RankMain() { dist.RankMain() }
+
+// buildDistributed starts the rank processes for a distributed
+// configuration and wires the coordinator in as the simulation's
+// stepper.
+func buildDistributed(s *Simulation, set *settings, be Distributed, semSrcs []srcSpec) error {
+	cfg := dist.RunConfig{
+		Mesh:       set.mesh,
+		Scale:      set.scale,
+		Physics:    string(set.physics),
+		Degree:     set.degree,
+		LevelCFL:   set.levelCFL(),
+		LTS:        set.lts,
+		PerElement: set.kernel == PerElement,
+		Ranks:      be.Ranks,
+		Parts:      be.parts(),
+		Sponge: dist.SpongeSpec{
+			Width:    set.sponge.Width,
+			Strength: set.sponge.Strength,
+			Faces:    set.sponge.Faces,
+		},
+	}
+	part, err := partitionAssign(s.m, s.lv, cfg.Parts, set)
+	if err != nil {
+		return fmt.Errorf("wave: partitioning: %w", err)
+	}
+	cfg.Part = part
+	for _, src := range semSrcs {
+		cfg.Sources = append(cfg.Sources, dist.SourceSpec{
+			Dof: src.dof, F0: src.f0, T0: src.t0,
+		})
+	}
+	recDofs := make([]int, len(s.recs))
+	for i, r := range s.recs {
+		recDofs[i] = r.Dof
+	}
+	cfg.Receivers = recDofs
+
+	co, err := dist.Start(dist.Config{Run: cfg})
+	if err != nil {
+		return fmt.Errorf("wave: distributed backend: %w", err)
+	}
+	owners, err := dist.ReceiverOwners(s.geom, &cfg)
+	if err != nil {
+		co.Close()
+		return fmt.Errorf("wave: distributed backend: %w", err)
+	}
+	if err := co.SetReceiverOwners(owners); err != nil {
+		co.Close()
+		return fmt.Errorf("wave: distributed backend: %w", err)
+	}
+	s.dist = co
+	s.distCfg = &cfg
+	s.stepper = &distStepper{co: co, u: make([]float64, s.geom.NDof()), recDofs: recDofs}
+	return nil
+}
+
+// distStepper adapts the coordinator to the unified Stepper: one facade
+// cycle advances every rank by one coarse cycle in lockstep. State is
+// sparse — the full field lives sharded across the rank processes, and
+// only the receiver dofs carry live values in this process (which is all
+// Run reads); probes needing full fields should use the local backend.
+type distStepper struct {
+	co      *dist.Coordinator
+	u       []float64
+	recDofs []int
+	t       float64
+}
+
+func (d *distStepper) Step() error {
+	t, samples, err := d.co.Step()
+	if err != nil {
+		return err
+	}
+	d.t = t
+	for i, dof := range d.recDofs {
+		d.u[dof] = samples[i]
+	}
+	return nil
+}
+
+func (d *distStepper) Time() float64    { return d.t }
+func (d *distStepper) State() []float64 { return d.u }
+
+var _ Stepper = (*distStepper)(nil)

@@ -45,6 +45,15 @@ var (
 	// ErrUnknownKernel is returned for a kernel other than Batched or
 	// PerElement.
 	ErrUnknownKernel = errors.New("unknown kernel")
+	// ErrBackendSpec is returned for a nil or foreign Backend value.
+	ErrBackendSpec = errors.New("invalid backend")
+	// ErrRanksRange is returned for a Distributed backend with fewer than
+	// one rank.
+	ErrRanksRange = errors.New("ranks must be >= 1")
+	// ErrBackendConflict is returned at build time for options that
+	// cannot be combined with the selected backend (e.g. WithWorkers > 1
+	// with Distributed).
+	ErrBackendConflict = errors.New("option incompatible with backend")
 	// ErrNilArgument is returned when an option receives a nil sink or
 	// probe.
 	ErrNilArgument = errors.New("nil argument")
@@ -178,6 +187,7 @@ type settings struct {
 	workers     int
 	partitioner Partitioner
 	kernel      Kernel
+	backend     Backend
 	seed        int64
 	sources     []Source
 	srcComp     int
@@ -186,6 +196,13 @@ type settings struct {
 	sinks       []Sink
 	probes      []Probe
 }
+
+// levelCFL is the normalised Courant number handed to mesh.AssignLevels:
+// the configured CFL scaled for the GLL node spacing of the configured
+// degree. Both backends must derive the level structure from this one
+// expression — a drift between them would break the distributed ≡ local
+// bitwise contract.
+func (s *settings) levelCFL() float64 { return s.cfl / float64(s.degree*s.degree) }
 
 func defaultSettings() *settings {
 	return &settings{
@@ -199,6 +216,7 @@ func defaultSettings() *settings {
 		workers:     1,
 		partitioner: ScotchP,
 		kernel:      Batched,
+		backend:     Local,
 		seed:        1,
 	}
 }

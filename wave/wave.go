@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 
+	"golts/internal/dist"
 	"golts/internal/lts"
 	"golts/internal/mesh"
 	"golts/internal/newmark"
@@ -58,6 +59,9 @@ type Simulation struct {
 	lv   *mesh.Levels
 	geom geomOperator
 	pop  *parallel.PartitionedOperator
+
+	dist    *dist.Coordinator
+	distCfg *dist.RunConfig
 
 	ltsS    *lts.Scheme
 	gS      *newmark.Stepper
@@ -94,7 +98,7 @@ func build(set *settings) (*Simulation, error) {
 		return nil, optErr("WithMesh", ErrUnknownMesh, "%q", set.mesh)
 	}
 	m := gen(set.scale)
-	lv := mesh.AssignLevels(m, set.cfl/float64(set.degree*set.degree), 0)
+	lv := mesh.AssignLevels(m, set.levelCFL(), 0)
 
 	var geom geomOperator
 	switch set.physics {
@@ -136,15 +140,24 @@ func build(set *settings) (*Simulation, error) {
 
 	s := &Simulation{set: set, m: m, lv: lv, geom: geom}
 
+	// Cross-backend validation: the distributed backend owns all the
+	// parallelism, so shared-memory workers cannot be layered on top.
+	distBE, distributed := set.backend.(Distributed)
+	if distributed && set.workers != 1 {
+		return nil, optErr("WithBackend", ErrBackendConflict,
+			"distributed backend requires WithWorkers(1), got %d", set.workers)
+	}
+
 	// The operator the time stepper sees: the geometry operator itself, or
-	// the parallel engine wrapped around it.
+	// the parallel engine wrapped around it. The distributed backend never
+	// steps in this process, so it skips both.
 	var step sem.Operator = geom
 	s.workers = set.workers
 	if s.workers == 0 {
 		s.workers = parallel.DefaultWorkers()
 	}
-	if s.workers > 1 {
-		part, err := partition.Assign(m, lv, s.workers, partitionerMethods[set.partitioner], set.seed)
+	if !distributed && s.workers > 1 {
+		part, err := partitionAssign(m, lv, s.workers, set)
 		if err != nil {
 			return nil, fmt.Errorf("wave: partitioning: %w", err)
 		}
@@ -180,11 +193,13 @@ func build(set *settings) (*Simulation, error) {
 		}
 	}
 
+	specs := make([]srcSpec, len(s.sources))
 	semSrcs := make([]sem.Source, len(s.sources))
 	for i, src := range s.sources {
 		srcNode := nearestNode(geom, src.X, src.Y, src.Z)
+		specs[i] = srcSpec{dof: int(srcNode)*nc + src.Comp, f0: src.F0, t0: src.T0}
 		semSrcs[i] = sem.Source{
-			Dof: int(srcNode)*nc + src.Comp,
+			Dof: specs[i].dof,
 			W:   sem.Ricker{F0: src.F0, T0: src.T0},
 		}
 	}
@@ -193,6 +208,13 @@ func build(set *settings) (*Simulation, error) {
 		s.recs = append(s.recs, &sem.Receiver{Dof: int(n)*nc + r.Comp})
 	}
 	s.samples = make([]float64, len(s.recs))
+
+	if distributed {
+		if err := buildDistributed(s, set, distBE, specs); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
 
 	var sigma []float64
 	if set.sponge.Strength > 0 {
@@ -223,6 +245,20 @@ func build(set *settings) (*Simulation, error) {
 		s.stepper = newmarkStepper{g, lv.PMax()}
 	}
 	return s, nil
+}
+
+// srcSpec is a resolved point source — global dof plus Ricker wavelet
+// parameters — the common form the local steppers and the distributed
+// RunConfig are both built from.
+type srcSpec struct {
+	dof    int
+	f0, t0 float64
+}
+
+// partitionAssign maps the mesh onto k parts with the configured
+// partitioner and seed; both backends decompose through it.
+func partitionAssign(m *mesh.Mesh, lv *mesh.Levels, k int, set *settings) ([]int32, error) {
+	return partition.Assign(m, lv, k, partitionerMethods[set.partitioner], set.seed)
 }
 
 // nearestNode does a brute-force nearest-node search; ties resolve to the
@@ -354,6 +390,11 @@ func (s *Simulation) Close() error {
 	if s.pop != nil {
 		s.pop.Close()
 	}
+	if s.dist != nil {
+		if err := s.dist.Close(); err != nil && first == nil {
+			first = fmt.Errorf("wave: distributed backend: %w", err)
+		}
+	}
 	return first
 }
 
@@ -365,7 +406,9 @@ func (s *Simulation) Stepper() Stepper { return s.stepper }
 // Time returns the simulation time after the last completed cycle.
 func (s *Simulation) Time() float64 { return s.stepper.Time() }
 
-// State returns the live displacement field (read-only).
+// State returns the live displacement field (read-only). With the
+// distributed backend the full field lives sharded across the rank
+// processes, so only the receiver dofs carry live values here.
 func (s *Simulation) State() []float64 { return s.stepper.State() }
 
 // Cycles returns the configured default cycle count (WithCycles).
@@ -449,8 +492,16 @@ type Stats struct {
 	Workers     int
 	Partitioner Partitioner
 	Kernel      Kernel
-	// Engine holds the parallel engine's counters; nil when running
-	// sequentially.
+	// Backend reports the execution backend ("local" or "distributed").
+	Backend string
+	// Ranks is the number of rank processes and Parts the owner-computes
+	// decomposition width of the distributed backend; both zero for the
+	// local backend.
+	Ranks, Parts int
+	// Engine holds the execution engine's communication counters: the
+	// shared-memory merge accounting of the local backend, or the real
+	// per-rank halo messages (summed over ranks) of the distributed one.
+	// Nil when running sequentially.
 	Engine *EngineStats
 }
 
@@ -472,14 +523,40 @@ func (s *Simulation) Stats() Stats {
 		Workers:            s.workers,
 		Kernel:             s.set.kernel,
 	}
-	if s.ltsS != nil {
+	st.Backend = s.set.backend.backendName()
+	switch {
+	case s.ltsS != nil:
 		st.Cycles = s.ltsS.CycleCount()
 		st.ElemApplies = s.ltsS.Work.ElemApplies
 		st.EffectiveSpeedup = s.ltsS.EffectiveSpeedup()
 		st.Efficiency = s.ltsS.Efficiency()
-	} else {
+	case s.gS != nil:
 		st.Cycles = s.gS.StepCount() / int64(s.lv.PMax())
 		st.ElemApplies = s.gS.ElementSteps
+	case s.dist != nil:
+		// Rank 0's scheme carries the work model (identical on every rank
+		// under the replicated stepping discipline); the halo counters are
+		// summed over ranks. A lost rank leaves the counters zero — the
+		// failure surfaces through Run/Close, not here.
+		st.Ranks = s.distCfg.Ranks
+		st.Parts = s.distCfg.Parts
+		st.Partitioner = s.set.partitioner
+		if rs, err := s.dist.Stats(); err == nil && len(rs) > 0 {
+			st.ElemApplies = rs[0].ElemApplies
+			if s.set.lts {
+				st.Cycles = rs[0].Cycles
+				st.EffectiveSpeedup = rs[0].EffectiveSpeedup
+				st.Efficiency = rs[0].Efficiency
+			} else {
+				st.Cycles = rs[0].Cycles / int64(s.lv.PMax())
+			}
+			eng := &EngineStats{Applies: rs[0].Applies}
+			for _, r := range rs {
+				eng.Messages += r.Messages
+				eng.Volume += r.Volume
+			}
+			st.Engine = eng
+		}
 	}
 	if s.pop != nil {
 		st.Partitioner = s.set.partitioner
@@ -521,7 +598,7 @@ func Describe(opts ...Option) (*Plan, error) {
 	}
 	gen := mesh.Generators[set.mesh]
 	m := gen(set.scale)
-	lv := mesh.AssignLevels(m, set.cfl/float64(set.degree*set.degree), 0)
+	lv := mesh.AssignLevels(m, set.levelCFL(), 0)
 	p := &Plan{
 		Mesh:               set.mesh,
 		Elements:           m.NumElements(),
