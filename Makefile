@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-kernels bench-smoke dist-smoke lint vet fmt check examples
+.PHONY: build test race bench bench-kernels bench-smoke dist-smoke serve-smoke lint vet fmt check examples
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,15 @@ dist-smoke:
 	@rm -rf .dist-smoke
 	@echo "dist-smoke: 1-, 2- and 4-rank receiver CSVs byte-identical"
 
+# Service smoke: wavedload starts an in-process waved service, runs the
+# acceptance smoke over real HTTP (cold vs cache-hit runs byte-identical,
+# cache hits recorded, cancellation works), then a small load run whose
+# throughput / latency / cache-hit-rate report lands in BENCH_serve.json
+# (structural health numbers, no thresholds — compare across PRs).
+serve-smoke:
+	$(GO) run ./cmd/wavedload -smoke
+	$(GO) run ./cmd/wavedload -jobs 24 -clients 4 -out BENCH_serve.json
+
 # Static analysis beyond go vet. CI installs staticcheck; locally the
 # target runs it when present and skips (loudly) when not, so `make
 # check` mirrors CI wherever the tool is installed.
@@ -74,4 +83,4 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet lint build test race examples dist-smoke
+check: fmt vet lint build test race examples dist-smoke serve-smoke

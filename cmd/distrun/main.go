@@ -67,6 +67,15 @@ func main() {
 		opts = append(opts, wave.WithSink(wave.FileSink(*outPath)))
 	}
 
+	// Reject impossible flags (ranks > parts, nonpositive cycles, a typo'd
+	// physics) as a usage error before any mesh or operator work — the
+	// typed *OptionError names the offending option.
+	if err := wave.Validate(opts...); err != nil {
+		fmt.Fprintln(os.Stderr, "distrun:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	t0 := time.Now()
 	sim, err := wave.New(opts...)
 	if err != nil {

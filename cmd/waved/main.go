@@ -1,0 +1,75 @@
+// Command waved is the long-running simulation service: an HTTP/JSON
+// job API over the wave facade with a bounded priority queue, a shared
+// worker budget, and a process-wide artifact cache keyed by canonical
+// configuration hash (identical configurations share meshes, operators,
+// partitions and batch plans, built exactly once).
+//
+// Usage:
+//
+//	waved [-addr :8457] [-queue 64] [-concurrency 2] [-workers N] [-cache 64]
+//
+// Endpoints (see golts/internal/serve):
+//
+//	POST   /jobs            submit a simulation (cmd/wavesim JSON config
+//	                        plus priority/workers/partitioner/seed);
+//	                        202 with the job id, 429 when the queue is full
+//	GET    /jobs/{id}       poll state, timings and final stats
+//	GET    /jobs/{id}/rows  stream seismogram CSV rows as produced
+//	DELETE /jobs/{id}       cancel (queued or running)
+//	GET    /healthz         liveness
+//	GET    /stats           queue depth, in-flight jobs, cache counters
+//
+// SIGINT/SIGTERM shut the service down gracefully: in-flight jobs are
+// cancelled and the listener drains before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"golts/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8457", "listen address")
+	queue := flag.Int("queue", 64, "maximum queued jobs (beyond this, submissions get 429)")
+	concurrency := flag.Int("concurrency", 2, "simulations run simultaneously")
+	workers := flag.Int("workers", 0, "total worker budget shared by in-flight jobs (0: same as -concurrency)")
+	cache := flag.Int("cache", 0, "artifact cache entries (0: default)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxQueue:     *queue,
+		Concurrency:  *concurrency,
+		WorkerBudget: *workers,
+		CacheSize:    *cache,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "waved: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "waved: listening on %s (queue %d, concurrency %d)\n", *addr, *queue, *concurrency)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "waved:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -1,0 +1,315 @@
+// Command wavedload exercises a waved service and reports its numbers.
+//
+// Two modes:
+//
+//	wavedload -smoke [-addr host:port]
+//	    Acceptance smoke: submits two identical jobs and checks their
+//	    streamed CSV rows are byte-identical with artifact-cache hits on
+//	    the second, then submits-and-cancels a job and checks it lands
+//	    in the cancelled state. Exit status 0 only if all checks pass.
+//
+//	wavedload [-jobs 32] [-clients 4] [-addr host:port]
+//	    Load generation: -clients concurrent submitters push -jobs total
+//	    jobs through the service and the run reports throughput (jobs/s),
+//	    p50/p99 job latency and the artifact-cache hit rate, written as
+//	    JSON to -out (default BENCH_serve.json) and echoed to stdout.
+//
+// With no -addr, an in-process service is started on a loopback port so
+// the tool is self-contained (the CI serve-smoke job runs it this way);
+// requests still travel through real HTTP.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"golts/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "waved address (empty: start an in-process service)")
+	smoke := flag.Bool("smoke", false, "run the acceptance smoke instead of load generation")
+	jobs := flag.Int("jobs", 32, "total jobs to submit in load mode")
+	clients := flag.Int("clients", 4, "concurrent submitters in load mode")
+	distinct := flag.Int("distinct", 4, "distinct configurations cycled through in load mode")
+	scale := flag.Float64("scale", 0.0005, "mesh scale of the generated jobs")
+	cycles := flag.Int("cycles", 2, "coarse cycles per job")
+	out := flag.String("out", "BENCH_serve.json", "load-mode report path")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		srv := serve.New(serve.Config{Concurrency: 2, WorkerBudget: 2, MaxQueue: 1 << 16})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal("listen: %v", err)
+		}
+		go http.Serve(ln, srv.Handler())
+		base = ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "wavedload: in-process service on %s\n", base)
+	}
+	url := "http://" + base
+
+	if *smoke {
+		runSmoke(url, *scale, *cycles)
+		return
+	}
+	runLoad(url, *out, *jobs, *clients, *distinct, *scale, *cycles)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wavedload: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func config(scale float64, cycles, seed int) map[string]any {
+	return map[string]any{
+		"mesh":   "trench",
+		"scale":  scale,
+		"lts":    true,
+		"cycles": cycles,
+		"seed":   int64(seed),
+	}
+}
+
+// jobStatus mirrors the service's job snapshot wire form.
+type jobStatus struct {
+	ID    string `json:"id"`
+	Hash  string `json:"hash"`
+	State string `json:"state"`
+	Error string `json:"error"`
+	Rows  int    `json:"rows"`
+}
+
+func submit(url string, cfg map[string]any) (jobStatus, error) {
+	body, _ := json.Marshal(cfg)
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return jobStatus{}, fmt.Errorf("submit: status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var st jobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return jobStatus{}, err
+	}
+	return st, nil
+}
+
+// streamRows blocks until the job completes, returning its full CSV
+// byte stream.
+func streamRows(url, id string) ([]byte, error) {
+	resp, err := http.Get(url + "/jobs/" + id + "/rows")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func getStatus(url, id string) (jobStatus, error) {
+	resp, err := http.Get(url + "/jobs/" + id)
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func waitState(url, id string, timeout time.Duration) (jobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := getStatus(url, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func serviceStats(url string) (serve.StatsResponse, error) {
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		return serve.StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func runSmoke(url string, scale float64, cycles int) {
+	// Two identical jobs: byte-identical rows, cache hits on the second.
+	cfg := config(scale, cycles, 1)
+	a, err := submit(url, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	rowsA, err := streamRows(url, a.ID)
+	if err != nil {
+		fatal("rows A: %v", err)
+	}
+	stA, err := waitState(url, a.ID, 5*time.Minute)
+	if err != nil || stA.State != "done" {
+		fatal("job A: %+v (%v)", stA, err)
+	}
+	b, err := submit(url, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	rowsB, err := streamRows(url, b.ID)
+	if err != nil {
+		fatal("rows B: %v", err)
+	}
+	if a.Hash != b.Hash {
+		fatal("identical configs hashed differently: %s vs %s", a.Hash, b.Hash)
+	}
+	if len(rowsA) == 0 || !bytes.Equal(rowsA, rowsB) {
+		fatal("cached rerun is not byte-identical to the cold run (%d vs %d bytes)", len(rowsA), len(rowsB))
+	}
+	stats, err := serviceStats(url)
+	if err != nil {
+		fatal("stats: %v", err)
+	}
+	if stats.Cache.Hits == 0 {
+		fatal("no artifact-cache hits after an identical rerun: %+v", stats.Cache)
+	}
+
+	// Cancellation: a queued long job deleted right away lands cancelled.
+	long := config(scale, 1000000, 1)
+	c, err := submit(url, long)
+	if err != nil {
+		fatal("%v", err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, url+"/jobs/"+c.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		fatal("cancel: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	stC, err := waitState(url, c.ID, time.Minute)
+	if err != nil || stC.State != "cancelled" {
+		fatal("cancelled job state: %+v (%v)", stC, err)
+	}
+
+	fmt.Printf("smoke ok: %d identical bytes across cold+cached runs, %d cache hits, cancel works\n",
+		len(rowsA), stats.Cache.Hits)
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Jobs         int     `json:"jobs"`
+	Clients      int     `json:"clients"`
+	Distinct     int     `json:"distinct_configs"`
+	Cycles       int     `json:"cycles"`
+	Scale        float64 `json:"scale"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	P50LatencyMS float64 `json:"p50_latency_ms"`
+	P99LatencyMS float64 `json:"p99_latency_ms"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+func runLoad(url, out string, jobs, clients, distinct int, scale float64, cycles int) {
+	if clients < 1 {
+		clients = 1
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	latencies := make([]time.Duration, jobs)
+	errs := make([]error, jobs)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= jobs {
+					return
+				}
+				t0 := time.Now()
+				st, err := submit(url, config(scale, cycles, 1+i%distinct))
+				if err == nil {
+					var fin jobStatus
+					fin, err = waitState(url, st.ID, 10*time.Minute)
+					if err == nil && fin.State != "done" {
+						err = fmt.Errorf("job %s: %s (%s)", fin.ID, fin.State, fin.Error)
+					}
+				}
+				latencies[i] = time.Since(t0)
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	for _, err := range errs {
+		if err != nil {
+			fatal("load job failed: %v", err)
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	stats, err := serviceStats(url)
+	if err != nil {
+		fatal("stats: %v", err)
+	}
+	rep := report{
+		Jobs:         jobs,
+		Clients:      clients,
+		Distinct:     distinct,
+		Cycles:       cycles,
+		Scale:        scale,
+		WallSeconds:  wall.Seconds(),
+		JobsPerSec:   float64(jobs) / wall.Seconds(),
+		P50LatencyMS: pct(0.50),
+		P99LatencyMS: pct(0.99),
+		CacheHits:    stats.Cache.Hits,
+		CacheMisses:  stats.Cache.Misses,
+	}
+	if total := stats.Cache.Hits + stats.Cache.Misses; total > 0 {
+		rep.CacheHitRate = float64(stats.Cache.Hits) / float64(total)
+	}
+	raw, _ := json.MarshalIndent(rep, "", "  ")
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		fatal("write %s: %v", out, err)
+	}
+	os.Stdout.Write(raw)
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -204,9 +205,13 @@ func Start(cfg Config) (*Coordinator, error) {
 }
 
 // recvFrame pops the next control frame from rank i, converting remote
-// msgErr frames and dead connections into errors.
-func (co *Coordinator) recvFrame(i int, timeout time.Duration) (ctrlFrame, error) {
+// msgErr frames and dead connections into errors. Cancelling ctx aborts
+// the wait immediately with ctx.Err() — a wedged rank cannot hold the
+// caller hostage for the full timeout once its context is gone.
+func (co *Coordinator) recvFrame(ctx context.Context, i int, timeout time.Duration) (ctrlFrame, error) {
 	h := co.ranks[i]
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case fr, ok := <-h.frames:
 		if !ok {
@@ -216,7 +221,9 @@ func (co *Coordinator) recvFrame(i int, timeout time.Duration) (ctrlFrame, error
 			return ctrlFrame{}, fmt.Errorf("dist: rank %d: %s", i, fr.payload)
 		}
 		return fr, nil
-	case <-time.After(timeout):
+	case <-ctx.Done():
+		return ctrlFrame{}, ctx.Err()
+	case <-timer.C:
 		return ctrlFrame{}, fmt.Errorf("dist: rank %d: no response within %v", i, timeout)
 	}
 }
@@ -245,8 +252,21 @@ func (co *Coordinator) SetReceiverOwners(owners []int) error {
 // time plus the receiver samples, in configured receiver order. The
 // samples slice is valid until the next Step.
 func (co *Coordinator) Step() (t float64, samples []float64, err error) {
+	return co.StepCtx(context.Background())
+}
+
+// StepCtx is Step with cancellation: when ctx is cancelled mid-step the
+// run is aborted immediately — spawned rank processes are killed and
+// reaped, halo and control connections closed — and ctx.Err() (not a
+// wire error from the dying ranks) is returned. Without cancellation the
+// behaviour is identical to Step.
+func (co *Coordinator) StepCtx(ctx context.Context) (t float64, samples []float64, err error) {
 	if co.recOwn == nil {
 		return 0, nil, fmt.Errorf("dist: Step before SetReceiverOwners")
+	}
+	if err := ctx.Err(); err != nil {
+		co.Abort()
+		return 0, nil, err
 	}
 	var cmd [4]byte
 	binary.LittleEndian.PutUint32(cmd[:], 1)
@@ -257,8 +277,15 @@ func (co *Coordinator) Step() (t float64, samples []float64, err error) {
 	}
 	samples = make([]float64, len(co.cfg.Run.Receivers))
 	for i := range co.ranks {
-		fr, err := co.recvFrame(i, stepTimeout)
+		fr, err := co.recvFrame(ctx, i, stepTimeout)
 		if err != nil {
+			// Context cancellation wins over any wire error the teardown
+			// provokes: abort tears the ranks down and the caller sees a
+			// clean ctx.Err().
+			if ctx.Err() != nil {
+				co.Abort()
+				return 0, nil, ctx.Err()
+			}
 			return 0, nil, err
 		}
 		if fr.t != msgCycleDone {
@@ -305,7 +332,7 @@ func (co *Coordinator) Stats() ([]RankStats, error) {
 		}
 	}
 	for i := range co.ranks {
-		fr, err := co.recvFrame(i, handshakeTimeout)
+		fr, err := co.recvFrame(context.Background(), i, handshakeTimeout)
 		if err != nil {
 			return nil, err
 		}
@@ -320,53 +347,87 @@ func (co *Coordinator) Stats() ([]RankStats, error) {
 }
 
 // Close shuts the ranks down cleanly, escalating to kill after a grace
-// period. It is idempotent and safe after a failed Step.
+// period. It is idempotent and safe after a failed or aborted Step.
 func (co *Coordinator) Close() error {
-	co.closeOnce.Do(func() {
+	co.closeOnce.Do(func() { co.closeErr = co.teardown(true) })
+	return co.closeErr
+}
+
+// Abort tears the run down immediately: spawned rank processes are
+// killed and reaped, in-process ranks are unblocked by closing their
+// connections, and every control connection is closed. It is the
+// non-graceful twin of Close for cancelled contexts — no shutdown
+// message, no grace period — and leaves no orphan processes behind. A
+// later Close returns without further work.
+func (co *Coordinator) Abort() {
+	co.closeOnce.Do(func() { co.teardown(false) })
+}
+
+// teardown is the shared shutdown path. graceful sends msgShutdown and
+// gives every rank a grace period to exit on its own before killing;
+// non-graceful kills spawned ranks outright and severs the in-process
+// ranks' connections. Both paths reap every spawned process (Wait) so no
+// zombies survive, and both close every control connection.
+func (co *Coordinator) teardown(graceful bool) error {
+	var firstErr error
+	grace := 10 * time.Second
+	if graceful {
 		for _, h := range co.ranks {
 			if h.c != nil {
 				h.c.send(msgShutdown, nil)
 			}
 		}
-		// One absolute grace deadline shared by all ranks: each wait gets
-		// its own timer on the remaining time, so several wedged ranks are
-		// all killed instead of only the first.
-		deadline := time.Now().Add(10 * time.Second)
-		for i, h := range co.ranks {
-			switch {
-			case h.proc != nil:
-				done := make(chan error, 1)
-				go func() { done <- h.proc.Wait() }()
-				select {
-				case err := <-done:
-					if err != nil && co.closeErr == nil {
-						co.closeErr = fmt.Errorf("dist: rank %d: %w", i, err)
-					}
-				case <-time.After(time.Until(deadline)):
-					h.proc.Process.Kill()
-					<-done
-					if co.closeErr == nil {
-						co.closeErr = fmt.Errorf("dist: rank %d killed after shutdown timeout", i)
-					}
-				}
-			case h.done != nil:
-				select {
-				case err := <-h.done:
-					if err != nil && co.closeErr == nil {
-						co.closeErr = fmt.Errorf("dist: rank %d: %w", i, err)
-					}
-				case <-time.After(time.Until(deadline)):
-					if co.closeErr == nil {
-						co.closeErr = fmt.Errorf("dist: rank %d did not exit after shutdown", i)
-					}
-				}
+	} else {
+		grace = 5 * time.Second
+		for _, h := range co.ranks {
+			if h.proc != nil {
+				h.proc.Process.Kill()
 			}
+			// Severing the control connection unblocks an in-process rank's
+			// serve loop (and any peer reads follow when the fabric dies).
 			if h.c != nil {
 				h.c.close()
 			}
 		}
-	})
-	return co.closeErr
+	}
+	// One absolute deadline shared by all ranks: each wait gets its own
+	// timer on the remaining time, so several wedged ranks are all killed
+	// instead of only the first.
+	deadline := time.Now().Add(grace)
+	for i, h := range co.ranks {
+		switch {
+		case h.proc != nil:
+			done := make(chan error, 1)
+			go func() { done <- h.proc.Wait() }()
+			select {
+			case err := <-done:
+				if graceful && err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("dist: rank %d: %w", i, err)
+				}
+			case <-time.After(time.Until(deadline)):
+				h.proc.Process.Kill()
+				<-done
+				if graceful && firstErr == nil {
+					firstErr = fmt.Errorf("dist: rank %d killed after shutdown timeout", i)
+				}
+			}
+		case h.done != nil:
+			select {
+			case err := <-h.done:
+				if graceful && err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("dist: rank %d: %w", i, err)
+				}
+			case <-time.After(time.Until(deadline)):
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dist: rank %d did not exit after shutdown", i)
+				}
+			}
+		}
+		if h.c != nil {
+			h.c.close()
+		}
+	}
+	return firstErr
 }
 
 // kill tears down a partially-started run.

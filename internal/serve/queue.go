@@ -1,0 +1,71 @@
+package serve
+
+import "container/heap"
+
+// jobHeap is the pending-job priority queue: higher Priority first,
+// FIFO (submission order) within a class. It implements heap.Interface;
+// Server holds it under its mutex. Jobs track their heap index so a
+// cancelled queued job can be removed in O(log n), releasing its queue
+// slot immediately.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].req.Priority != h[j].req.Priority {
+		return h[i].req.Priority > h[j].req.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*Job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*h = old[:n-1]
+	return j
+}
+
+// popFit removes and returns the best job whose worker demand fits the
+// available budget, or nil if none fits. Candidates are probed in heap
+// order by repeatedly popping, so the best-fitting job is still the
+// highest-priority one that fits; skipped jobs are pushed back.
+func (h *jobHeap) popFit(avail int) *Job {
+	var skipped []*Job
+	var picked *Job
+	for h.Len() > 0 {
+		j := heap.Pop(h).(*Job)
+		if j.workers <= avail {
+			picked = j
+			break
+		}
+		skipped = append(skipped, j)
+	}
+	for _, j := range skipped {
+		heap.Push(h, j)
+	}
+	return picked
+}
+
+// remove deletes the job from the heap if it is still queued there.
+func (h *jobHeap) remove(j *Job) bool {
+	if j.heapIdx < 0 || j.heapIdx >= h.Len() || (*h)[j.heapIdx] != j {
+		return false
+	}
+	heap.Remove(h, j.heapIdx)
+	return true
+}

@@ -1,0 +1,510 @@
+// Package serve is the long-running simulation service behind cmd/waved:
+// an HTTP/JSON job API over the wave facade with a bounded priority
+// queue, per-job cancellation, and a process-wide artifact cache keyed
+// by canonical configuration hash.
+//
+// Lifecycle: POST /jobs enqueues a simulation and returns its id; the
+// dispatcher runs up to Concurrency jobs at once, each admitted against
+// a shared worker budget; GET /jobs/{id} polls state and final
+// wave.Stats; GET /jobs/{id}/rows streams seismogram CSV rows as they
+// are produced (byte-identical to the wave.CSVSink encoding, and — via
+// the artifact cache — bitwise identical between cold and cache-hit
+// runs of one configuration); DELETE /jobs/{id} cancels a queued or
+// running job, releasing its queue slot immediately. GET /healthz and
+// GET /stats expose liveness and the queue/cache counters.
+//
+// Identical configurations share build artifacts (mesh, operator,
+// partition, batch plans) through a single wave.ArtifactCache with
+// single-flight construction: two same-config jobs submitted
+// concurrently build each artifact exactly once.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"container/heap"
+
+	"golts/internal/decomp"
+	"golts/internal/simio"
+	"golts/wave"
+)
+
+// Config sizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// MaxQueue bounds the pending queue; submissions beyond it are
+	// rejected with 429. Default 64.
+	MaxQueue int
+	// Concurrency is the number of simulations run simultaneously.
+	// Default 2.
+	Concurrency int
+	// WorkerBudget is the total shared-memory worker count divided among
+	// the in-flight simulations: a job demanding w workers is dispatched
+	// only when w fit the remaining budget. Default max(Concurrency,
+	// GOMAXPROCS is deliberately NOT consulted — the budget is explicit
+	// so results stay machine-independent).
+	WorkerBudget int
+	// CacheSize bounds the artifact cache (entries). Default
+	// wave.DefaultArtifactCacheSize.
+	CacheSize int
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at
+// capacity; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// JobRequest is the POST /jobs payload: a simulation configuration (the
+// cmd/wavesim JSON format) plus execution settings. Workers,
+// Partitioner and Seed pin the decomposition and thus the result bits;
+// they are part of the canonical config hash. Priority only orders the
+// queue and is excluded from the hash.
+type JobRequest struct {
+	simio.Config
+	// Priority orders pending jobs (higher first, FIFO within a class).
+	Priority int `json:"priority"`
+	// Workers is the shared-memory worker count (default 1; must fit the
+	// server's WorkerBudget).
+	Workers int `json:"workers"`
+	// Partitioner names the element-partitioning strategy (default
+	// "scotch-p").
+	Partitioner string `json:"partitioner"`
+	// Seed is the partitioner seed (default 1).
+	Seed int64 `json:"seed"`
+}
+
+// canonicalize fills defaults so equal configurations hash equally, and
+// validates everything an eager 400 should catch.
+func (r *JobRequest) canonicalize() error {
+	if err := r.Config.Validate(); err != nil {
+		return err
+	}
+	if r.Workers == 0 {
+		r.Workers = 1
+	}
+	if r.Partitioner == "" {
+		r.Partitioner = string(wave.ScotchP)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return wave.Validate(
+		wave.WithMesh(r.Mesh, r.Scale),
+		wave.WithWorkers(r.Workers),
+		wave.WithPartitioner(wave.Partitioner(r.Partitioner)),
+		wave.WithSeed(r.Seed),
+	)
+}
+
+// hash is the canonical content hash: sha256 over the JSON encoding of
+// every result-determining field (priority excluded).
+func (r *JobRequest) hash() string {
+	keyed := struct {
+		Config      simio.Config `json:"config"`
+		Workers     int          `json:"workers"`
+		Partitioner string       `json:"partitioner"`
+		Seed        int64        `json:"seed"`
+	}{r.Config, r.Workers, r.Partitioner, r.Seed}
+	raw, _ := json.Marshal(keyed)
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Server owns the job queue, the dispatcher goroutines and the shared
+// artifact cache. Create with New, serve its Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	cache *wave.ArtifactCache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   jobHeap
+	jobs      map[string]*Job
+	nextID    int64
+	nextSeq   int64
+	inFlight  int
+	availWork int
+	closed    bool
+
+	submitted, done, failed, cancelled int64
+}
+
+// New creates a Server and starts its dispatcher goroutines.
+func New(cfg Config) *Server {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.WorkerBudget <= 0 {
+		cfg.WorkerBudget = cfg.Concurrency
+	}
+	s := &Server{
+		cfg:       cfg,
+		cache:     wave.NewArtifactCache(cfg.CacheSize),
+		jobs:      make(map[string]*Job),
+		availWork: cfg.WorkerBudget,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Concurrency; i++ {
+		s.wg.Add(1)
+		go s.dispatch()
+	}
+	return s
+}
+
+// Cache exposes the server's artifact cache (read-only use: counters).
+func (s *Server) Cache() *wave.ArtifactCache { return s.cache }
+
+// Close stops accepting jobs, cancels everything queued or running, and
+// waits for the dispatchers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for s.pending.Len() > 0 {
+		j := heap.Pop(&s.pending).(*Job)
+		s.cancelled++
+		j.finish(StateCancelled, "server shutting down")
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.stop() // cancels the contexts of running jobs
+	s.wg.Wait()
+}
+
+// Submit validates, enqueues and returns a new job. The request is
+// canonicalized in place (defaults filled).
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	if err := req.canonicalize(); err != nil {
+		return nil, err
+	}
+	if req.Workers > s.cfg.WorkerBudget {
+		return nil, fmt.Errorf("serve: job demands %d workers, budget is %d", req.Workers, s.cfg.WorkerBudget)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.pending.Len() >= s.cfg.MaxQueue {
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	s.nextSeq++
+	j := &Job{
+		ID:       "j" + strconv.FormatInt(s.nextID, 10),
+		Hash:     req.hash(),
+		req:      req,
+		workers:  req.Workers,
+		seq:      s.nextSeq,
+		heapIdx:  -1,
+		rows:     newRowBuffer(),
+		state:    StateQueued,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	heap.Push(&s.pending, j)
+	s.submitted++
+	s.cond.Signal()
+	return j, nil
+}
+
+// Job returns a submitted job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: a queued job leaves the queue (releasing its
+// slot) and finishes Cancelled immediately; a running job's context is
+// cancelled and it finishes as the run winds down. Returns false for
+// unknown ids.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	if s.pending.remove(j) {
+		s.cancelled++
+		s.mu.Unlock()
+		j.finish(StateCancelled, "cancelled while queued")
+		return true
+	}
+	s.mu.Unlock()
+	j.mu.Lock()
+	if j.cancelRun != nil {
+		j.cancelRun()
+	}
+	j.mu.Unlock()
+	return true
+}
+
+// dispatch is one runner goroutine: it pulls the best pending job that
+// fits the remaining worker budget and runs it to completion.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var j *Job
+		for {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			if j = s.pending.popFit(s.availWork); j != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		s.inFlight++
+		s.availWork -= j.workers
+		s.mu.Unlock()
+
+		s.runJob(j)
+
+		s.mu.Lock()
+		s.inFlight--
+		s.availWork += j.workers
+		switch j.StateNow() {
+		case StateDone:
+			s.done++
+		case StateFailed:
+			s.failed++
+		case StateCancelled:
+			s.cancelled++
+		}
+		// A freed worker may unblock a wide job another dispatcher skipped.
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// runJob executes one simulation, feeding its CSV rows to the job's
+// buffer and recording stats at the end.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled between pop and here
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancelRun = cancel
+	j.mu.Unlock()
+
+	cfgJSON, err := json.Marshal(j.req.Config)
+	if err != nil {
+		j.finish(StateFailed, err.Error())
+		return
+	}
+	sim, err := wave.FromConfig(strings.NewReader(string(cfgJSON)),
+		wave.WithWorkers(j.req.Workers),
+		wave.WithPartitioner(wave.Partitioner(j.req.Partitioner)),
+		wave.WithSeed(j.req.Seed),
+		wave.WithArtifactCache(s.cache),
+		wave.WithSink(wave.RowCSVSink(j.rows.append)),
+	)
+	if err != nil {
+		j.finish(StateFailed, err.Error())
+		return
+	}
+	runErr := sim.Run(ctx, 0)
+	stats := sim.Stats()
+	closeErr := sim.Close()
+
+	j.mu.Lock()
+	j.stats = stats
+	j.hasStats = true
+	j.mu.Unlock()
+
+	switch {
+	case runErr != nil && errors.Is(runErr, context.Canceled):
+		j.finish(StateCancelled, "cancelled while running")
+	case runErr != nil:
+		j.finish(StateFailed, runErr.Error())
+	case closeErr != nil:
+		j.finish(StateFailed, closeErr.Error())
+	default:
+		j.finish(StateDone, "")
+	}
+}
+
+// StatsResponse is the GET /stats payload.
+type StatsResponse struct {
+	// QueueDepth is the number of pending jobs; InFlight the number
+	// currently running.
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+	// WorkerBudget / WorkersInUse report the shared worker pool.
+	WorkerBudget int `json:"worker_budget"`
+	WorkersInUse int `json:"workers_in_use"`
+	// Submitted/Done/Failed/Cancelled are lifetime job counts.
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	// Cache reports the artifact cache: traffic counters plus residency.
+	Cache struct {
+		decomp.MemoCounters
+		Entries int `json:"entries"`
+	} `json:"cache"`
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() StatsResponse {
+	s.mu.Lock()
+	resp := StatsResponse{
+		QueueDepth:   s.pending.Len(),
+		InFlight:     s.inFlight,
+		WorkerBudget: s.cfg.WorkerBudget,
+		WorkersInUse: s.cfg.WorkerBudget - s.availWork,
+		Submitted:    s.submitted,
+		Done:         s.done,
+		Failed:       s.failed,
+		Cancelled:    s.cancelled,
+	}
+	s.mu.Unlock()
+	resp.Cache.MemoCounters = s.cache.Counters()
+	resp.Cache.Entries = s.cache.Len()
+	return resp
+}
+
+// Handler returns the HTTP API. Routes:
+//
+//	POST   /jobs            submit (202 + {id,hash,state}; 429 when full)
+//	GET    /jobs/{id}       job status + final stats
+//	GET    /jobs/{id}/rows  stream seismogram CSV rows (text/csv)
+//	DELETE /jobs/{id}       cancel
+//	GET    /healthz         liveness
+//	GET    /stats           queue depth, in-flight, cache counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST /jobs")
+			return
+		}
+		var req JobRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+			return
+		}
+		j, err := s.Submit(req)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeJSON(w, http.StatusAccepted, j.snapshot())
+		}
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		id, sub, _ := strings.Cut(rest, "/")
+		j, ok := s.Job(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job "+id)
+			return
+		}
+		switch {
+		case sub == "" && r.Method == http.MethodGet:
+			writeJSON(w, http.StatusOK, j.snapshot())
+		case sub == "" && r.Method == http.MethodDelete:
+			s.Cancel(id)
+			writeJSON(w, http.StatusOK, j.snapshot())
+		case sub == "rows" && r.Method == http.MethodGet:
+			s.streamRows(w, r, j)
+		default:
+			httpError(w, http.StatusNotFound, "unknown route")
+		}
+	})
+	return mux
+}
+
+// streamRows writes the job's CSV rows to the client as they appear:
+// the retained prefix first, then live rows until the job reaches a
+// terminal state or the client disconnects. Concatenated rows are
+// byte-identical to a wave.CSVSink file of the same run.
+func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		rows, done, wait := j.rows.next(sent)
+		if len(rows) > 0 {
+			for _, row := range rows {
+				if _, err := w.Write(row); err != nil {
+					return
+				}
+			}
+			sent += len(rows)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue
+		}
+		if done {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"context"
 	"fmt"
 
 	"golts/internal/dist"
@@ -92,7 +93,7 @@ func RankMain() { dist.RankMain() }
 // buildDistributed starts the rank processes for a distributed
 // configuration and wires the coordinator in as the simulation's
 // stepper.
-func buildDistributed(s *Simulation, set *settings, be Distributed, semSrcs []srcSpec) error {
+func buildDistributed(s *Simulation, set *settings, be Distributed, semSrcs []srcSpec, ac *[2]int64) error {
 	cfg := dist.RunConfig{
 		Mesh:       set.mesh,
 		Scale:      set.scale,
@@ -109,7 +110,7 @@ func buildDistributed(s *Simulation, set *settings, be Distributed, semSrcs []sr
 			Faces:    set.sponge.Faces,
 		},
 	}
-	part, err := partitionAssign(s.m, s.lv, cfg.Parts, set)
+	part, err := getPartition(set, s.m, s.lv, cfg.Parts, ac)
 	if err != nil {
 		return fmt.Errorf("wave: partitioning: %w", err)
 	}
@@ -156,8 +157,13 @@ type distStepper struct {
 	t       float64
 }
 
-func (d *distStepper) Step() error {
-	t, samples, err := d.co.Step()
+func (d *distStepper) Step() error { return d.StepCtx(context.Background()) }
+
+// StepCtx is the context-aware step Run prefers: cancelling ctx mid-step
+// aborts the coordinator — spawned rank processes are killed and reaped
+// immediately instead of waiting out the wire step timeout.
+func (d *distStepper) StepCtx(ctx context.Context) error {
+	t, samples, err := d.co.StepCtx(ctx)
 	if err != nil {
 		return err
 	}
@@ -171,4 +177,7 @@ func (d *distStepper) Step() error {
 func (d *distStepper) Time() float64    { return d.t }
 func (d *distStepper) State() []float64 { return d.u }
 
-var _ Stepper = (*distStepper)(nil)
+var (
+	_ Stepper    = (*distStepper)(nil)
+	_ ctxStepper = (*distStepper)(nil)
+)

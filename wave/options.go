@@ -195,6 +195,7 @@ type settings struct {
 	sponge      Sponge
 	sinks       []Sink
 	probes      []Probe
+	artifacts   *ArtifactCache
 }
 
 // levelCFL is the normalised Courant number handed to mesh.AssignLevels:
@@ -225,6 +226,23 @@ func defaultSettings() *settings {
 // eagerly: New returns the first option's error (an *OptionError wrapping
 // a sentinel) instead of silently clamping values.
 type Option func(*settings) error
+
+// Validate applies the options to a default configuration and returns the
+// first error, without generating a mesh, building operators, or spawning
+// rank processes. It is the cheap upfront check for CLIs and services
+// that want to reject impossible flags (ranks > parts, nonpositive
+// cycles, an unknown physics) before committing to an expensive build.
+// Cross-option and mesh-dependent checks (component vs. physics, parts
+// vs. element count) still happen in New.
+func Validate(opts ...Option) error {
+	set := defaultSettings()
+	for _, o := range opts {
+		if err := o(set); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // WithMesh selects a benchmark mesh by name ("trench", "trench-big",
 // "embedding", "crust") at the given scale factor.

@@ -1,6 +1,7 @@
 package wave
 
 import (
+	"bytes"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -124,14 +125,15 @@ func (s *csvSink) Sample(t float64, values []float64) error {
 }
 
 func (s *csvSink) Flush() error {
+	// Surface the writer error AND close the underlying file: an encode or
+	// short-write failure (disk full) must never leave the file open, and a
+	// close failure must never mask the write error. errors.Join keeps both.
 	s.cw.Flush()
-	if err := s.cw.Error(); err != nil {
-		return err
-	}
+	err := s.cw.Error()
 	if s.closer != nil {
-		return s.closer.Close()
+		err = errors.Join(err, s.closer.Close())
 	}
-	return nil
+	return err
 }
 
 // jsonSink accumulates the run and encodes it at Flush (JSON has no
@@ -166,13 +168,13 @@ func (s *jsonSink) Sample(t float64, values []float64) error {
 }
 
 func (s *jsonSink) Flush() error {
-	if err := s.set.WriteJSON(s.w); err != nil {
-		return err
-	}
+	// As with csvSink: always close the file, and report the encode error
+	// alongside (never masked by) any close error.
+	err := s.set.WriteJSON(s.w)
 	if s.closer != nil {
-		return s.closer.Close()
+		err = errors.Join(err, s.closer.Close())
 	}
-	return nil
+	return err
 }
 
 // fileSink creates the file lazily at Open and selects the format by
@@ -212,4 +214,64 @@ func (s *fileSink) Flush() error {
 		return nil
 	}
 	return s.inner.Flush()
+}
+
+// rowCSVSink encodes each sample as one CSV row and hands the encoded
+// bytes to a callback immediately — no buffering between cycles.
+type rowCSVSink struct {
+	fn  func(row []byte) error
+	buf bytes.Buffer
+	cw  *csv.Writer
+	row []string
+}
+
+// RowCSVSink returns a sink that delivers seismogram output row by row:
+// fn receives the encoded header line at Open and one encoded sample line
+// per cycle, each including its trailing newline, in exactly the byte
+// encoding of CSVSink — concatenating every row reproduces the CSVSink
+// file bitwise. The slice passed to fn is reused; callers that retain
+// rows must copy them. This is the streaming seam of the job server: rows
+// can be forwarded to subscribers while the simulation is still running.
+func RowCSVSink(fn func(row []byte) error) Sink {
+	s := &rowCSVSink{fn: fn}
+	s.cw = csv.NewWriter(&s.buf)
+	return s
+}
+
+func (s *rowCSVSink) Open(receivers []Receiver) error {
+	if s.fn == nil {
+		return errors.New("wave: RowCSVSink with nil callback")
+	}
+	header := make([]string, len(receivers)+1)
+	header[0] = "time"
+	for i, r := range receivers {
+		header[i+1] = r.Name
+	}
+	s.row = make([]string, len(header))
+	return s.emit(header)
+}
+
+func (s *rowCSVSink) Sample(t float64, values []float64) error {
+	if len(values)+1 != len(s.row) {
+		return fmt.Errorf("wave: sample has %d values for %d columns", len(values), len(s.row)-1)
+	}
+	s.row[0] = formatSample(t)
+	for i, v := range values {
+		s.row[i+1] = formatSample(v)
+	}
+	return s.emit(s.row)
+}
+
+func (s *rowCSVSink) Flush() error { return nil }
+
+func (s *rowCSVSink) emit(fields []string) error {
+	s.buf.Reset()
+	if err := s.cw.Write(fields); err != nil {
+		return err
+	}
+	s.cw.Flush()
+	if err := s.cw.Error(); err != nil {
+		return err
+	}
+	return s.fn(s.buf.Bytes())
 }

@@ -1,6 +1,8 @@
 package wave
 
 import (
+	"context"
+
 	"golts/internal/lts"
 	"golts/internal/newmark"
 )
@@ -14,6 +16,15 @@ type Stepper interface {
 	Step() error
 	Time() float64
 	State() []float64
+}
+
+// ctxStepper is the optional context-aware step a backend may provide.
+// Run prefers it over Step so cancelling the run context can abort work
+// that blocks inside a single cycle — the distributed coordinator uses it
+// to kill and reap its rank processes promptly instead of waiting out the
+// wire step timeout.
+type ctxStepper interface {
+	StepCtx(ctx context.Context) error
 }
 
 // ltsStepper adapts lts.Scheme: one facade cycle is one LTS cycle.

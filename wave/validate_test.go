@@ -1,0 +1,101 @@
+package wave_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"golts/wave"
+)
+
+// TestPartsExceedElementsRejected: a decomposition wider than the mesh
+// must fail at build time with the typed sentinel. Pre-fix, New handed
+// the impossible width to the recursive-bisection partitioner, which
+// effectively hung (minutes of splitting singleton element sets) instead
+// of erroring — this test timed out on the old code.
+func TestPartsExceedElementsRejected(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := wave.New(tinyOpts(
+			wave.WithBackend(wave.Distributed{Ranks: 1, Parts: 100000}),
+		)...)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, wave.ErrPartsRange) {
+			t.Fatalf("New error = %v, want ErrPartsRange", err)
+		}
+		var oe *wave.OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("New error %v is not an *OptionError", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("New did not return: impossible parts reached the partitioner")
+	}
+}
+
+// TestWorkersExceedElementsRejected: an explicit worker count wider than
+// the mesh fails eagerly rather than hanging in the partitioner.
+func TestWorkersExceedElementsRejected(t *testing.T) {
+	_, err := wave.New(tinyOpts(wave.WithWorkers(100000))...)
+	if !errors.Is(err, wave.ErrWorkersRange) {
+		t.Fatalf("New error = %v, want ErrWorkersRange", err)
+	}
+}
+
+// TestAutoWorkersClampToElements: the auto-sized worker count
+// (WithWorkers(0)) must build on a mesh with fewer elements than the
+// machine has cores — it clamps instead of erroring — and still run.
+func TestAutoWorkersClampToElements(t *testing.T) {
+	sim, err := wave.New(tinyOpts(wave.WithWorkers(0))...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sim.Close()
+	st := sim.Stats()
+	if st.Workers < 1 || st.Workers > st.Elements {
+		t.Fatalf("auto workers = %d outside [1, %d elements]", st.Workers, st.Elements)
+	}
+	if err := sim.Run(context.Background(), 1); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestValidateUpfront: Validate applies option validation without
+// building anything — the cheap pre-flight CLIs run on their flags.
+func TestValidateUpfront(t *testing.T) {
+	cases := []struct {
+		name     string
+		opts     []wave.Option
+		sentinel error
+	}{
+		{"ranks-above-parts", []wave.Option{
+			wave.WithBackend(wave.Distributed{Ranks: 4, Parts: 2}),
+		}, wave.ErrPartsRange},
+		{"nonpositive-cycles", []wave.Option{wave.WithCycles(0)}, wave.ErrCyclesRange},
+		{"negative-cycles", []wave.Option{wave.WithCycles(-3)}, wave.ErrCyclesRange},
+		{"unknown-physics", []wave.Option{wave.WithPhysics("plasma")}, wave.ErrUnknownPhysics},
+		{"zero-ranks", []wave.Option{
+			wave.WithBackend(wave.Distributed{Ranks: 0}),
+		}, wave.ErrRanksRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := wave.Validate(tc.opts...)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("Validate error = %v, want %v", err, tc.sentinel)
+			}
+			var oe *wave.OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("Validate error %v is not an *OptionError", err)
+			}
+		})
+	}
+	if err := wave.Validate(tinyOpts(
+		wave.WithBackend(wave.Distributed{Ranks: 2, Parts: 4}),
+	)...); err != nil {
+		t.Fatalf("Validate rejected a valid configuration: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ package wave
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -76,6 +77,10 @@ type Simulation struct {
 	cycles    int // completed cycles across Runs
 	sinksOpen bool
 	closed    bool
+
+	// artLookups and artHits record the build's artifact-cache traffic
+	// (zero without WithArtifactCache).
+	artLookups, artHits int64
 }
 
 // New builds a Simulation from the given options. The zero configuration
@@ -93,29 +98,19 @@ func New(opts ...Option) (*Simulation, error) {
 }
 
 func build(set *settings) (*Simulation, error) {
-	gen, ok := mesh.Generators[set.mesh]
-	if !ok {
+	if _, ok := mesh.Generators[set.mesh]; !ok {
 		return nil, optErr("WithMesh", ErrUnknownMesh, "%q", set.mesh)
 	}
-	m := gen(set.scale)
-	lv := mesh.AssignLevels(m, set.levelCFL(), 0)
-
-	var geom geomOperator
-	switch set.physics {
-	case Acoustic:
-		op, err := sem.NewAcoustic3D(m, set.degree, false)
-		if err != nil {
-			return nil, fmt.Errorf("wave: %w", err)
+	// ac accumulates this build's artifact-cache traffic: [lookups, hits].
+	var ac [2]int64
+	m, lv := getMesh(set, &ac)
+	geom, err := getOperator(set, m, &ac)
+	if err != nil {
+		var oe *OptionError
+		if errors.As(err, &oe) {
+			return nil, err
 		}
-		geom = op
-	case Elastic:
-		op, err := sem.NewElastic3D(m, set.degree, false, 0)
-		if err != nil {
-			return nil, fmt.Errorf("wave: %w", err)
-		}
-		geom = op
-	default:
-		return nil, optErr("WithPhysics", ErrUnknownPhysics, "%q", set.physics)
+		return nil, fmt.Errorf("wave: %w", err)
 	}
 	nc := geom.Comps()
 
@@ -148,6 +143,23 @@ func build(set *settings) (*Simulation, error) {
 			"distributed backend requires WithWorkers(1), got %d", set.workers)
 	}
 
+	// Decomposition width against the mesh: a request for more parts than
+	// elements cannot be satisfied (the recursive bisection has nothing
+	// left to split and effectively hangs on large widths), so it is
+	// rejected here — at build time — rather than deep inside the
+	// partitioner. Only explicit requests fail; the auto-sized worker
+	// count (WithWorkers(0)) clamps to the element count below, so tiny
+	// meshes on big machines still build.
+	nelem := m.NumElements()
+	if distributed && distBE.parts() > nelem {
+		return nil, optErr("WithBackend", ErrPartsRange,
+			"parts %d exceeds the mesh's %d elements", distBE.parts(), nelem)
+	}
+	if !distributed && set.workers > nelem {
+		return nil, optErr("WithWorkers", ErrWorkersRange,
+			"workers %d exceeds the mesh's %d elements", set.workers, nelem)
+	}
+
 	// The operator the time stepper sees: the geometry operator itself, or
 	// the parallel engine wrapped around it. The distributed backend never
 	// steps in this process, so it skips both.
@@ -155,9 +167,12 @@ func build(set *settings) (*Simulation, error) {
 	s.workers = set.workers
 	if s.workers == 0 {
 		s.workers = parallel.DefaultWorkers()
+		if s.workers > nelem {
+			s.workers = nelem
+		}
 	}
 	if !distributed && s.workers > 1 {
-		part, err := partitionAssign(m, lv, s.workers, set)
+		part, err := getPartition(set, m, lv, s.workers, &ac)
 		if err != nil {
 			return nil, fmt.Errorf("wave: partitioning: %w", err)
 		}
@@ -210,9 +225,10 @@ func build(set *settings) (*Simulation, error) {
 	s.samples = make([]float64, len(s.recs))
 
 	if distributed {
-		if err := buildDistributed(s, set, distBE, specs); err != nil {
+		if err := buildDistributed(s, set, distBE, specs, &ac); err != nil {
 			return nil, err
 		}
+		s.artLookups, s.artHits = ac[0], ac[1]
 		return s, nil
 	}
 
@@ -244,6 +260,7 @@ func build(set *settings) (*Simulation, error) {
 		s.gS = g
 		s.stepper = newmarkStepper{g, lv.PMax()}
 	}
+	s.artLookups, s.artHits = ac[0], ac[1]
 	return s, nil
 }
 
@@ -334,13 +351,25 @@ func (s *Simulation) Run(ctx context.Context, cycles int, probes ...Probe) error
 		}
 		s.sinksOpen = true
 	}
+	cs, _ := s.stepper.(ctxStepper)
 	for i := 0; i < cycles; i++ {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		default:
 		}
-		if err := s.stepper.Step(); err != nil {
+		var err error
+		if cs != nil {
+			err = cs.StepCtx(ctx)
+		} else {
+			err = s.stepper.Step()
+		}
+		if err != nil {
+			// Cancellation is reported bare, not wrapped as a cycle failure:
+			// callers select on context.Canceled / DeadlineExceeded.
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return err
+			}
 			return fmt.Errorf("wave: cycle %d: %w", s.cycles+1, err)
 		}
 		s.cycles++
@@ -503,6 +532,11 @@ type Stats struct {
 	// per-rank halo messages (summed over ranks) of the distributed one.
 	// Nil when running sequentially.
 	Engine *EngineStats
+	// ArtifactLookups and ArtifactHits count this simulation's
+	// consultations of the attached artifact cache during build (mesh,
+	// operator, partition); both are zero without WithArtifactCache.
+	// Batch-plan sharing is accounted in the cache's own Counters.
+	ArtifactLookups, ArtifactHits int64
 }
 
 // Stats returns the simulation's metadata and work counters. It may be
@@ -522,6 +556,8 @@ func (s *Simulation) Stats() Stats {
 		TheoreticalSpeedup: s.lv.TheoreticalSpeedup(),
 		Workers:            s.workers,
 		Kernel:             s.set.kernel,
+		ArtifactLookups:    s.artLookups,
+		ArtifactHits:       s.artHits,
 	}
 	st.Backend = s.set.backend.backendName()
 	switch {
