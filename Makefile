@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-kernels bench-smoke dist-smoke serve-smoke lint vet fmt check examples
+.PHONY: build test race bench bench-kernels bench-smoke dist-smoke serve-smoke fault-smoke lint vet fmt check examples
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,33 @@ serve-smoke:
 	$(GO) run ./cmd/wavedload -smoke
 	$(GO) run ./cmd/wavedload -jobs 24 -clients 4 -out BENCH_serve.json
 
+# Fault-tolerance smoke, both recovery paths end to end:
+#  1. distributed: a rank process SIGKILLs itself mid-run (GOLTS_FAULT),
+#     the coordinator respawns and restores it, and the recovered
+#     seismogram CSV must be byte-identical to a fault-free run;
+#  2. service: wavedload interrupts a spooled waved job mid-run, restarts
+#     the service on the same spool, and the replayed job must resume
+#     from its checkpoint with a byte-identical row stream.
+# Both legs run at scale 0.015 x 40 cycles and assert nonzero receiver
+# samples (-require-nonzero / the wavedload guard): at smaller scales
+# every sample is exactly zero and the byte-comparisons pass vacuously —
+# that blindness is how the stale-replica checkpoint bug slipped through.
+# Recovery-latency numbers land in BENCH_fault.json (the distrun report
+# is embedded), alongside BENCH_serve.json in the CI artifacts.
+fault-smoke:
+	@rm -rf .fault-smoke && mkdir -p .fault-smoke
+	$(GO) build -o .fault-smoke/distrun ./cmd/distrun
+	./.fault-smoke/distrun -ranks 2 -parts 4 -scale 0.015 -cycles 40 -require-nonzero \
+		-out .fault-smoke/ref.csv
+	GOLTS_FAULT=kill:rank=1,cycle=20,substep=2 ./.fault-smoke/distrun \
+		-ranks 2 -parts 4 -scale 0.015 -cycles 40 -recover-every 4 -max-recoveries 2 \
+		-expect-recovery -require-nonzero \
+		-fault-report .fault-smoke/dist.json -out .fault-smoke/recovered.csv
+	cmp .fault-smoke/ref.csv .fault-smoke/recovered.csv
+	$(GO) run ./cmd/wavedload -restart-smoke -scale 0.015 -dist-report .fault-smoke/dist.json -out BENCH_fault.json
+	@rm -rf .fault-smoke
+	@echo "fault-smoke: rank-kill recovery and waved restart both byte-identical at nonzero amplitude"
+
 # Static analysis beyond go vet. CI installs staticcheck; locally the
 # target runs it when present and skips (loudly) when not, so `make
 # check` mirrors CI wherever the tool is installed.
@@ -83,4 +110,4 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet lint build test race examples dist-smoke serve-smoke
+check: fmt vet lint build test race examples dist-smoke serve-smoke fault-smoke

@@ -11,16 +11,31 @@
 //	        [-physics acoustic|elastic] [-lts] [-cycles 20]
 //	        [-degree 4] [-cfl 0.4] [-partitioner scotch-p] [-seed 1]
 //	        [-out seismograms.csv]
+//	        [-recover-every N] [-max-recoveries 3]
+//	        [-expect-recovery] [-fault-report report.json]
 //
 // -parts fixes the owner-computes decomposition width independently of
 // the process count (0 means parts = ranks). Because the decomposition —
 // not the process count — pins the floating-point assembly order,
 // distrun runs with the same -parts produce byte-identical seismogram
 // files for any -ranks, which is what `make dist-smoke` asserts.
+//
+// -recover-every N checkpoints the distributed state every N cycles and
+// turns on rank-failure recovery: a rank that dies or stalls mid-run is
+// respawned, restored from the newest coordinator checkpoint and the
+// lost cycles replayed, bitwise. Fault injection comes from the
+// GOLTS_FAULT environment variable (kill|stall|delay:rank=R,cycle=C
+// [,substep=S][,ms=D]), which the coordinator forwards to every rank —
+// `make fault-smoke` kills a rank this way and asserts the recovered
+// seismograms match a fault-free run byte for byte. -expect-recovery
+// exits 1 when the run finishes without recovering anything (the
+// injected fault never fired); -fault-report writes recovery-latency
+// numbers as JSON.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,11 +61,20 @@ func main() {
 	partMethod := flag.String("partitioner", string(wave.ScotchP), "element partitioner")
 	seed := flag.Int64("seed", 1, "partitioner seed")
 	outPath := flag.String("out", "", "seismogram output file (.csv or .json)")
+	recoverEvery := flag.Int("recover-every", 0, "checkpoint every N cycles and recover failed ranks (0: off)")
+	maxRecoveries := flag.Int("max-recoveries", 0, "rank recoveries before giving up (0: default 3)")
+	expectRecovery := flag.Bool("expect-recovery", false, "exit 1 unless at least one rank recovery happened")
+	requireNonzero := flag.Bool("require-nonzero", false, "exit 1 unless some receiver sample is nonzero (guards byte-comparisons against vacuously-zero traces)")
+	faultReport := flag.String("fault-report", "", "write recovery-latency numbers as JSON to this path")
 	flag.Parse()
 
 	scheme := wave.WithLTS()
 	if !*useLTS {
 		scheme = wave.WithGlobalNewmark()
+	}
+	ckptEvery := -1 // Distributed semantics: negative disables
+	if *recoverEvery > 0 {
+		ckptEvery = *recoverEvery
 	}
 	opts := []wave.Option{
 		wave.WithMesh(*name, *scale),
@@ -61,7 +85,10 @@ func main() {
 		scheme,
 		wave.WithPartitioner(wave.Partitioner(*partMethod)),
 		wave.WithSeed(*seed),
-		wave.WithBackend(wave.Distributed{Ranks: *ranks, Parts: *parts}),
+		wave.WithBackend(wave.Distributed{
+			Ranks: *ranks, Parts: *parts,
+			CheckpointEvery: ckptEvery, MaxRecoveries: *maxRecoveries,
+		}),
 	}
 	if *outPath != "" {
 		opts = append(opts, wave.WithSink(wave.FileSink(*outPath)))
@@ -104,12 +131,24 @@ func main() {
 		fmt.Printf("halo exchange: %d applies/rank, %d messages, %d node-values over the wire\n",
 			st.Engine.Applies, st.Engine.Messages, st.Engine.Volume)
 	}
+	if *recoverEvery > 0 {
+		fmt.Printf("fault tolerance: %d rank recoveries (%d ms recovering)\n",
+			st.Recoveries, st.RecoveryMillis)
+	}
 
 	seis := sim.Seismograms()
+	peakMax := 0.0
 	for i := range seis.Traces {
 		tr := &seis.Traces[i]
 		peak, pt := tr.Peak(seis.Times)
+		if peak > peakMax {
+			peakMax = peak
+		}
 		fmt.Printf("receiver %-6s |u|max = %.3e  peak t = %.3f\n", tr.Name, peak, pt)
+	}
+	if *requireNonzero && peakMax == 0 {
+		fmt.Fprintln(os.Stderr, "distrun: -require-nonzero set but every receiver sample is exactly zero (wave never reached a receiver; raise -scale or -cycles)")
+		os.Exit(1)
 	}
 	// Close flushes the sink and shuts the ranks down; report only after
 	// both happened cleanly.
@@ -118,6 +157,26 @@ func main() {
 	}
 	if *outPath != "" {
 		fmt.Printf("seismograms written to %s\n", *outPath)
+	}
+	if *faultReport != "" {
+		rep := struct {
+			Ranks      int     `json:"ranks"`
+			Parts      int     `json:"parts"`
+			Cycles     int64   `json:"cycles"`
+			Recoveries int     `json:"recoveries"`
+			RecoveryMS int64   `json:"recovery_ms"`
+			WallS      float64 `json:"wall_seconds"`
+			Fault      string  `json:"fault,omitempty"`
+		}{st.Ranks, st.Parts, st.Cycles, st.Recoveries, st.RecoveryMillis, wall, os.Getenv("GOLTS_FAULT")}
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*faultReport, raw, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *expectRecovery && st.Recoveries == 0 {
+		fmt.Fprintln(os.Stderr, "distrun: -expect-recovery set but the run recovered nothing (fault never fired?)")
+		os.Exit(1)
 	}
 }
 

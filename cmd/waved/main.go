@@ -7,6 +7,12 @@
 // Usage:
 //
 //	waved [-addr :8457] [-queue 64] [-concurrency 2] [-workers N] [-cache 64]
+//	      [-spool DIR] [-ckpt-every 4] [-retry-base 500ms]
+//
+// With -spool, job specs, per-job checkpoints and streamed rows persist
+// under DIR: a restarted waved pointed at the same directory replays
+// every unfinished job and resumes mid-run from the newest checkpoint,
+// with the delivered row stream byte-identical to an uninterrupted run.
 //
 // Endpoints (see golts/internal/serve):
 //
@@ -20,7 +26,8 @@
 //	GET    /stats           queue depth, in-flight jobs, cache counters
 //
 // SIGINT/SIGTERM shut the service down gracefully: in-flight jobs are
-// cancelled and the listener drains before exit.
+// cancelled (with -spool: parked, spool entries kept for the next
+// instance) and the listener drains before exit.
 package main
 
 import (
@@ -43,14 +50,24 @@ func main() {
 	concurrency := flag.Int("concurrency", 2, "simulations run simultaneously")
 	workers := flag.Int("workers", 0, "total worker budget shared by in-flight jobs (0: same as -concurrency)")
 	cache := flag.Int("cache", 0, "artifact cache entries (0: default)")
+	spool := flag.String("spool", "", "durability directory: persist jobs/checkpoints/rows, replay on restart (empty: off)")
+	ckptEvery := flag.Int("ckpt-every", 0, "per-job checkpoint interval in cycles with -spool (0: default 4)")
+	retryBase := flag.Duration("retry-base", 0, "first retry backoff for infra failures, doubling per retry (0: default 500ms)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
-		MaxQueue:     *queue,
-		Concurrency:  *concurrency,
-		WorkerBudget: *workers,
-		CacheSize:    *cache,
+	srv, err := serve.New(serve.Config{
+		MaxQueue:        *queue,
+		Concurrency:     *concurrency,
+		WorkerBudget:    *workers,
+		CacheSize:       *cache,
+		SpoolDir:        *spool,
+		CheckpointEvery: *ckptEvery,
+		RetryBaseDelay:  *retryBase,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waved:", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	sigs := make(chan os.Signal, 1)

@@ -26,6 +26,7 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"golts/internal/decomp"
 	"golts/internal/mesh"
@@ -79,7 +80,36 @@ type RunConfig struct {
 	Receivers []int
 	// Sponge configures absorbing boundaries; zero disables.
 	Sponge SpongeSpec
+
+	// Liveness knobs, broadcast so ranks and coordinator agree. Zero
+	// selects the defaults (1 s heartbeat, 15 s heartbeat timeout, 2 min
+	// peer-frame timeout); negative disables the mechanism.
+	HeartbeatMillis        int
+	HeartbeatTimeoutMillis int
+	PeerTimeoutMillis      int
 }
+
+func timeoutMillis(v, def int) time.Duration {
+	if v < 0 {
+		return 0
+	}
+	if v == 0 {
+		v = def
+	}
+	return time.Duration(v) * time.Millisecond
+}
+
+// heartbeatInterval is the rank → coordinator beacon period.
+func (c *RunConfig) heartbeatInterval() time.Duration { return timeoutMillis(c.HeartbeatMillis, 1000) }
+
+// heartbeatTimeout is how long the coordinator tolerates silence from a
+// rank while waiting on it before declaring a RankFailure.
+func (c *RunConfig) heartbeatTimeout() time.Duration {
+	return timeoutMillis(c.HeartbeatTimeoutMillis, 15000)
+}
+
+// peerTimeout bounds a blocking halo receive on the rank ↔ rank mesh.
+func (c *RunConfig) peerTimeout() time.Duration { return timeoutMillis(c.PeerTimeoutMillis, 120000) }
 
 // validate checks the structural invariants the handshake relies on.
 func (c *RunConfig) validate() error {

@@ -5,13 +5,17 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"os/exec"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"golts/internal/ckpt"
 )
 
 // Handshake and stepping deadlines. Handshake failures almost always
@@ -33,6 +37,22 @@ type Config struct {
 	InProcess bool
 	// Stderr receives the spawned ranks' output (default os.Stderr).
 	Stderr io.Writer
+
+	// CheckpointEvery enables rank-failure recovery: the coordinator
+	// snapshots the replicated stepper state at startup and every n
+	// completed cycles, and on a RankFailure it relaunches every rank,
+	// restores the snapshot, and silently replays the cycles since it
+	// (the decomposition width pins the arithmetic, so the replay is
+	// bitwise identical and its samples are discarded). 0 disables both
+	// checkpointing and recovery.
+	CheckpointEvery int
+	// MaxRecoveries bounds the number of recoveries per run; 0 selects
+	// the default (3) when CheckpointEvery > 0.
+	MaxRecoveries int
+	// Fault arms a fault-injection plan on in-process ranks. Spawned
+	// ranks read the GOLTS_FAULT environment variable instead, which
+	// they inherit from this process.
+	Fault *FaultPlan
 }
 
 // ctrlFrame is one control-plane message from a rank, read off the
@@ -51,19 +71,37 @@ type rankHandle struct {
 	frames chan ctrlFrame
 	errs   chan error
 	done   chan error // in-process rank completion
+
+	// procDead is closed by the watcher goroutine — the sole caller of
+	// proc.Wait — once the spawned process has been reaped; procErr holds
+	// the Wait result from before the close.
+	procDead chan struct{}
+	procErr  error
+
+	// lastBeat is the unix-nano arrival time of the most recent frame
+	// (heartbeats included), written by the reader goroutine.
+	lastBeat atomic.Int64
 }
 
 // Coordinator owns a distributed run: it spawns the ranks, broadcasts
 // the configuration, drives lockstep cycles, collects receiver samples
-// and statistics, and shuts the ranks down. The control connections are
-// multiplexed on one reader goroutine per rank; halo traffic never
-// touches the coordinator. A Coordinator is driven by one goroutine at a
-// time.
+// and statistics, recovers from rank failures when checkpointing is on,
+// and shuts the ranks down. The control connections are multiplexed on
+// one reader goroutine per rank; halo traffic never touches the
+// coordinator. A Coordinator is driven by one goroutine at a time.
 type Coordinator struct {
 	cfg    Config
 	ranks  []*rankHandle
 	recOwn []int // receiver index → owning rank
 	t      float64
+
+	gen       int   // spawn generation; respawned ranks run at gen ≥ 1
+	cycle     int64 // completed cycles since Start (or RestoreState)
+	ckpt      *ckpt.StepperState
+	ckptCycle int64 // cycle the held snapshot belongs to
+
+	recoveries   int
+	recoveryWall time.Duration
 
 	closeOnce sync.Once
 	closeErr  error
@@ -72,7 +110,9 @@ type Coordinator struct {
 // Start launches a distributed run: it validates the configuration,
 // spawns cfg.Run.Ranks rank processes (or goroutines), and completes the
 // startup handshake. On return every rank has built its operators and
-// stands ready for Step.
+// stands ready for Step. With CheckpointEvery > 0 the coordinator also
+// holds a cycle-0 snapshot, so even a first-cycle failure is
+// recoverable.
 func Start(cfg Config) (*Coordinator, error) {
 	if IsRank() {
 		return nil, fmt.Errorf("dist: Start called inside a rank process — the parent binary " +
@@ -81,22 +121,45 @@ func Start(cfg Config) (*Coordinator, error) {
 	if err := cfg.Run.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.CheckpointEvery > 0 && cfg.MaxRecoveries == 0 {
+		cfg.MaxRecoveries = 3
+	}
+	co := &Coordinator{cfg: cfg}
+	if err := co.launch(); err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointEvery > 0 {
+		st, err := co.fetchState(context.Background())
+		if err != nil {
+			co.Abort()
+			return nil, fmt.Errorf("dist: initial checkpoint: %w", err)
+		}
+		co.ckpt, co.ckptCycle = st, 0
+	}
+	return co, nil
+}
+
+// launch spawns the current generation of ranks and completes the
+// startup handshake. On failure every partially-started rank is killed.
+// It is called by Start and again — with gen bumped — by recovery.
+func (co *Coordinator) launch() error {
+	cfg := co.cfg
 	tokenRaw := make([]byte, 16)
 	if _, err := rand.Read(tokenRaw); err != nil {
-		return nil, err
+		return err
 	}
 	token := hex.EncodeToString(tokenRaw)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer ln.Close()
 
-	co := &Coordinator{cfg: cfg, ranks: make([]*rankHandle, cfg.Run.Ranks)}
-	fail := func(err error) (*Coordinator, error) {
+	co.ranks = make([]*rankHandle, cfg.Run.Ranks)
+	fail := func(err error) error {
 		co.kill()
-		return nil, err
+		return err
 	}
 	stderr := cfg.Stderr
 	if stderr == nil {
@@ -108,7 +171,10 @@ func Start(cfg Config) (*Coordinator, error) {
 		if cfg.InProcess {
 			h := &rankHandle{done: make(chan error, 1)}
 			co.ranks[i] = h
-			params := rankParams{rank: i, addr: ln.Addr().String(), token: token}
+			params := rankParams{
+				rank: i, addr: ln.Addr().String(), token: token,
+				gen: co.gen, fault: cfg.Fault,
+			}
 			go func() { h.done <- runRank(params) }()
 			continue
 		}
@@ -121,13 +187,22 @@ func Start(cfg Config) (*Coordinator, error) {
 			fmt.Sprintf("%s=%d", envRank, i),
 			fmt.Sprintf("%s=%s", envAddr, ln.Addr().String()),
 			fmt.Sprintf("%s=%s", envToken, token),
+			fmt.Sprintf("%s=%d", envGen, co.gen),
 		)
 		cmd.Stdout = stderr
 		cmd.Stderr = stderr
 		if err := cmd.Start(); err != nil {
 			return fail(fmt.Errorf("dist: spawning rank %d: %w", i, err))
 		}
-		co.ranks[i] = &rankHandle{proc: cmd}
+		h := &rankHandle{proc: cmd, procDead: make(chan struct{})}
+		co.ranks[i] = h
+		// The watcher owns the one and only Wait, so teardown, recovery
+		// and failure detection can all observe the exit without racing
+		// to reap it.
+		go func() {
+			h.procErr = cmd.Wait()
+			close(h.procDead)
+		}()
 	}
 
 	// Accept the control connections and match hellos to ranks. Stray
@@ -185,10 +260,14 @@ func Start(cfg Config) (*Coordinator, error) {
 	}
 
 	// Hand each control connection to a reader goroutine; from here on
-	// all receives are multiplexed through channels.
+	// all receives are multiplexed through channels. The reader also
+	// timestamps every arrival (and swallows heartbeats), giving
+	// recvFrame its liveness signal.
+	now := time.Now().UnixNano()
 	for _, h := range co.ranks {
 		h.frames = make(chan ctrlFrame, 4)
 		h.errs = make(chan error, 1)
+		h.lastBeat.Store(now)
 		go func(h *rankHandle) {
 			for {
 				t, payload, err := h.c.recv()
@@ -197,34 +276,77 @@ func Start(cfg Config) (*Coordinator, error) {
 					close(h.frames)
 					return
 				}
+				h.lastBeat.Store(time.Now().UnixNano())
+				if t == msgHeartbeat {
+					continue
+				}
 				h.frames <- ctrlFrame{t, payload}
 			}
 		}(h)
 	}
-	return co, nil
+	return nil
 }
 
 // recvFrame pops the next control frame from rank i, converting remote
-// msgErr frames and dead connections into errors. Cancelling ctx aborts
-// the wait immediately with ctx.Err() — a wedged rank cannot hold the
-// caller hostage for the full timeout once its context is gone.
+// msgErr frames, dead connections, dead processes and heartbeat
+// silences into *RankFailure errors. Cancelling ctx aborts the wait
+// immediately with ctx.Err() — a wedged rank cannot hold the caller
+// hostage for the full timeout once its context is gone.
 func (co *Coordinator) recvFrame(ctx context.Context, i int, timeout time.Duration) (ctrlFrame, error) {
 	h := co.ranks[i]
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case fr, ok := <-h.frames:
-		if !ok {
-			return ctrlFrame{}, fmt.Errorf("dist: rank %d connection lost: %w", i, <-h.errs)
+	overall := time.NewTimer(timeout)
+	defer overall.Stop()
+
+	// Poll the heartbeat clock a few times per timeout window; the
+	// beacons themselves arrive through the reader goroutine.
+	var beatC <-chan time.Time
+	hbTimeout := co.cfg.Run.heartbeatTimeout()
+	if hbTimeout > 0 {
+		period := hbTimeout / 4
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
 		}
-		if fr.t == msgErr {
-			return ctrlFrame{}, fmt.Errorf("dist: rank %d: %s", i, fr.payload)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		beatC = ticker.C
+	}
+	var dead <-chan struct{}
+	if h.proc != nil {
+		dead = h.procDead
+	}
+	for {
+		select {
+		case fr, ok := <-h.frames:
+			if !ok {
+				return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("connection lost: %w", <-h.errs)}
+			}
+			if fr.t == msgErr {
+				// During stepping a remote error report almost always means
+				// some *other* rank died mid-exchange and this one noticed
+				// first; typing it as a RankFailure lets recovery handle
+				// either order of detection.
+				return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("remote error: %s", fr.payload)}
+			}
+			return fr, nil
+		case <-dead:
+			// Drain any frame the process managed to send before exiting.
+			select {
+			case fr, ok := <-h.frames:
+				if ok && fr.t != msgErr {
+					return fr, nil
+				}
+			default:
+			}
+			return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("process exited: %v", h.procErr)}
+		case <-ctx.Done():
+			return ctrlFrame{}, ctx.Err()
+		case <-overall.C:
+			return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("no response within %v", timeout)}
+		case <-beatC:
+			if since := time.Duration(time.Now().UnixNano() - h.lastBeat.Load()); since > hbTimeout {
+				return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("no heartbeat for %v", since.Round(time.Millisecond))}
+			}
 		}
-		return fr, nil
-	case <-ctx.Done():
-		return ctrlFrame{}, ctx.Err()
-	case <-timer.C:
-		return ctrlFrame{}, fmt.Errorf("dist: rank %d: no response within %v", i, timeout)
 	}
 }
 
@@ -258,8 +380,11 @@ func (co *Coordinator) Step() (t float64, samples []float64, err error) {
 // StepCtx is Step with cancellation: when ctx is cancelled mid-step the
 // run is aborted immediately — spawned rank processes are killed and
 // reaped, halo and control connections closed — and ctx.Err() (not a
-// wire error from the dying ranks) is returned. Without cancellation the
-// behaviour is identical to Step.
+// wire error from the dying ranks) is returned. With CheckpointEvery >
+// 0, rank failures inside the cycle trigger transparent recovery
+// (relaunch + restore + bitwise replay) before the cycle is retried;
+// only an exhausted recovery budget or an unrecoverable error reaches
+// the caller.
 func (co *Coordinator) StepCtx(ctx context.Context) (t float64, samples []float64, err error) {
 	if co.recOwn == nil {
 		return 0, nil, fmt.Errorf("dist: Step before SetReceiverOwners")
@@ -268,24 +393,52 @@ func (co *Coordinator) StepCtx(ctx context.Context) (t float64, samples []float6
 		co.Abort()
 		return 0, nil, err
 	}
-	var cmd [4]byte
-	binary.LittleEndian.PutUint32(cmd[:], 1)
-	for i, h := range co.ranks {
-		if err := h.c.send(msgStep, cmd[:]); err != nil {
-			return 0, nil, fmt.Errorf("dist: rank %d: %w", i, err)
+	t, samples, err = co.stepCycle(ctx)
+	for err != nil {
+		if ctx.Err() != nil {
+			co.Abort()
+			return 0, nil, ctx.Err()
 		}
+		if rerr := co.tryRecover(ctx, err); rerr != nil {
+			return 0, nil, rerr
+		}
+		t, samples, err = co.stepCycle(ctx)
 	}
-	samples = make([]float64, len(co.cfg.Run.Receivers))
-	for i := range co.ranks {
-		fr, err := co.recvFrame(ctx, i, stepTimeout)
-		if err != nil {
-			// Context cancellation wins over any wire error the teardown
-			// provokes: abort tears the ranks down and the caller sees a
-			// clean ctx.Err().
+	co.cycle++
+	if co.cfg.CheckpointEvery > 0 && co.cycle%int64(co.cfg.CheckpointEvery) == 0 {
+		for {
+			st, ferr := co.fetchState(ctx)
+			if ferr == nil {
+				co.ckpt, co.ckptCycle = st, co.cycle
+				break
+			}
 			if ctx.Err() != nil {
 				co.Abort()
 				return 0, nil, ctx.Err()
 			}
+			// Recovery replays up to co.cycle, so the samples already
+			// collected for this cycle remain valid afterwards.
+			if rerr := co.tryRecover(ctx, ferr); rerr != nil {
+				return 0, nil, rerr
+			}
+		}
+	}
+	return t, samples, nil
+}
+
+// stepCycle drives one lockstep cycle across the ranks.
+func (co *Coordinator) stepCycle(ctx context.Context) (float64, []float64, error) {
+	var cmd [4]byte
+	binary.LittleEndian.PutUint32(cmd[:], 1)
+	for i, h := range co.ranks {
+		if err := h.c.send(msgStep, cmd[:]); err != nil {
+			return 0, nil, &RankFailure{Rank: i, Err: fmt.Errorf("sending step: %w", err)}
+		}
+	}
+	samples := make([]float64, len(co.cfg.Run.Receivers))
+	for i := range co.ranks {
+		fr, err := co.recvFrame(ctx, i, stepTimeout)
+		if err != nil {
 			return 0, nil, err
 		}
 		if fr.t != msgCycleDone {
@@ -316,6 +469,159 @@ func (co *Coordinator) StepCtx(ctx context.Context) (t float64, samples []float6
 		}
 	}
 	return co.t, samples, nil
+}
+
+// tryRecover decides whether cause is recoverable (a *RankFailure, a
+// held checkpoint, budget left) and if so performs recovery: tear down
+// the current generation, relaunch every rank, restore the snapshot and
+// replay up to the current cycle. It loops on failures *during*
+// recovery until the budget runs out. A nil return means the run is
+// healthy again at exactly co.cycle completed cycles.
+func (co *Coordinator) tryRecover(ctx context.Context, cause error) error {
+	var rf *RankFailure
+	if !errors.As(cause, &rf) {
+		return cause
+	}
+	if co.cfg.CheckpointEvery <= 0 || co.ckpt == nil {
+		return cause
+	}
+	for {
+		if co.recoveries >= co.cfg.MaxRecoveries {
+			return fmt.Errorf("dist: recovery budget (%d) exhausted: %w", co.cfg.MaxRecoveries, cause)
+		}
+		co.recoveries++
+		start := time.Now()
+		err := co.restartRanks(ctx)
+		co.recoveryWall += time.Since(start)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			co.Abort()
+			return ctx.Err()
+		}
+		if !errors.As(err, &rf) {
+			return err
+		}
+		cause = err
+	}
+}
+
+// restartRanks is one recovery attempt: kill the current generation,
+// launch the next, restore the held snapshot on every rank, and replay
+// the cycles between the snapshot and the failure. Replayed samples are
+// discarded — the fixed decomposition width makes them bitwise
+// identical to the ones already delivered.
+func (co *Coordinator) restartRanks(ctx context.Context) error {
+	co.teardown(false)
+	co.gen++
+	if err := co.launch(); err != nil {
+		return err
+	}
+	if err := co.restoreAll(ctx, co.ckpt); err != nil {
+		return err
+	}
+	for c := co.ckptCycle; c < co.cycle; c++ {
+		if _, _, err := co.stepCycle(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchState pulls a snapshot of the stepper state from every rank and
+// merges them into the exact global field. Under owner-computes
+// stepping a rank's replicated arrays are bitwise correct only on its
+// owned element-node footprint — the rest is stale — so the snapshot
+// starts from rank 0's full-length arrays and overlays each remaining
+// rank's owned dofs. Footprints overlap at part boundaries, where the
+// assembled values agree bitwise on both sides, so overlay order does
+// not matter; nodes in no footprint see only the replicated pointwise
+// update and are identical on every rank.
+func (co *Coordinator) fetchState(ctx context.Context) (*ckpt.StepperState, error) {
+	for i, h := range co.ranks {
+		if err := h.c.send(msgCkpt, nil); err != nil {
+			return nil, &RankFailure{Rank: i, Err: fmt.Errorf("requesting checkpoint: %w", err)}
+		}
+	}
+	var st *ckpt.StepperState
+	for i := range co.ranks {
+		fr, err := co.recvFrame(ctx, i, stepTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if fr.t != msgCkptResp {
+			return nil, fmt.Errorf("dist: rank %d: unexpected frame type %d", i, fr.t)
+		}
+		var cf ckptFrame
+		if err := decodeGob(fr.payload, &cf); err != nil {
+			return nil, err
+		}
+		if cf.State == nil {
+			return nil, fmt.Errorf("dist: rank %d: checkpoint frame without state", i)
+		}
+		if i == 0 {
+			st = cf.State
+			continue
+		}
+		if len(cf.State.U) != len(st.U) || len(cf.State.V) != len(st.V) {
+			return nil, fmt.Errorf("dist: rank %d snapshot has %d/%d dofs, rank 0 has %d/%d",
+				i, len(cf.State.U), len(cf.State.V), len(st.U), len(st.V))
+		}
+		for _, n := range cf.Nodes {
+			base := int(n) * cf.Comps
+			for c := 0; c < cf.Comps; c++ {
+				st.U[base+c] = cf.State.U[base+c]
+				st.V[base+c] = cf.State.V[base+c]
+			}
+		}
+	}
+	return st, nil
+}
+
+// restoreAll installs st on every rank.
+func (co *Coordinator) restoreAll(ctx context.Context, st *ckpt.StepperState) error {
+	for i, h := range co.ranks {
+		if err := h.c.sendGob(msgRestore, st); err != nil {
+			return &RankFailure{Rank: i, Err: fmt.Errorf("sending restore: %w", err)}
+		}
+	}
+	for i := range co.ranks {
+		fr, err := co.recvFrame(ctx, i, handshakeTimeout)
+		if err != nil {
+			return err
+		}
+		if fr.t != msgRestoreDone {
+			return fmt.Errorf("dist: rank %d: unexpected frame type %d", i, fr.t)
+		}
+	}
+	return nil
+}
+
+// FetchState returns a snapshot of the global stepper state, merged
+// across every rank's owned footprint so it matches the shared-memory
+// engine bitwise. The facade uses it to write file checkpoints of
+// distributed runs.
+func (co *Coordinator) FetchState() (*ckpt.StepperState, error) {
+	return co.fetchState(context.Background())
+}
+
+// RestoreState installs st on every rank and adopts it as the recovery
+// baseline, resetting the cycle counter — the coordinator now sits at
+// "cycle 0 of the resumed run".
+func (co *Coordinator) RestoreState(st *ckpt.StepperState) error {
+	if err := co.restoreAll(context.Background(), st); err != nil {
+		return err
+	}
+	stCopy := *st
+	co.ckpt, co.ckptCycle, co.cycle = &stCopy, 0, 0
+	return nil
+}
+
+// Recoveries reports how many rank-failure recoveries this run has
+// performed and the wall-clock time spent inside them.
+func (co *Coordinator) Recoveries() (int, time.Duration) {
+	return co.recoveries, co.recoveryWall
 }
 
 // Time returns the cycle time reported by rank 0 after the last Step.
@@ -366,20 +672,25 @@ func (co *Coordinator) Abort() {
 // teardown is the shared shutdown path. graceful sends msgShutdown and
 // gives every rank a grace period to exit on its own before killing;
 // non-graceful kills spawned ranks outright and severs the in-process
-// ranks' connections. Both paths reap every spawned process (Wait) so no
-// zombies survive, and both close every control connection.
+// ranks' connections. Both paths reap every spawned process (via its
+// watcher goroutine) so no zombies survive, and both close every
+// control connection. Recovery reuses the non-graceful path directly to
+// clear out a failed generation.
 func (co *Coordinator) teardown(graceful bool) error {
 	var firstErr error
 	grace := 10 * time.Second
 	if graceful {
 		for _, h := range co.ranks {
-			if h.c != nil {
+			if h != nil && h.c != nil {
 				h.c.send(msgShutdown, nil)
 			}
 		}
 	} else {
 		grace = 5 * time.Second
 		for _, h := range co.ranks {
+			if h == nil {
+				continue
+			}
 			if h.proc != nil {
 				h.proc.Process.Kill()
 			}
@@ -396,17 +707,16 @@ func (co *Coordinator) teardown(graceful bool) error {
 	deadline := time.Now().Add(grace)
 	for i, h := range co.ranks {
 		switch {
+		case h == nil:
 		case h.proc != nil:
-			done := make(chan error, 1)
-			go func() { done <- h.proc.Wait() }()
 			select {
-			case err := <-done:
-				if graceful && err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("dist: rank %d: %w", i, err)
+			case <-h.procDead:
+				if graceful && h.procErr != nil && firstErr == nil {
+					firstErr = fmt.Errorf("dist: rank %d: %w", i, h.procErr)
 				}
 			case <-time.After(time.Until(deadline)):
 				h.proc.Process.Kill()
-				<-done
+				<-h.procDead
 				if graceful && firstErr == nil {
 					firstErr = fmt.Errorf("dist: rank %d killed after shutdown timeout", i)
 				}
@@ -423,7 +733,7 @@ func (co *Coordinator) teardown(graceful bool) error {
 				}
 			}
 		}
-		if h.c != nil {
+		if h != nil && h.c != nil {
 			h.c.close()
 		}
 	}
@@ -441,7 +751,7 @@ func (co *Coordinator) kill() {
 		}
 		if h.proc != nil {
 			h.proc.Process.Kill()
-			h.proc.Wait()
+			<-h.procDead
 		}
 	}
 }

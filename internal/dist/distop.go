@@ -47,6 +47,11 @@ type Operator struct {
 	rank  int
 	ex    exchanger
 
+	// OnApply, when set, runs at the top of every distributed stiffness
+	// application. The fault-injection harness uses it to address
+	// individual substeps within a cycle.
+	OnApply func()
+
 	pLo, pHi int         // owned part range
 	acc      [][]float64 // per owned part, full-length accumulation buffers
 	scr      sem.Scratch
@@ -146,6 +151,14 @@ func NewOperator(inner sem.Operator, cfg *RunConfig, rank int, ex exchanger) (*O
 // Stats returns the accumulated communication counters.
 func (d *Operator) Stats() Stats { return d.stats }
 
+// OwnedNodes returns this rank's global element-node footprint: the
+// ascending nodes its owned elements touch. On exactly these nodes the
+// rank's replicated field arrays are bitwise identical to the
+// shared-memory engine after every cycle; elsewhere they are stale.
+// Checkpoint capture merges the footprints of all ranks to reconstruct
+// the exact global field.
+func (d *Operator) OwnedNodes() []int32 { return d.rankNodes[d.rank] }
+
 // lookup returns the execution state for one element list, building the
 // decomposition plan and halo index sets on first use. Plan ids are
 // assigned in first-use order; the SPMD ranks execute the same apply
@@ -222,6 +235,9 @@ func (d *Operator) buildHalo(dp *decomp.Plan) *distPlan {
 // owner-computes, halo exchange, ascending-part assembly — with compute
 // supplying the per-part kernel (batched or per-element).
 func (d *Operator) apply(dst []float64, pl *distPlan, compute func(i, p int)) {
+	if d.OnApply != nil {
+		d.OnApply()
+	}
 	seq := d.seq
 	d.seq++
 	dp := pl.dp

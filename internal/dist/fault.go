@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RankFailure reports the loss (or unresponsiveness) of one rank during
+// a distributed run. Callers detect it with errors.As; when the
+// coordinator holds a checkpoint it recovers from these automatically.
+type RankFailure struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankFailure) Error() string { return fmt.Sprintf("dist: rank %d failed: %v", e.Rank, e.Err) }
+
+func (e *RankFailure) Unwrap() error { return e.Err }
+
+// FaultKind selects what a FaultPlan does when it triggers.
+type FaultKind string
+
+const (
+	// FaultKill terminates the target rank abruptly: a spawned rank
+	// SIGKILLs its own process; an in-process rank tears down its
+	// connections without a farewell frame. Either way the coordinator
+	// sees a silent disappearance, exactly like a real crash.
+	FaultKill FaultKind = "kill"
+	// FaultStall freezes the target rank forever while keeping every
+	// connection open, modelling a hung process or a stalled link; only
+	// the heartbeat timeout can detect it.
+	FaultStall FaultKind = "stall"
+	// FaultDelay pauses the target rank once for Delay, modelling a
+	// transient network hiccup; the run must ride it out unharmed.
+	FaultDelay FaultKind = "delay"
+)
+
+// EnvFault names the environment variable carrying a fault-plan spec.
+// Spawned rank processes inherit it from the launcher, so
+//
+//	GOLTS_FAULT=kill:rank=1,cycle=3,substep=2 distrun ...
+//
+// injects the fault without any flag plumbing.
+const EnvFault = "GOLTS_FAULT"
+
+// envGen carries the coordinator's spawn generation to rank processes.
+// Respawned ranks run at generation ≥ 1, and a plan only arms in its
+// own generation, so an injected fault never re-fires after recovery.
+const envGen = "GOLTS_DIST_GEN"
+
+// FaultPlan injects one fault into one rank of a distributed run, at a
+// chosen cycle and substep. Substep n triggers immediately before the
+// n-th stiffness apply of the cycle (an LTS cycle with L levels runs
+// 2^L − 1 applies, so every level boundary is addressable); substep 0
+// triggers before the cycle steps at all.
+type FaultPlan struct {
+	Kind    FaultKind
+	Rank    int
+	Cycle   int64 // 1-based cycle in which the fault triggers
+	Substep int   // 1-based stiffness apply within the cycle; 0 = before stepping
+	Delay   time.Duration
+	Gen     int // spawn generation the plan arms in (0 = initial launch)
+}
+
+// ParseFaultPlan parses a spec of the form
+//
+//	kind:rank=R,cycle=C[,substep=S][,ms=D][,gen=G]
+//
+// with kind one of kill, stall, delay.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("dist: fault spec %q: want kind:rank=R,cycle=C,...", spec)
+	}
+	p := &FaultPlan{Kind: FaultKind(kind)}
+	switch p.Kind {
+	case FaultKill, FaultStall, FaultDelay:
+	default:
+		return nil, fmt.Errorf("dist: fault spec %q: unknown kind %q", spec, kind)
+	}
+	for _, field := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("dist: fault spec %q: bad field %q", spec, field)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dist: fault spec %q: field %q: %v", spec, field, err)
+		}
+		switch key {
+		case "rank":
+			p.Rank = int(n)
+		case "cycle":
+			p.Cycle = n
+		case "substep":
+			p.Substep = int(n)
+		case "ms":
+			p.Delay = time.Duration(n) * time.Millisecond
+		case "gen":
+			p.Gen = int(n)
+		default:
+			return nil, fmt.Errorf("dist: fault spec %q: unknown field %q", spec, key)
+		}
+	}
+	if p.Rank < 0 || p.Cycle < 1 || p.Substep < 0 {
+		return nil, fmt.Errorf("dist: fault spec %q: rank ≥ 0, cycle ≥ 1, substep ≥ 0 required", spec)
+	}
+	return p, nil
+}
+
+// String re-encodes the plan in ParseFaultPlan's syntax.
+func (p *FaultPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:rank=%d,cycle=%d,substep=%d", p.Kind, p.Rank, p.Cycle, p.Substep)
+	if p.Delay > 0 {
+		fmt.Fprintf(&b, ",ms=%d", p.Delay.Milliseconds())
+	}
+	if p.Gen != 0 {
+		fmt.Fprintf(&b, ",gen=%d", p.Gen)
+	}
+	return b.String()
+}
+
+// faultFromEnv reads the process's fault plan, if any, from EnvFault.
+func faultFromEnv() (*FaultPlan, error) {
+	spec := os.Getenv(EnvFault)
+	if spec == "" {
+		return nil, nil
+	}
+	return ParseFaultPlan(spec)
+}
+
+// killPanic aborts an in-process rank from inside the stepper the way
+// SIGKILL aborts a spawned one: the rank's runRank recover tears down
+// its connections without any farewell frame.
+type killPanic struct{}

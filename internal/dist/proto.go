@@ -9,7 +9,10 @@ import (
 	"io"
 	"math"
 	"net"
+	"sync"
 	"time"
+
+	"golts/internal/ckpt"
 )
 
 // Wire format: every message is one length-prefixed frame
@@ -26,12 +29,15 @@ import (
 // sanity pair.
 const (
 	// Rank → coordinator.
-	msgHello     byte = 1 // [u32 rank][token bytes]
-	msgPeerAddr  byte = 2 // rank's peer-listener address (string bytes)
-	msgReady     byte = 3 // operators built, peers connected
-	msgCycleDone byte = 4 // [f64 time][owned receiver samples ...f64]
-	msgStatsResp byte = 5 // gob RankStats
-	msgErr       byte = 6 // error text (any time; fatal)
+	msgHello       byte = 1 // [u32 rank][token bytes]
+	msgPeerAddr    byte = 2 // rank's peer-listener address (string bytes)
+	msgReady       byte = 3 // operators built, peers connected
+	msgCycleDone   byte = 4 // [f64 time][owned receiver samples ...f64]
+	msgStatsResp   byte = 5 // gob RankStats
+	msgErr         byte = 6 // error text (any time; fatal)
+	msgCkptResp    byte = 7 // gob ckptFrame (snapshot + owned footprint)
+	msgRestoreDone byte = 8 // restore installed, empty payload
+	msgHeartbeat   byte = 9 // periodic liveness beacon, empty payload
 
 	// Coordinator → rank.
 	msgConfig   byte = 10 // gob RunConfig
@@ -39,31 +45,56 @@ const (
 	msgStep     byte = 12 // [u32 cycles]
 	msgStats    byte = 13 // request RankStats
 	msgShutdown byte = 14 // clean exit
+	msgCkpt     byte = 15 // request a state snapshot (reply msgCkptResp)
+	msgRestore  byte = 16 // gob ckpt.StepperState: install and reply msgRestoreDone
 
 	// Rank → rank.
 	msgPeerHello byte = 20 // [u32 rank][token bytes]
 	msgHalo      byte = 21 // [u32 seq][u32 plan id][values ...f64]
 )
 
+// ckptFrame is the payload of msgCkptResp: one rank's stepper snapshot
+// plus the footprint on which its replicated arrays are exact. A rank's
+// field is bitwise correct only at nodes its owned elements touch
+// (Operator.OwnedNodes); the coordinator overlays every rank's owned
+// dofs to reconstruct the exact global state.
+type ckptFrame struct {
+	State *ckpt.StepperState
+	Nodes []int32 // owned-footprint node ids, ascending
+	Comps int     // field components per node (dof = node*Comps + c)
+}
+
 // maxFrame bounds a frame payload; anything larger indicates a corrupt
 // or foreign stream.
 const maxFrame = 1 << 30
 
-// conn wraps a stream connection with buffered framed I/O. It is not
-// safe for concurrent use of the same direction; the protocol keeps one
-// goroutine per direction.
+// writeFrameTimeout is the per-frame write deadline applied to every
+// send: a healthy receiver drains frames immediately (loopback TCP), so
+// a write that cannot complete within this budget means the peer has
+// stopped reading and the sender must not hang on it.
+const writeFrameTimeout = 60 * time.Second
+
+// conn wraps a stream connection with buffered framed I/O. Sends are
+// serialized by a mutex (the heartbeat goroutine shares the rank →
+// coordinator direction with the serve loop); the receive direction
+// still admits exactly one goroutine.
 type conn struct {
-	c net.Conn
-	r *bufio.Reader
-	w *bufio.Writer
+	c   net.Conn
+	r   *bufio.Reader
+	wmu sync.Mutex
+	w   *bufio.Writer
 }
 
 func newConn(c net.Conn) *conn {
 	return &conn{c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
 }
 
-// send writes one framed message and flushes it.
+// send writes one framed message and flushes it, under a per-frame
+// write deadline.
 func (c *conn) send(t byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.c.SetWriteDeadline(time.Now().Add(writeFrameTimeout))
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = t

@@ -2,12 +2,15 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"golts/internal/ckpt"
 	"golts/internal/lts"
 	"golts/internal/newmark"
 	"golts/internal/sem"
@@ -39,10 +42,19 @@ func RankMain() {
 		fmt.Fprintf(os.Stderr, "dist: bad %s: %v\n", envRank, err)
 		os.Exit(2)
 	}
+	gen, _ := strconv.Atoi(os.Getenv(envGen))
+	fault, err := faultFromEnv()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist: rank %d: %v\n", rank, err)
+		os.Exit(2)
+	}
 	if err := runRank(rankParams{
-		rank:  rank,
-		addr:  os.Getenv(envAddr),
-		token: os.Getenv(envToken),
+		rank:    rank,
+		addr:    os.Getenv(envAddr),
+		token:   os.Getenv(envToken),
+		gen:     gen,
+		fault:   fault,
+		spawned: true,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "dist: rank %d: %v\n", rank, err)
 		os.Exit(1)
@@ -53,9 +65,12 @@ func RankMain() {
 // rankParams identifies one rank's place in a run; in spawned mode they
 // arrive through the environment, in in-process mode directly.
 type rankParams struct {
-	rank  int
-	addr  string // coordinator address
-	token string
+	rank    int
+	addr    string // coordinator address
+	token   string
+	gen     int        // coordinator spawn generation (0 = initial launch)
+	fault   *FaultPlan // injected fault, if any
+	spawned bool       // true in a separate rank process
 }
 
 // haloFrame is one received halo message, decoded off the wire by the
@@ -74,6 +89,7 @@ type peerLink struct {
 	c      *conn
 	frames chan haloFrame
 	errs   chan error
+	timer  *time.Timer // reusable receive-timeout timer, owned by recvHalo
 }
 
 func newPeerLink(c *conn) *peerLink {
@@ -109,8 +125,9 @@ func newPeerLink(c *conn) *peerLink {
 
 // peerFabric implements exchanger over the rank's peer links.
 type peerFabric struct {
-	links []*peerLink // indexed by rank; nil for self
-	buf   []byte      // reusable send frame
+	links   []*peerLink // indexed by rank; nil for self
+	buf     []byte      // reusable send frame
+	timeout time.Duration
 }
 
 func (f *peerFabric) sendHalo(rank int, seq, planID uint32, values []float64) error {
@@ -126,11 +143,32 @@ func (f *peerFabric) sendHalo(rank int, seq, planID uint32, values []float64) er
 
 func (f *peerFabric) recvHalo(rank int) (uint32, uint32, []float64, error) {
 	l := f.links[rank]
-	fr, ok := <-l.frames
-	if !ok {
-		return 0, 0, nil, <-l.errs
+	if f.timeout <= 0 {
+		fr, ok := <-l.frames
+		if !ok {
+			return 0, 0, nil, <-l.errs
+		}
+		return fr.seq, fr.planID, fr.values, nil
 	}
-	return fr.seq, fr.planID, fr.values, nil
+	// Bounded wait, so a dead or stalled peer cannot hang the substep
+	// forever; the timer is reused across the hot path.
+	if l.timer == nil {
+		l.timer = time.NewTimer(f.timeout)
+	} else {
+		l.timer.Reset(f.timeout)
+	}
+	select {
+	case fr, ok := <-l.frames:
+		if !l.timer.Stop() {
+			<-l.timer.C
+		}
+		if !ok {
+			return 0, 0, nil, <-l.errs
+		}
+		return fr.seq, fr.planID, fr.values, nil
+	case <-l.timer.C:
+		return 0, 0, nil, fmt.Errorf("dist: no halo frame from rank %d within %v", rank, f.timeout)
+	}
 }
 
 func (f *peerFabric) close() {
@@ -190,17 +228,39 @@ type rankRun struct {
 	// recIdx lists the indices into cfg.Receivers this rank owns,
 	// ascending; samples are reported in this order.
 	recIdx []int
+
+	// Fault-injection state (nil fault = none armed).
+	fault   *FaultPlan
+	fcycle  int64       // 1-based cycle in progress
+	fsub    int         // stiffness applies seen in the current cycle
+	stalled atomic.Bool // silences the heartbeat during an injected stall
 }
 
 // runRank executes one rank to completion: handshake, deterministic
 // rebuild, peer wiring, then the lockstep step/stats/shutdown service
 // loop.
-func runRank(params rankParams) error {
+func runRank(params rankParams) (err error) {
+	// An in-process kill fault panics out of the stepper; converting it
+	// into an error here — after the deferred connection closes have run
+	// — makes the rank vanish mid-cycle without a farewell frame, the
+	// in-process analogue of SIGKILL. (Registered first so it runs last.)
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(*killPanic); ok {
+				err = errors.New("rank killed by fault injection")
+				return
+			}
+			panic(rec)
+		}
+	}()
 	nc, err := net.Dial("tcp", params.addr)
 	if err != nil {
 		return fmt.Errorf("dialing coordinator: %w", err)
 	}
 	r := &rankRun{params: params, coord: newConn(nc)}
+	if f := params.fault; f != nil && f.Rank == params.rank && f.Gen == params.gen {
+		r.fault = f
+	}
 	defer r.coord.close()
 	if err := r.handshake(); err != nil {
 		return err
@@ -301,7 +361,7 @@ func (r *rankRun) handshake() error {
 		links[from] = newPeerLink(pc)
 		connected++
 	}
-	r.fabric = &peerFabric{links: links}
+	r.fabric = &peerFabric{links: links, timeout: r.cfg.peerTimeout()}
 	return nil
 }
 
@@ -314,8 +374,10 @@ func acceptWithDeadline(ln net.Listener, deadline time.Time) (net.Conn, error) {
 
 // build reconstructs the rank-local simulation from the broadcast
 // configuration: mesh, operator, distributed wrapper, scheme, sources,
-// sponge and owned receivers. Every step is deterministic, so all ranks
-// (and the shared-memory baseline) agree bitwise.
+// sponge and owned receivers. Every step is deterministic, so each
+// rank agrees bitwise with the shared-memory baseline on its owned
+// element-node footprint (the rest of its replicated arrays is stale;
+// see Operator.OwnedNodes).
 func (r *rankRun) build() error {
 	m, lv, geom, err := buildOperator(&r.cfg)
 	if err != nil {
@@ -326,6 +388,9 @@ func (r *rankRun) build() error {
 		return err
 	}
 	r.dop = dop
+	if r.fault != nil {
+		r.dop.OnApply = r.faultHook
+	}
 
 	srcs := make([]sem.Source, len(r.cfg.Sources))
 	for i, s := range r.cfg.Sources {
@@ -374,8 +439,31 @@ func (r *rankRun) build() error {
 
 // serve is the control loop: execute coordinator commands until
 // shutdown. Halo traffic flows rank-to-rank inside st.Step; only
-// control and samples touch the coordinator link.
+// control and samples touch the coordinator link. A heartbeat goroutine
+// shares the coordinator link (conn sends are mutex-serialized) so the
+// coordinator can tell a slow cycle from a dead or stalled rank.
 func (r *rankRun) serve() error {
+	if hb := r.cfg.heartbeatInterval(); hb > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if r.stalled.Load() {
+						continue
+					}
+					if r.coord.send(msgHeartbeat, nil) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
 	for {
 		t, payload, err := r.coord.recv()
 		if err != nil {
@@ -411,12 +499,49 @@ func (r *rankRun) serve() error {
 			if err := r.coord.sendGob(msgStatsResp, &st); err != nil {
 				return err
 			}
+		case msgCkpt:
+			fr := ckptFrame{State: r.capture(), Nodes: r.dop.OwnedNodes(), Comps: r.dop.Comps()}
+			if err := r.coord.sendGob(msgCkptResp, &fr); err != nil {
+				return err
+			}
+		case msgRestore:
+			var st ckpt.StepperState
+			if err := decodeGob(payload, &st); err != nil {
+				r.coord.send(msgErr, []byte(err.Error()))
+				return err
+			}
+			if err := r.restore(&st); err != nil {
+				r.coord.send(msgErr, []byte(err.Error()))
+				return err
+			}
+			if err := r.coord.send(msgRestoreDone, nil); err != nil {
+				return err
+			}
 		case msgShutdown:
 			return nil
 		default:
 			return fmt.Errorf("unexpected control frame type %d", t)
 		}
 	}
+}
+
+// capture snapshots the rank-local stepper state. The arrays are exact
+// only on this rank's owned footprint (see Operator.OwnedNodes) — the
+// coordinator merges the footprints of every rank's snapshot into the
+// global field.
+func (r *rankRun) capture() *ckpt.StepperState {
+	if r.ltsS != nil {
+		return r.ltsS.Save()
+	}
+	return r.gS.Save()
+}
+
+// restore installs a snapshot into the rank-local stepper.
+func (r *rankRun) restore(st *ckpt.StepperState) error {
+	if r.ltsS != nil {
+		return r.ltsS.Restore(st)
+	}
+	return r.gS.Restore(st)
 }
 
 // stepOnce advances one coarse cycle and reports the cycle time plus the
@@ -433,6 +558,13 @@ func (r *rankRun) stepOnce() (err error) {
 			err = ce.err
 		}
 	}()
+	if r.fault != nil {
+		r.fcycle++
+		r.fsub = 0
+		if r.fcycle == r.fault.Cycle && r.fault.Substep == 0 {
+			r.trigger()
+		}
+	}
 	r.st.Step()
 	u := r.st.State()
 	vals := make([]float64, 0, 1+len(r.recIdx))
@@ -441,4 +573,43 @@ func (r *rankRun) stepOnce() (err error) {
 		vals = append(vals, u[r.cfg.Receivers[i]])
 	}
 	return r.coord.send(msgCycleDone, putFloats(nil, vals))
+}
+
+// faultHook counts stiffness applies and fires the armed fault at its
+// (cycle, substep) address. It runs inside the stepper, immediately
+// before the addressed apply begins.
+func (r *rankRun) faultHook() {
+	r.fsub++
+	if r.fault != nil && r.fcycle == r.fault.Cycle && r.fsub == r.fault.Substep {
+		r.trigger()
+	}
+}
+
+// trigger executes the armed fault. Kill never returns.
+func (r *rankRun) trigger() {
+	p := r.fault
+	r.fault = nil // one-shot
+	switch p.Kind {
+	case FaultDelay:
+		time.Sleep(p.Delay)
+	case FaultStall:
+		// Freeze forever with every connection open: heartbeats stop
+		// (stalled is checked by the beacon goroutine) but nothing closes,
+		// so only the coordinator's heartbeat timeout can notice. In a
+		// spawned rank the process is killed during recovery; in-process
+		// this intentionally parks the rank goroutine for the test's
+		// lifetime.
+		r.stalled.Store(true)
+		select {}
+	case FaultKill:
+		if r.params.spawned {
+			// Real SIGKILL: no deferred cleanup, no farewell frame —
+			// exactly what a crashed node looks like.
+			if proc, err := os.FindProcess(os.Getpid()); err == nil {
+				proc.Kill()
+			}
+			os.Exit(137)
+		}
+		panic(&killPanic{})
+	}
 }

@@ -43,6 +43,7 @@ type Job struct {
 	mu        sync.Mutex
 	state     State
 	err       string
+	errKind   string // "config" (never retried) or "infra" (retried)
 	stats     wave.Stats
 	hasStats  bool
 	enqueued  time.Time
@@ -50,31 +51,41 @@ type Job struct {
 	finished  time.Time
 	cancelRun context.CancelFunc // set while running
 	done      chan struct{}      // closed on any terminal transition
+
+	// retries counts completed failed attempts; notBefore delays the next
+	// dispatch (exponential backoff). Both are written only while the job
+	// is out of the pending heap.
+	retries   int
+	notBefore time.Time
 }
 
 // snapshot is the wire form of a job's status.
 type snapshot struct {
-	ID       string      `json:"id"`
-	Hash     string      `json:"hash"`
-	State    State       `json:"state"`
-	Error    string      `json:"error,omitempty"`
-	Rows     int         `json:"rows"`
-	Enqueued time.Time   `json:"enqueued"`
-	Started  *time.Time  `json:"started,omitempty"`
-	Finished *time.Time  `json:"finished,omitempty"`
-	Stats    *wave.Stats `json:"stats,omitempty"`
+	ID        string      `json:"id"`
+	Hash      string      `json:"hash"`
+	State     State       `json:"state"`
+	Error     string      `json:"error,omitempty"`
+	ErrorKind string      `json:"error_kind,omitempty"`
+	Retries   int         `json:"retries,omitempty"`
+	Rows      int         `json:"rows"`
+	Enqueued  time.Time   `json:"enqueued"`
+	Started   *time.Time  `json:"started,omitempty"`
+	Finished  *time.Time  `json:"finished,omitempty"`
+	Stats     *wave.Stats `json:"stats,omitempty"`
 }
 
 func (j *Job) snapshot() snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	sn := snapshot{
-		ID:       j.ID,
-		Hash:     j.Hash,
-		State:    j.state,
-		Error:    j.err,
-		Rows:     j.rows.len(),
-		Enqueued: j.enqueued,
+		ID:        j.ID,
+		Hash:      j.Hash,
+		State:     j.state,
+		Error:     j.err,
+		ErrorKind: j.errKind,
+		Retries:   j.retries,
+		Rows:      j.rows.len(),
+		Enqueued:  j.enqueued,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -100,10 +111,22 @@ func (j *Job) finish(state State, errMsg string) {
 	}
 	j.state = state
 	j.err = errMsg
+	if errMsg == "" {
+		// A clean finish clears classification left by retried attempts.
+		j.errKind = ""
+	}
 	j.finished = time.Now()
 	j.cancelRun = nil
 	close(j.done)
 	j.rows.closeBuf()
+}
+
+// failTerminal finishes the job Failed with an error classification.
+func (j *Job) failTerminal(kind, msg string) {
+	j.mu.Lock()
+	j.errKind = kind
+	j.mu.Unlock()
+	j.finish(StateFailed, msg)
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -121,6 +144,22 @@ func (j *Job) Err() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// ErrKind returns the failure classification: "config" for a rejected
+// configuration (*wave.OptionError — retrying cannot help), "infra" for
+// an execution failure (retried up to MaxRetries), "" otherwise.
+func (j *Job) ErrKind() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errKind
+}
+
+// Retries returns the number of failed attempts so far.
+func (j *Job) Retries() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.retries
 }
 
 // Stats returns the simulation stats recorded at completion.
@@ -156,6 +195,16 @@ func (b *rowBuffer) append(row []byte) error {
 	b.mu.Unlock()
 	close(w)
 	return nil
+}
+
+// reset drops every retained row, for a retry that rebuilds the stream
+// (from scratch or from the preloaded checkpoint prefix). The wait
+// channel stays armed so subscribers simply see the stream grow again.
+func (b *rowBuffer) reset() {
+	b.mu.Lock()
+	b.rows = nil
+	b.nbytes = 0
+	b.mu.Unlock()
 }
 
 // closeBuf marks the stream complete and wakes all subscribers. Safe to

@@ -1,6 +1,9 @@
 package serve
 
-import "container/heap"
+import (
+	"container/heap"
+	"time"
+)
 
 // jobHeap is the pending-job priority queue: higher Priority first,
 // FIFO (submission order) within a class. It implements heap.Interface;
@@ -41,15 +44,18 @@ func (h *jobHeap) Pop() any {
 }
 
 // popFit removes and returns the best job whose worker demand fits the
-// available budget, or nil if none fits. Candidates are probed in heap
-// order by repeatedly popping, so the best-fitting job is still the
+// available budget and whose retry backoff (notBefore) has elapsed, or
+// nil if none qualifies. Candidates are probed in heap order by
+// repeatedly popping, so the best-fitting job is still the
 // highest-priority one that fits; skipped jobs are pushed back.
-func (h *jobHeap) popFit(avail int) *Job {
+// notBefore is written only while a job is out of the heap, so reading
+// it under the server mutex is race-free.
+func (h *jobHeap) popFit(avail int, now time.Time) *Job {
 	var skipped []*Job
 	var picked *Job
 	for h.Len() > 0 {
 		j := heap.Pop(h).(*Job)
-		if j.workers <= avail {
+		if j.workers <= avail && !j.notBefore.After(now) {
 			picked = j
 			break
 		}

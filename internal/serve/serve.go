@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -27,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -34,6 +36,7 @@ import (
 
 	"container/heap"
 
+	"golts/internal/ckpt"
 	"golts/internal/decomp"
 	"golts/internal/simio"
 	"golts/wave"
@@ -56,6 +59,19 @@ type Config struct {
 	// CacheSize bounds the artifact cache (entries). Default
 	// wave.DefaultArtifactCacheSize.
 	CacheSize int
+	// SpoolDir enables durability: job specs, per-job simulation
+	// checkpoints and streamed rows are persisted under it, unfinished
+	// jobs replay on the next New with the same directory, and a job
+	// whose checkpoint survived resumes mid-run with its already-streamed
+	// rows preserved byte for byte. Empty disables.
+	SpoolDir string
+	// CheckpointEvery is the per-job checkpoint interval in cycles when
+	// SpoolDir is set (default 4).
+	CheckpointEvery int
+	// RetryBaseDelay is the first retry's backoff for jobs that fail with
+	// an infrastructure error; it doubles per retry, capped at 30 s.
+	// Default 500 ms.
+	RetryBaseDelay time.Duration
 }
 
 // ErrQueueFull is returned by Submit when the pending queue is at
@@ -82,6 +98,11 @@ type JobRequest struct {
 	Partitioner string `json:"partitioner"`
 	// Seed is the partitioner seed (default 1).
 	Seed int64 `json:"seed"`
+	// MaxRetries is how many times an infrastructure failure (anything
+	// that is not a typed configuration rejection) is retried with
+	// exponential backoff before the job fails for good. Excluded from
+	// the canonical hash: it does not affect results.
+	MaxRetries int `json:"max_retries"`
 }
 
 // canonicalize fills defaults so equal configurations hash equally, and
@@ -141,11 +162,24 @@ type Server struct {
 	availWork int
 	closed    bool
 
+	spool *spool
+
 	submitted, done, failed, cancelled int64
+	replayed, retried, resumed         int64
+	checkpoints, recoveries            int64
+
+	// testRunFault, when set, is invoked before each attempt's Run; a
+	// non-nil return is treated as that attempt's infrastructure failure.
+	// Test hook only.
+	testRunFault func(j *Job, attempt int) error
 }
 
-// New creates a Server and starts its dispatcher goroutines.
-func New(cfg Config) *Server {
+// New creates a Server and starts its dispatcher goroutines. With
+// Config.SpoolDir set it first replays every job spec persisted by a
+// previous instance: replayed jobs re-enter the queue in their original
+// submission order (and resume from their spooled checkpoint when they
+// reach a dispatcher).
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = 64
 	}
@@ -155,6 +189,12 @@ func New(cfg Config) *Server {
 	if cfg.WorkerBudget <= 0 {
 		cfg.WorkerBudget = cfg.Concurrency
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 4
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 500 * time.Millisecond
+	}
 	s := &Server{
 		cfg:       cfg,
 		cache:     wave.NewArtifactCache(cfg.CacheSize),
@@ -163,18 +203,61 @@ func New(cfg Config) *Server {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	if cfg.SpoolDir != "" {
+		sp, err := newSpool(cfg.SpoolDir)
+		if err != nil {
+			return nil, err
+		}
+		s.spool = sp
+		s.replay()
+	}
 	for i := 0; i < cfg.Concurrency; i++ {
 		s.wg.Add(1)
 		go s.dispatch()
 	}
-	return s
+	return s, nil
+}
+
+// replay re-enqueues every spooled job spec, before the dispatchers
+// start. Specs that no longer validate are dropped from the spool.
+func (s *Server) replay() {
+	for _, sj := range s.spool.loadJobs() {
+		req := sj.Req
+		if err := req.canonicalize(); err != nil || req.Workers > s.cfg.WorkerBudget {
+			s.spool.remove(sj.ID)
+			continue
+		}
+		if n := jobNum(sj.ID); n > s.nextID {
+			s.nextID = n
+		}
+		s.nextSeq++
+		j := &Job{
+			ID:       sj.ID,
+			Hash:     req.hash(),
+			req:      req,
+			workers:  req.Workers,
+			seq:      s.nextSeq,
+			heapIdx:  -1,
+			rows:     newRowBuffer(),
+			state:    StateQueued,
+			enqueued: time.Now(),
+			done:     make(chan struct{}),
+			retries:  sj.Retries,
+		}
+		s.jobs[j.ID] = j
+		heap.Push(&s.pending, j)
+		s.replayed++
+	}
 }
 
 // Cache exposes the server's artifact cache (read-only use: counters).
 func (s *Server) Cache() *wave.ArtifactCache { return s.cache }
 
-// Close stops accepting jobs, cancels everything queued or running, and
-// waits for the dispatchers to drain.
+// Close stops accepting jobs and waits for the dispatchers to drain.
+// Without a spool, everything queued or running is cancelled. With one,
+// pending and interrupted jobs keep their spool entries (their in-memory
+// state stays queued, untouched) so a successor server replays them —
+// Close is the graceful half of a restart, not a discard.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -185,6 +268,9 @@ func (s *Server) Close() {
 	s.closed = true
 	for s.pending.Len() > 0 {
 		j := heap.Pop(&s.pending).(*Job)
+		if s.spool != nil {
+			continue // spec stays spooled for the next instance
+		}
 		s.cancelled++
 		j.finish(StateCancelled, "server shutting down")
 	}
@@ -225,6 +311,13 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
 	}
+	if s.spool != nil {
+		if err := s.spool.saveJob(spoolJob{ID: j.ID, Req: req}); err != nil {
+			s.nextID--
+			s.nextSeq--
+			return nil, err
+		}
+	}
 	s.jobs[j.ID] = j
 	heap.Push(&s.pending, j)
 	s.submitted++
@@ -254,6 +347,9 @@ func (s *Server) Cancel(id string) bool {
 	if s.pending.remove(j) {
 		s.cancelled++
 		s.mu.Unlock()
+		if s.spool != nil {
+			s.spool.remove(j.ID)
+		}
 		j.finish(StateCancelled, "cancelled while queued")
 		return true
 	}
@@ -278,7 +374,7 @@ func (s *Server) dispatch() {
 				s.mu.Unlock()
 				return
 			}
-			if j = s.pending.popFit(s.availWork); j != nil {
+			if j = s.pending.popFit(s.availWork, time.Now()); j != nil {
 				break
 			}
 			s.cond.Wait()
@@ -306,8 +402,10 @@ func (s *Server) dispatch() {
 	}
 }
 
-// runJob executes one simulation, feeding its CSV rows to the job's
-// buffer and recording stats at the end.
+// runJob executes one attempt of a job: build (or resume), run, then
+// classify the outcome — done, cancelled, parked for replay (spooled
+// shutdown), retried with backoff (infrastructure failure), or failed
+// for good (configuration rejection / exhausted retries).
 func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
@@ -320,24 +418,88 @@ func (s *Server) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancelRun = cancel
+	attempt := j.retries
 	j.mu.Unlock()
 
+	runErr := s.runSim(ctx, j, attempt)
+
+	switch {
+	case runErr == nil:
+		if s.spool != nil {
+			s.spool.remove(j.ID)
+		}
+		j.finish(StateDone, "")
+	case errors.Is(runErr, context.Canceled):
+		if s.spool != nil && s.isClosed() {
+			// Shutdown, not a user cancellation: park the job queued; its
+			// spool entry (and newest checkpoint) replays on the next start.
+			j.mu.Lock()
+			j.cancelRun = nil
+			j.state = StateQueued
+			j.mu.Unlock()
+			return
+		}
+		if s.spool != nil {
+			s.spool.remove(j.ID)
+		}
+		j.finish(StateCancelled, "cancelled while running")
+	default:
+		s.failJob(j, runErr)
+	}
+}
+
+// runSim performs one simulation attempt. With a spool it resumes from
+// the job's persisted checkpoint when one exists (trimming the rows file
+// to the checkpoint cycle and preloading those rows into the stream
+// buffer, so the delivered bytes stay identical to an uninterrupted
+// run), streams every new row to disk before the facade checkpoints the
+// cycle, and checkpoints every Config.CheckpointEvery cycles.
+func (s *Server) runSim(ctx context.Context, j *Job, attempt int) error {
 	cfgJSON, err := json.Marshal(j.req.Config)
 	if err != nil {
-		j.finish(StateFailed, err.Error())
-		return
+		return &wave.OptionError{Option: "FromConfig", Err: err}
 	}
-	sim, err := wave.FromConfig(strings.NewReader(string(cfgJSON)),
+	opts, err := wave.ConfigOptions(bytes.NewReader(cfgJSON))
+	if err != nil {
+		return &wave.OptionError{Option: "FromConfig", Err: err}
+	}
+	opts = append(opts,
 		wave.WithWorkers(j.req.Workers),
 		wave.WithPartitioner(wave.Partitioner(j.req.Partitioner)),
 		wave.WithSeed(j.req.Seed),
 		wave.WithArtifactCache(s.cache),
-		wave.WithSink(wave.RowCSVSink(j.rows.append)),
 	)
-	if err != nil {
-		j.finish(StateFailed, err.Error())
-		return
+
+	// A retry rebuilds the stream, so the buffer restarts empty (and is
+	// refilled from the spooled prefix on resume).
+	j.rows.reset()
+
+	var sim *wave.Simulation
+	var rowsFile *os.File
+	if s.spool == nil {
+		sim, err = wave.New(append(opts, wave.WithSink(wave.RowCSVSink(j.rows.append)))...)
+		if err != nil {
+			return err
+		}
+	} else {
+		var preload [][]byte
+		sim, preload, rowsFile, err = s.buildSpooled(j, opts)
+		if err != nil {
+			return err
+		}
+		defer rowsFile.Close()
+		for _, row := range preload {
+			j.rows.append(row)
+		}
 	}
+
+	if s.testRunFault != nil {
+		if ferr := s.testRunFault(j, attempt); ferr != nil {
+			sim.Close()
+			return ferr
+		}
+	}
+
 	runErr := sim.Run(ctx, 0)
 	stats := sim.Stats()
 	closeErr := sim.Close()
@@ -346,17 +508,138 @@ func (s *Server) runJob(j *Job) {
 	j.stats = stats
 	j.hasStats = true
 	j.mu.Unlock()
+	s.mu.Lock()
+	s.checkpoints += stats.Checkpoints
+	s.recoveries += int64(stats.Recoveries)
+	s.mu.Unlock()
 
-	switch {
-	case runErr != nil && errors.Is(runErr, context.Canceled):
-		j.finish(StateCancelled, "cancelled while running")
-	case runErr != nil:
-		j.finish(StateFailed, runErr.Error())
-	case closeErr != nil:
-		j.finish(StateFailed, closeErr.Error())
-	default:
-		j.finish(StateDone, "")
+	if runErr != nil {
+		return runErr
 	}
+	return closeErr
+}
+
+// buildSpooled constructs the attempt's simulation against the spool:
+// resumed from the persisted checkpoint when it is usable (returning the
+// trimmed row prefix for the stream buffer), from scratch otherwise. The
+// simulation's row sink appends to the spooled rows file before the
+// row enters the in-memory buffer — and, by the facade's ordering,
+// before the cycle's checkpoint is written.
+func (s *Server) buildSpooled(j *Job, opts []wave.Option) (*wave.Simulation, [][]byte, *os.File, error) {
+	ckptPath := s.spool.ckptPath(j.ID)
+	rowsPath := s.spool.rowsPath(j.ID)
+	opts = append(opts, wave.WithCheckpointEvery(ckptPath, s.cfg.CheckpointEvery))
+
+	// skip swallows the duplicate header a resumed simulation's sink
+	// emits on Open; the spooled prefix already carries one.
+	skip := 0
+	var rf *os.File
+	rowFn := func(row []byte) error {
+		if skip > 0 {
+			skip--
+			return nil
+		}
+		if _, err := rf.Write(row); err != nil {
+			return err
+		}
+		return j.rows.append(row)
+	}
+	sinkOpt := wave.WithSink(wave.RowCSVSink(rowFn))
+
+	var preload [][]byte
+	var sim *wave.Simulation
+	if f, err := ckpt.ReadFile(ckptPath); err == nil {
+		if meta, err := f.Meta(); err == nil {
+			if rows, ok := s.spool.trimRows(j.ID, 1+int(meta.Cycle)); ok {
+				if rsim, rerr := wave.Resume(ckptPath, append(opts, sinkOpt)...); rerr == nil {
+					sim = rsim
+					preload = rows
+					skip = 1
+					s.mu.Lock()
+					s.resumed++
+					s.mu.Unlock()
+				}
+			}
+		}
+	}
+	if sim == nil {
+		// No checkpoint, or one this configuration can no longer use:
+		// scrap the partial state and recompute from cycle 0.
+		os.Remove(ckptPath)
+		os.Remove(rowsPath)
+		var err error
+		sim, err = wave.New(append(opts, sinkOpt)...)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(rowsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		sim.Close()
+		return nil, nil, nil, err
+	}
+	rf = f
+	return sim, preload, f, nil
+}
+
+// failJob classifies a failed attempt. A typed configuration rejection
+// (*wave.OptionError) can never succeed on retry and fails immediately
+// with kind "config"; anything else is infrastructure, retried with
+// exponential backoff while the budget lasts, then failed with kind
+// "infra".
+func (s *Server) failJob(j *Job, cause error) {
+	var oe *wave.OptionError
+	if errors.As(cause, &oe) {
+		if s.spool != nil {
+			s.spool.remove(j.ID)
+		}
+		j.failTerminal("config", cause.Error())
+		return
+	}
+	j.mu.Lock()
+	retries := j.retries
+	j.mu.Unlock()
+	if retries < j.req.MaxRetries && !s.isClosed() {
+		delay := s.cfg.RetryBaseDelay << retries
+		if max := 30 * time.Second; delay > max {
+			delay = max
+		}
+		j.mu.Lock()
+		j.retries++
+		j.err = cause.Error()
+		j.errKind = "infra"
+		j.state = StateQueued
+		j.cancelRun = nil
+		j.notBefore = time.Now().Add(delay)
+		j.mu.Unlock()
+		if s.spool != nil {
+			s.spool.saveJob(spoolJob{ID: j.ID, Retries: retries + 1, Req: j.req})
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		heap.Push(&s.pending, j)
+		s.retried++
+		s.mu.Unlock()
+		time.AfterFunc(delay, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		return
+	}
+	if s.spool != nil {
+		s.spool.remove(j.ID)
+	}
+	j.failTerminal("infra", cause.Error())
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // StatsResponse is the GET /stats payload.
@@ -373,6 +656,16 @@ type StatsResponse struct {
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
+	// Durability counters (all zero without a spool): Replayed jobs were
+	// re-enqueued from a previous instance's spool, Retried counts backoff
+	// retries after infrastructure failures, Resumed counts attempts that
+	// restarted mid-run from a spooled checkpoint. Checkpoints and
+	// Recoveries aggregate wave.Stats over every completed attempt.
+	Replayed    int64 `json:"replayed"`
+	Retried     int64 `json:"retried"`
+	Resumed     int64 `json:"resumed"`
+	Checkpoints int64 `json:"checkpoints"`
+	Recoveries  int64 `json:"recoveries"`
 	// Cache reports the artifact cache: traffic counters plus residency.
 	Cache struct {
 		decomp.MemoCounters
@@ -392,6 +685,11 @@ func (s *Server) Stats() StatsResponse {
 		Done:         s.done,
 		Failed:       s.failed,
 		Cancelled:    s.cancelled,
+		Replayed:     s.replayed,
+		Retried:      s.retried,
+		Resumed:      s.resumed,
+		Checkpoints:  s.checkpoints,
+		Recoveries:   s.recoveries,
 	}
 	s.mu.Unlock()
 	resp.Cache.MemoCounters = s.cache.Counters()

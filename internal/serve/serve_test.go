@@ -29,6 +29,15 @@ func tinyReq() JobRequest {
 	}
 }
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func waitTerminal(t *testing.T, j *Job) {
 	t.Helper()
 	select {
@@ -64,7 +73,7 @@ func postJob(t *testing.T, url string, req JobRequest) (*http.Response, snapshot
 // frees its slot so the next submission is accepted again; cancelling
 // the running blocker ends it promptly as "cancelled".
 func TestQueueSaturationAndCancelReleasesSlot(t *testing.T) {
-	s := New(Config{MaxQueue: 2, Concurrency: 1, WorkerBudget: 1})
+	s := mustNew(t, Config{MaxQueue: 2, Concurrency: 1, WorkerBudget: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -134,7 +143,7 @@ func TestQueueSaturationAndCancelReleasesSlot(t *testing.T) {
 // produce identical rows.
 func TestConcurrentSameConfigBuildsOnce(t *testing.T) {
 	// Reference: builds (= cache misses) of one cold run.
-	ref := New(Config{Concurrency: 1, WorkerBudget: 1})
+	ref := mustNew(t, Config{Concurrency: 1, WorkerBudget: 1})
 	j, err := ref.Submit(tinyReq())
 	if err != nil {
 		t.Fatalf("reference submit: %v", err)
@@ -149,7 +158,7 @@ func TestConcurrentSameConfigBuildsOnce(t *testing.T) {
 		t.Fatal("cold run recorded no artifact builds")
 	}
 
-	s := New(Config{Concurrency: 2, WorkerBudget: 2})
+	s := mustNew(t, Config{Concurrency: 2, WorkerBudget: 2})
 	defer s.Close()
 	var jobs [2]*Job
 	for i := range jobs {
@@ -189,7 +198,7 @@ func rowBytes(j *Job) []byte {
 // run, and both match a direct wave.FromConfig run of the same
 // configuration without any cache.
 func TestCachedRunBitwiseIdentical(t *testing.T) {
-	s := New(Config{Concurrency: 1, WorkerBudget: 1})
+	s := mustNew(t, Config{Concurrency: 1, WorkerBudget: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -265,7 +274,7 @@ func TestCachedRunBitwiseIdentical(t *testing.T) {
 // respond; same-config submissions share a hash while priority does not
 // perturb it.
 func TestJobStatusAndStats(t *testing.T) {
-	s := New(Config{Concurrency: 1, WorkerBudget: 1})
+	s := mustNew(t, Config{Concurrency: 1, WorkerBudget: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -344,7 +353,7 @@ func TestJobStatusAndStats(t *testing.T) {
 // TestSubmitValidation: malformed and invalid requests are rejected
 // eagerly with 400, before any job is enqueued.
 func TestSubmitValidation(t *testing.T) {
-	s := New(Config{Concurrency: 1, WorkerBudget: 2})
+	s := mustNew(t, Config{Concurrency: 1, WorkerBudget: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -374,7 +383,7 @@ func TestSubmitValidation(t *testing.T) {
 // TestPriorityOrdering: with the dispatcher pinned, a later high-priority
 // job runs before earlier low-priority ones.
 func TestPriorityOrdering(t *testing.T) {
-	s := New(Config{MaxQueue: 8, Concurrency: 1, WorkerBudget: 1})
+	s := mustNew(t, Config{MaxQueue: 8, Concurrency: 1, WorkerBudget: 1})
 	defer s.Close()
 
 	blocker := tinyReq()
@@ -420,7 +429,7 @@ func TestPriorityOrdering(t *testing.T) {
 // TestServerClose: Close cancels queued and running jobs and Submit
 // afterwards reports ErrClosed.
 func TestServerClose(t *testing.T) {
-	s := New(Config{MaxQueue: 4, Concurrency: 1, WorkerBudget: 1})
+	s := mustNew(t, Config{MaxQueue: 4, Concurrency: 1, WorkerBudget: 1})
 	blocker := tinyReq()
 	blocker.Cycles = 100000
 	bj, err := s.Submit(blocker)

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// spool is the server's durability layer: a directory holding, per job,
+// the submitted request (jobs/<id>.json), the newest simulation
+// checkpoint (ckpt/<id>.ckpt, written by the wave facade) and the CSV
+// rows streamed so far (rows/<id>.csv). A restarted server replays every
+// spooled job; one whose checkpoint survived resumes mid-run instead of
+// recomputing from cycle 0.
+//
+// Invariant: the facade writes a cycle's sink rows before its
+// checkpoint, so the rows file always holds at least 1+k lines (header
+// plus one row per cycle) when the checkpoint says cycle k. Resume trims
+// the rows file to exactly 1+k lines; a rows file that fell short (a
+// crash between the row write reaching the page cache and the fsynced
+// checkpoint) invalidates the checkpoint and the job restarts from
+// scratch — never with a gap in its stream.
+type spool struct {
+	dir string
+}
+
+// spoolJob is the persisted form of a submitted job.
+type spoolJob struct {
+	ID      string     `json:"id"`
+	Retries int        `json:"retries"`
+	Req     JobRequest `json:"request"`
+}
+
+func newSpool(dir string) (*spool, error) {
+	for _, sub := range []string{"jobs", "ckpt", "rows"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: spool: %w", err)
+		}
+	}
+	return &spool{dir: dir}, nil
+}
+
+func (sp *spool) jobPath(id string) string  { return filepath.Join(sp.dir, "jobs", id+".json") }
+func (sp *spool) ckptPath(id string) string { return filepath.Join(sp.dir, "ckpt", id+".ckpt") }
+func (sp *spool) rowsPath(id string) string { return filepath.Join(sp.dir, "rows", id+".csv") }
+
+// saveJob persists the job spec atomically (write-to-temp + rename).
+func (sp *spool) saveJob(j spoolJob) error {
+	raw, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("serve: spool: %w", err)
+	}
+	return atomicWrite(sp.jobPath(j.ID), raw)
+}
+
+// loadJobs reads every persisted job spec, in submission (numeric id)
+// order. Unreadable entries are dropped and their files removed — a
+// half-written spec from a crash mid-save must not wedge every restart.
+func (sp *spool) loadJobs() []spoolJob {
+	ents, err := os.ReadDir(filepath.Join(sp.dir, "jobs"))
+	if err != nil {
+		return nil
+	}
+	var jobs []spoolJob
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(sp.dir, "jobs", name))
+		if err != nil {
+			continue
+		}
+		var j spoolJob
+		if err := json.Unmarshal(raw, &j); err != nil || j.ID != strings.TrimSuffix(name, ".json") {
+			sp.remove(strings.TrimSuffix(name, ".json"))
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobNum(jobs[a].ID) < jobNum(jobs[b].ID) })
+	return jobs
+}
+
+// jobNum extracts the numeric part of a "j<n>" id (0 for foreign ids).
+func jobNum(id string) int64 {
+	n, _ := strconv.ParseInt(strings.TrimPrefix(id, "j"), 10, 64)
+	return n
+}
+
+// remove deletes every spooled file of the job.
+func (sp *spool) remove(id string) {
+	os.Remove(sp.jobPath(id))
+	os.Remove(sp.ckptPath(id))
+	os.Remove(sp.rowsPath(id))
+}
+
+// loadRows reads the job's persisted CSV rows (each including its
+// newline), or nil if none exist.
+func (sp *spool) loadRows(id string) [][]byte {
+	raw, err := os.ReadFile(sp.rowsPath(id))
+	if err != nil || len(raw) == 0 {
+		return nil
+	}
+	var rows [][]byte
+	for len(raw) > 0 {
+		i := bytes.IndexByte(raw, '\n')
+		if i < 0 {
+			// Torn trailing row (crash mid-write): drop it.
+			break
+		}
+		rows = append(rows, raw[:i+1])
+		raw = raw[i+1:]
+	}
+	return rows
+}
+
+// trimRows rewrites the job's rows file to exactly n rows, atomically,
+// and returns them. Returns false when fewer than n complete rows exist.
+func (sp *spool) trimRows(id string, n int) ([][]byte, bool) {
+	rows := sp.loadRows(id)
+	if len(rows) < n {
+		return nil, false
+	}
+	rows = rows[:n]
+	if err := atomicWrite(sp.rowsPath(id), bytes.Join(rows, nil)); err != nil {
+		return nil, false
+	}
+	return rows, true
+}
+
+func atomicWrite(path string, raw []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: spool: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: spool: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: spool: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: spool: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: spool: %w", err)
+	}
+	return nil
+}

@@ -42,6 +42,15 @@ type Distributed struct {
 	// Parts is the decomposition width; 0 means Ranks. Must be >= Ranks
 	// otherwise.
 	Parts int
+	// CheckpointEvery enables transparent rank-failure recovery: the
+	// coordinator snapshots the replicated stepper state every n cycles
+	// and, when a rank dies or stalls, relaunches the ranks, restores the
+	// snapshot and replays to the failure point — bitwise, since Parts
+	// pins the assembly order. 0 selects the default interval (4);
+	// negative disables recovery.
+	CheckpointEvery int
+	// MaxRecoveries bounds recoveries per run; 0 selects the default (3).
+	MaxRecoveries int
 }
 
 func (Distributed) backendName() string { return "distributed" }
@@ -52,6 +61,27 @@ func (d Distributed) parts() int {
 		return d.Ranks
 	}
 	return d.Parts
+}
+
+// ckptEvery resolves the recovery checkpoint interval (0 → 4 cycles,
+// negative → recovery off).
+func (d Distributed) ckptEvery() int {
+	switch {
+	case d.CheckpointEvery < 0:
+		return 0
+	case d.CheckpointEvery == 0:
+		return 4
+	default:
+		return d.CheckpointEvery
+	}
+}
+
+// maxRecoveries resolves the recovery budget (0 → 3).
+func (d Distributed) maxRecoveries() int {
+	if d.MaxRecoveries <= 0 {
+		return 3
+	}
+	return d.MaxRecoveries
 }
 
 // WithBackend selects the execution backend (default Local). The
@@ -126,7 +156,11 @@ func buildDistributed(s *Simulation, set *settings, be Distributed, semSrcs []sr
 	}
 	cfg.Receivers = recDofs
 
-	co, err := dist.Start(dist.Config{Run: cfg})
+	co, err := dist.Start(dist.Config{
+		Run:             cfg,
+		CheckpointEvery: be.ckptEvery(),
+		MaxRecoveries:   be.maxRecoveries(),
+	})
 	if err != nil {
 		return fmt.Errorf("wave: distributed backend: %w", err)
 	}

@@ -33,6 +33,19 @@ func FromConfig(r io.Reader, extra ...Option) (*Simulation, error) {
 	return New(append(configOptions(cfg), extra...)...)
 }
 
+// ConfigOptions parses a JSON run configuration from r and returns the
+// facade options it denotes, without building anything. Callers that
+// need to re-apply one stored configuration to several entry points —
+// e.g. a job service building with New on the first attempt and Resume
+// after a restart — go through this instead of FromConfig.
+func ConfigOptions(r io.Reader) ([]Option, error) {
+	cfg, err := simio.ParseConfig(r)
+	if err != nil {
+		return nil, err
+	}
+	return configOptions(cfg), nil
+}
+
 // configOptions translates a validated simio.Config into facade options.
 func configOptions(c *simio.Config) []Option {
 	opts := []Option{

@@ -1,0 +1,158 @@
+package wave_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"golts/wave"
+)
+
+// runFaultCSV builds and runs a distributed simulation to completion,
+// returning its streamed CSV bytes and its Stats.
+func runFaultCSV(t *testing.T, opts ...wave.Option) ([]byte, wave.Stats) {
+	t.Helper()
+	var buf bytes.Buffer
+	sim, err := wave.New(append(opts, wave.WithSink(wave.CSVSink(&buf)))...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := sim.Stats()
+	if err := sim.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes(), st
+}
+
+// TestSpawnedKillAtEachSubstep is the end-to-end fault matrix: a spawned
+// rank process SIGKILLs itself mid-run — before stepping (substep 0) and
+// at the first stiffness application of each LTS level boundary
+// (substeps 1..3) — and the recovered run's streamed CSV is byte-equal
+// to the fault-free reference, for both physics and both rank counts.
+// The fault plan reaches the rank processes through the GOLTS_FAULT
+// environment variable, exactly as `make fault-smoke` injects it.
+func TestSpawnedKillAtEachSubstep(t *testing.T) {
+	const parts, cycles = 4, 5
+	type combo struct {
+		physics wave.Physics
+		ranks   int
+		substep int
+	}
+	var cases []combo
+	if testing.Short() {
+		cases = []combo{{wave.Acoustic, 2, 1}}
+	} else {
+		for _, p := range []wave.Physics{wave.Acoustic, wave.Elastic} {
+			for _, r := range []int{2, 4} {
+				for s := 0; s <= 3; s++ {
+					cases = append(cases, combo{p, r, s})
+				}
+			}
+		}
+	}
+	// References once per physics, computed with the local engine at the
+	// same decomposition width — and before the fault plan enters the
+	// environment.
+	refs := map[wave.Physics][]byte{}
+	for _, p := range []wave.Physics{wave.Acoustic, wave.Elastic} {
+		csv, _ := runFaultCSV(t, ckptOpts(p, true, cycles, wave.WithWorkers(parts))...)
+		refs[p] = csv
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("%s-r%d-s%d", c.physics, c.ranks, c.substep)
+		t.Run(name, func(t *testing.T) {
+			t.Setenv("GOLTS_FAULT", fmt.Sprintf("kill:rank=1,cycle=3,substep=%d", c.substep))
+			csv, st := runFaultCSV(t, ckptOpts(c.physics, true, cycles,
+				wave.WithBackend(wave.Distributed{
+					Ranks: c.ranks, Parts: parts,
+					CheckpointEvery: 1, MaxRecoveries: 2,
+				}))...)
+			if st.Recoveries < 1 {
+				t.Fatalf("no recovery recorded (fault did not fire?); stats: %+v", st)
+			}
+			if st.RecoveryMillis < 0 {
+				t.Fatalf("negative recovery wall time")
+			}
+			if !bytes.Equal(csv, refs[c.physics]) {
+				t.Fatalf("recovered CSV differs from fault-free reference:\nref:\n%s\ngot:\n%s",
+					refs[c.physics], csv)
+			}
+		})
+	}
+}
+
+// TestKillRecoveryNonzeroAmplitude is the facade-level regression for
+// the stale-replica checkpoint bug: the substep matrix above runs at an
+// amplitude where every sample is exactly 0.0, so it cannot see a
+// recovery that resets the wavefield. This run is long enough for the
+// wave to reach the receivers (the guard proves it), a rank is killed
+// mid-run, and the recovered seismograms must still match a fault-free
+// local run sample for sample. CheckpointEvery 4 forces recovery to
+// replay the cycles between the last snapshot and the failure.
+func TestKillRecoveryNonzeroAmplitude(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long nonzero-amplitude run skipped in -short")
+	}
+	opts := []wave.Option{
+		wave.WithMesh("trench", 0.015),
+		wave.WithCycles(40),
+		wave.WithLTS(),
+	}
+	full, err := wave.New(append(opts, wave.WithWorkers(4))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if err := full.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ref := full.Seismograms()
+	refMax := 0.0
+	for i := range ref.Traces {
+		for _, v := range ref.Traces[i].Values {
+			if a := math.Abs(v); a > refMax {
+				refMax = a
+			}
+		}
+	}
+	if refMax == 0 {
+		t.Fatal("vacuous reference: every receiver sample is exactly zero")
+	}
+
+	t.Setenv("GOLTS_FAULT", "kill:rank=1,cycle=20,substep=1")
+	sim, err := wave.New(append(opts, wave.WithBackend(wave.Distributed{
+		Ranks: 2, Parts: 4, CheckpointEvery: 4, MaxRecoveries: 2,
+	}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stats().Recoveries < 1 {
+		t.Fatal("no recovery recorded (fault did not fire?)")
+	}
+	got := sim.Seismograms()
+	bad := 0
+	for i := range ref.Traces {
+		for k := range ref.Traces[i].Values {
+			if ref.Traces[i].Values[k] != got.Traces[i].Values[k] {
+				if bad < 6 {
+					t.Errorf("trace %d sample %d: want %.17g got %.17g",
+						i, k, ref.Traces[i].Values[k], got.Traces[i].Values[k])
+				}
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d mismatched samples", bad)
+	}
+}

@@ -54,6 +54,13 @@ var (
 	// cannot be combined with the selected backend (e.g. WithWorkers > 1
 	// with Distributed).
 	ErrBackendConflict = errors.New("option incompatible with backend")
+	// ErrCheckpointSpec is returned for a malformed WithCheckpointEvery
+	// request (empty path or non-positive interval).
+	ErrCheckpointSpec = errors.New("invalid checkpoint spec")
+	// ErrCheckpointMismatch is returned by Resume when the checkpoint
+	// file was written by a run with a different result-determining
+	// configuration (mesh, physics, decomposition width, sources, ...).
+	ErrCheckpointMismatch = errors.New("checkpoint does not match configuration")
 	// ErrNilArgument is returned when an option receives a nil sink or
 	// probe.
 	ErrNilArgument = errors.New("nil argument")
@@ -196,6 +203,8 @@ type settings struct {
 	sinks       []Sink
 	probes      []Probe
 	artifacts   *ArtifactCache
+	ckptPath    string
+	ckptEvery   int
 }
 
 // levelCFL is the normalised Courant number handed to mesh.AssignLevels:
@@ -436,6 +445,27 @@ func WithSponge(sp Sponge) Option {
 			return optErr("WithSponge", ErrSpongeSpec, "width must be positive, got %g", sp.Width)
 		}
 		s.sponge = sp
+		return nil
+	}
+}
+
+// WithCheckpointEvery makes Run write a restartable checkpoint of the
+// full simulation state to path after every n-th completed cycle,
+// atomically (write-to-temp + rename), overwriting the previous one.
+// Sinks and probes observe a cycle before its checkpoint is written, so
+// on resume the external record is always at least as advanced as the
+// restored state. Resume the run with Resume(path, sameOptions...); the
+// continuation is bitwise identical to the uninterrupted run.
+func WithCheckpointEvery(path string, n int) Option {
+	return func(s *settings) error {
+		if path == "" {
+			return optErr("WithCheckpointEvery", ErrCheckpointSpec, "empty path")
+		}
+		if n < 1 {
+			return optErr("WithCheckpointEvery", ErrCheckpointSpec, "interval must be >= 1, got %d", n)
+		}
+		s.ckptPath = path
+		s.ckptEvery = n
 		return nil
 	}
 }

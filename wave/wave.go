@@ -78,6 +78,13 @@ type Simulation struct {
 	sinksOpen bool
 	closed    bool
 
+	// ckptKey is the canonical configuration string checkpoints are
+	// stamped with (see checkpoint.go); resumed marks a Simulation built
+	// by Resume, making Run(ctx, 0) step only the remaining cycles.
+	ckptKey    string
+	resumed    bool
+	ckptWrites int64
+
 	// artLookups and artHits record the build's artifact-cache traffic
 	// (zero without WithArtifactCache).
 	artLookups, artHits int64
@@ -224,6 +231,12 @@ func build(set *settings) (*Simulation, error) {
 	}
 	s.samples = make([]float64, len(s.recs))
 
+	width := s.workers
+	if distributed {
+		width = distBE.parts()
+	}
+	s.ckptKey = checkpointKey(set, width, specs, s.recs)
+
 	if distributed {
 		if err := buildDistributed(s, set, distBE, specs, &ac); err != nil {
 			return nil, err
@@ -339,6 +352,14 @@ func (s *Simulation) Run(ctx context.Context, cycles int, probes ...Probe) error
 	}
 	if cycles == 0 {
 		cycles = s.set.cycles
+		if s.resumed {
+			// The configured count is the run's total; a resumed simulation
+			// only owes the remainder.
+			cycles -= s.cycles
+			if cycles < 0 {
+				cycles = 0
+			}
+		}
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -395,6 +416,13 @@ func (s *Simulation) Run(ctx context.Context, cycles int, probes ...Probe) error
 				if err := p(f); err != nil {
 					return fmt.Errorf("wave: probe: %w", err)
 				}
+			}
+		}
+		// Checkpoint after sinks and probes: on resume the external record
+		// is at least as advanced as the restored state, never behind it.
+		if s.set.ckptEvery > 0 && s.cycles%s.set.ckptEvery == 0 {
+			if err := s.Checkpoint(s.set.ckptPath); err != nil {
+				return err
 			}
 		}
 	}
@@ -537,6 +565,14 @@ type Stats struct {
 	// operator, partition); both are zero without WithArtifactCache.
 	// Batch-plan sharing is accounted in the cache's own Counters.
 	ArtifactLookups, ArtifactHits int64
+	// Checkpoints counts checkpoint files written by this simulation
+	// (WithCheckpointEvery plus explicit Checkpoint calls).
+	Checkpoints int64
+	// Recoveries counts the distributed backend's transparent
+	// rank-failure recoveries; RecoveryMillis is the wall time they
+	// consumed. Both are zero for the local backend.
+	Recoveries     int
+	RecoveryMillis int64
 }
 
 // Stats returns the simulation's metadata and work counters. It may be
@@ -560,6 +596,12 @@ func (s *Simulation) Stats() Stats {
 		ArtifactHits:       s.artHits,
 	}
 	st.Backend = s.set.backend.backendName()
+	st.Checkpoints = s.ckptWrites
+	if s.dist != nil {
+		n, d := s.dist.Recoveries()
+		st.Recoveries = n
+		st.RecoveryMillis = d.Milliseconds()
+	}
 	switch {
 	case s.ltsS != nil:
 		st.Cycles = s.ltsS.CycleCount()
