@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-kernels bench-smoke dist-smoke serve-smoke fault-smoke lint vet fmt check examples
+.PHONY: build test race bench bench-kernels bench-smoke dist-smoke serve-smoke fault-smoke tune-smoke lint vet fmt check examples
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,33 @@ fault-smoke:
 	@rm -rf .fault-smoke
 	@echo "fault-smoke: rank-kill recovery and waved restart both byte-identical at nonzero amplitude"
 
+# Auto-tune & load-balance smoke, both halves of internal/tune:
+#  1. calibration: a tiny distributed run probes its deployment-shape
+#     grid under -auto-tune and writes the measured-vs-predicted table
+#     to BENCH_tune.json; distrun exits nonzero unless at least two
+#     shapes carry internal/cluster model predictions;
+#  2. rebalancing: a run started on a maximally skewed part placement
+#     (rank 0 carries 3 of 4 parts) must trigger at least one automatic
+#     mid-run rebalance (-expect-rebalance) and still produce a receiver
+#     CSV byte-identical to the balanced run — at scale 0.015 x 40
+#     cycles with -require-nonzero, so the comparison cannot pass
+#     vacuously on all-zero samples.
+tune-smoke:
+	@rm -rf .tune-smoke && mkdir -p .tune-smoke
+	$(GO) build -o .tune-smoke/distrun ./cmd/distrun
+	./.tune-smoke/distrun -ranks 2 -parts 4 -scale 0.004 -cycles 6 \
+		-auto-tune 30s -tune-report BENCH_tune.json -out .tune-smoke/tuned.csv
+	./.tune-smoke/distrun -ranks 2 -parts 4 -scale 0.015 -cycles 40 -require-nonzero \
+		-out .tune-smoke/ref.csv
+	./.tune-smoke/distrun -ranks 2 -parts 4 -scale 0.015 -cycles 40 \
+		-part-rank 0,0,0,1 -auto-rebalance -rebalance-threshold 1.2 \
+		-rebalance-window 2 -rebalance-cooldown 3 \
+		-expect-rebalance -require-nonzero -level-times \
+		-out .tune-smoke/rebalanced.csv
+	cmp .tune-smoke/ref.csv .tune-smoke/rebalanced.csv
+	@rm -rf .tune-smoke
+	@echo "tune-smoke: calibration predicted >=2 shapes; skewed run rebalanced and stayed byte-identical"
+
 # Static analysis beyond go vet. CI installs staticcheck; locally the
 # target runs it when present and skips (loudly) when not, so `make
 # check` mirrors CI wherever the tool is installed.
@@ -110,4 +137,4 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet lint build test race examples dist-smoke serve-smoke fault-smoke
+check: fmt vet lint build test race examples dist-smoke serve-smoke fault-smoke tune-smoke

@@ -13,6 +13,10 @@
 //	        [-out seismograms.csv]
 //	        [-recover-every N] [-max-recoveries 3]
 //	        [-expect-recovery] [-fault-report report.json]
+//	        [-level-times] [-part-rank 0,0,0,1] [-auto-rebalance]
+//	        [-rebalance-threshold 1.5] [-rebalance-window 3]
+//	        [-rebalance-cooldown 10] [-expect-rebalance]
+//	        [-auto-tune 30s] [-tune-report BENCH_tune.json]
 //
 // -parts fixes the owner-computes decomposition width independently of
 // the process count (0 means parts = ranks). Because the decomposition —
@@ -31,6 +35,18 @@
 // exits 1 when the run finishes without recovering anything (the
 // injected fault never fired); -fault-report writes recovery-latency
 // numbers as JSON.
+//
+// -level-times turns on the timing telemetry and prints the per-rank,
+// per-level stiffness-kernel table after the run (also embedded in the
+// -fault-report JSON). -part-rank places each part on an explicit rank
+// (any placement is bitwise-identical; only wall time changes), and
+// -auto-rebalance lets the coordinator remap parts onto ranks mid-run
+// when the measured per-rank busy times stay imbalanced — `make
+// tune-smoke` starts from a skewed placement and asserts the run
+// rebalances and still matches the balanced run byte for byte.
+// -auto-tune calibrates the deployment shape with short probe runs
+// before the real one; -tune-report writes the measured-vs-predicted
+// table as BENCH_tune.json.
 package main
 
 import (
@@ -39,8 +55,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
+	"golts/internal/tune"
 	"golts/wave"
 )
 
@@ -66,6 +86,15 @@ func main() {
 	expectRecovery := flag.Bool("expect-recovery", false, "exit 1 unless at least one rank recovery happened")
 	requireNonzero := flag.Bool("require-nonzero", false, "exit 1 unless some receiver sample is nonzero (guards byte-comparisons against vacuously-zero traces)")
 	faultReport := flag.String("fault-report", "", "write recovery-latency numbers as JSON to this path")
+	levelTimes := flag.Bool("level-times", false, "enable timing telemetry and print the per-rank, per-level kernel table")
+	partRank := flag.String("part-rank", "", "explicit part placement as comma-separated rank ids, one per part (empty: contiguous blocks)")
+	autoRebalance := flag.Bool("auto-rebalance", false, "remap parts onto ranks mid-run when per-rank busy times stay imbalanced")
+	rebThreshold := flag.Float64("rebalance-threshold", 0, "max/mean busy ratio that arms a rebalance (0: default 1.5)")
+	rebWindow := flag.Int("rebalance-window", 0, "consecutive imbalanced cycles before rebalancing (0: default 3)")
+	rebCooldown := flag.Int("rebalance-cooldown", 0, "quiet cycles after a rebalance (0: default 10)")
+	expectRebalance := flag.Bool("expect-rebalance", false, "exit 1 unless at least one automatic rebalance happened")
+	autoTune := flag.Duration("auto-tune", 0, "calibrate the deployment shape with probe runs under this wall budget (0: off)")
+	tuneReport := flag.String("tune-report", "", "write the calibration's measured-vs-predicted table as JSON to this path")
 	flag.Parse()
 
 	scheme := wave.WithLTS()
@@ -75,6 +104,11 @@ func main() {
 	ckptEvery := -1 // Distributed semantics: negative disables
 	if *recoverEvery > 0 {
 		ckptEvery = *recoverEvery
+	}
+	placement, err := parsePartRank(*partRank)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distrun:", err)
+		os.Exit(2)
 	}
 	opts := []wave.Option{
 		wave.WithMesh(*name, *scale),
@@ -88,10 +122,18 @@ func main() {
 		wave.WithBackend(wave.Distributed{
 			Ranks: *ranks, Parts: *parts,
 			CheckpointEvery: ckptEvery, MaxRecoveries: *maxRecoveries,
+			Telemetry:          *levelTimes,
+			PartRank:           placement,
+			AutoRebalance:      *autoRebalance,
+			RebalanceThreshold: *rebThreshold, RebalanceWindow: *rebWindow,
+			RebalanceCooldown: *rebCooldown,
 		}),
 	}
 	if *outPath != "" {
 		opts = append(opts, wave.WithSink(wave.FileSink(*outPath)))
+	}
+	if *autoTune > 0 {
+		opts = append(opts, wave.WithAutoTune(*autoTune))
 	}
 
 	// Reject impossible flags (ranks > parts, nonpositive cycles, a typo'd
@@ -135,6 +177,16 @@ func main() {
 		fmt.Printf("fault tolerance: %d rank recoveries (%d ms recovering)\n",
 			st.Recoveries, st.RecoveryMillis)
 	}
+	if *autoTune > 0 {
+		fmt.Printf("auto-tune: selected ranks=%d kernel=%s\n", st.TunedRanks, st.TunedKernel)
+	}
+	if *autoRebalance {
+		fmt.Printf("load balancing: %d automatic rebalances (%d ms rebalancing)\n",
+			st.Rebalances, st.RebalanceMillis)
+	}
+	if *levelTimes {
+		printLevelTimes(st)
+	}
 
 	seis := sim.Seismograms()
 	peakMax := 0.0
@@ -160,23 +212,104 @@ func main() {
 	}
 	if *faultReport != "" {
 		rep := struct {
-			Ranks      int     `json:"ranks"`
-			Parts      int     `json:"parts"`
-			Cycles     int64   `json:"cycles"`
-			Recoveries int     `json:"recoveries"`
-			RecoveryMS int64   `json:"recovery_ms"`
-			WallS      float64 `json:"wall_seconds"`
-			Fault      string  `json:"fault,omitempty"`
-		}{st.Ranks, st.Parts, st.Cycles, st.Recoveries, st.RecoveryMillis, wall, os.Getenv("GOLTS_FAULT")}
+			Ranks      int               `json:"ranks"`
+			Parts      int               `json:"parts"`
+			Cycles     int64             `json:"cycles"`
+			Recoveries int               `json:"recoveries"`
+			RecoveryMS int64             `json:"recovery_ms"`
+			Rebalances int               `json:"rebalances"`
+			WallS      float64           `json:"wall_seconds"`
+			NumCPU     int               `json:"num_cpu"`
+			GoMaxProcs int               `json:"gomaxprocs"`
+			Fault      string            `json:"fault,omitempty"`
+			LevelTimes []wave.LevelStats `json:"level_times,omitempty"`
+		}{st.Ranks, st.Parts, st.Cycles, st.Recoveries, st.RecoveryMillis,
+			st.Rebalances, wall, runtime.NumCPU(), runtime.GOMAXPROCS(0),
+			os.Getenv("GOLTS_FAULT"), st.LevelTimes}
 		raw, _ := json.MarshalIndent(rep, "", "  ")
 		raw = append(raw, '\n')
 		if err := os.WriteFile(*faultReport, raw, 0o644); err != nil {
 			fatal(err)
 		}
 	}
+	if *tuneReport != "" {
+		rep := struct {
+			Benchmark  string     `json:"benchmark"`
+			Mesh       string     `json:"mesh"`
+			Scale      float64    `json:"scale"`
+			Ranks      int        `json:"ranks"`
+			Parts      int        `json:"parts"`
+			NumCPU     int        `json:"num_cpu"`
+			GoMaxProcs int        `json:"gomaxprocs"`
+			Plan       *tune.Plan `json:"plan"`
+		}{"tune", *name, *scale, st.Ranks, st.Parts,
+			runtime.NumCPU(), runtime.GOMAXPROCS(0), sim.TunePlan()}
+		if rep.Plan == nil {
+			fmt.Fprintln(os.Stderr, "distrun: -tune-report set without -auto-tune (no plan to report)")
+			os.Exit(2)
+		}
+		predicted := 0
+		for _, m := range rep.Plan.Measurements {
+			if m.Err == "" && m.CycleNanos > 0 && m.PredictedNanos > 0 {
+				predicted++
+			}
+		}
+		if predicted < 2 {
+			fmt.Fprintf(os.Stderr, "distrun: calibration carries model predictions for %d shapes, want >= 2\n", predicted)
+			os.Exit(1)
+		}
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*tuneReport, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("calibration report written to %s\n", *tuneReport)
+	}
 	if *expectRecovery && st.Recoveries == 0 {
 		fmt.Fprintln(os.Stderr, "distrun: -expect-recovery set but the run recovered nothing (fault never fired?)")
 		os.Exit(1)
+	}
+	if *expectRebalance && st.Rebalances == 0 {
+		fmt.Fprintln(os.Stderr, "distrun: -expect-rebalance set but the run never rebalanced (placement already balanced?)")
+		os.Exit(1)
+	}
+}
+
+// parsePartRank parses "0,0,1,1" into a placement slice (nil for "").
+func parsePartRank(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.Split(s, ",")
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		r, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("-part-rank entry %d: %v", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// printLevelTimes renders the telemetry table: one row per LTS level,
+// one column per rank, milliseconds of cumulative stiffness-kernel time.
+func printLevelTimes(st wave.Stats) {
+	if len(st.LevelTimes) == 0 {
+		fmt.Println("level times: no telemetry recorded")
+		return
+	}
+	fmt.Print("level times (ms/rank):\n        ")
+	for r := range st.LevelTimes[0].RankNanos {
+		fmt.Printf("  rank%-2d", r)
+	}
+	fmt.Println()
+	for _, lt := range st.LevelTimes {
+		fmt.Printf("level %-2d", lt.Level)
+		for _, n := range lt.RankNanos {
+			fmt.Printf(" %7.1f", float64(n)/1e6)
+		}
+		fmt.Println()
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -118,9 +119,11 @@ func main() {
 	}
 
 	enc, err := json.MarshalIndent(map[string]any{
-		"benchmark": "AddKuScratch",
-		"unit_note": "ns_per_elem is wall time per element stiffness application",
-		"results":   results,
+		"benchmark":  "AddKuScratch",
+		"unit_note":  "ns_per_elem is wall time per element stiffness application",
+		"num_cpu":    runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"results":    results,
 		"batched": map[string]any{
 			"benchmark": "AddKuBatch",
 			"unit_note": "sweep times the fused SoA batch path per element-list size; batched_vs_scalar is scalar ns/elem over batched ns/elem at the largest batch",

@@ -7,7 +7,14 @@
 // Usage:
 //
 //	waved [-addr :8457] [-queue 64] [-concurrency 2] [-workers N] [-cache 64]
-//	      [-spool DIR] [-ckpt-every 4] [-retry-base 500ms]
+//	      [-spool DIR] [-ckpt-every 4] [-retry-base 500ms] [-auto-tune 0]
+//
+// With -auto-tune set to a probing budget (e.g. 30s), the first job of
+// each configuration calibrates a deployment shape (worker count,
+// kernel) against the cluster performance model; the tuned plan is
+// cached in the artifact cache, so subsequent same-config jobs run with
+// the tuned shape at no extra cost. GET /stats reports each job's
+// tuned_workers / tuned_ranks / rebalances.
 //
 // With -spool, job specs, per-job checkpoints and streamed rows persist
 // under DIR: a restarted waved pointed at the same directory replays
@@ -53,6 +60,7 @@ func main() {
 	spool := flag.String("spool", "", "durability directory: persist jobs/checkpoints/rows, replay on restart (empty: off)")
 	ckptEvery := flag.Int("ckpt-every", 0, "per-job checkpoint interval in cycles with -spool (0: default 4)")
 	retryBase := flag.Duration("retry-base", 0, "first retry backoff for infra failures, doubling per retry (0: default 500ms)")
+	autoTune := flag.Duration("auto-tune", 0, "calibration budget per configuration: probe deployment shapes and place jobs with the tuned one (0: off)")
 	flag.Parse()
 
 	srv, err := serve.New(serve.Config{
@@ -63,6 +71,7 @@ func main() {
 		SpoolDir:        *spool,
 		CheckpointEvery: *ckptEvery,
 		RetryBaseDelay:  *retryBase,
+		AutoTune:        *autoTune,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "waved:", err)

@@ -37,6 +37,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -253,6 +254,8 @@ type report struct {
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	NumCPU       int     `json:"num_cpu"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
 }
 
 func runLoad(url, out string, jobs, clients, distinct int, scale float64, cycles int) {
@@ -323,6 +326,8 @@ func runLoad(url, out string, jobs, clients, distinct int, scale float64, cycles
 		P99LatencyMS: pct(0.99),
 		CacheHits:    stats.Cache.Hits,
 		CacheMisses:  stats.Cache.Misses,
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 	}
 	if total := stats.Cache.Hits + stats.Cache.Misses; total > 0 {
 		rep.CacheHitRate = float64(stats.Cache.Hits) / float64(total)
@@ -349,6 +354,8 @@ type faultReport struct {
 	Resumed       int64           `json:"resumed"`
 	Checkpoints   int64           `json:"checkpoints"`
 	ByteIdentical bool            `json:"byte_identical"`
+	NumCPU        int             `json:"num_cpu"`
+	GoMaxProcs    int             `json:"gomaxprocs"`
 	Dist          json.RawMessage `json:"dist,omitempty"`
 }
 
@@ -482,6 +489,8 @@ func runRestartSmoke(out, distReport string, scale float64) {
 		Resumed:       stats.Resumed,
 		Checkpoints:   stats.Checkpoints,
 		ByteIdentical: identical,
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 	}
 	if distReport != "" {
 		raw, err := os.ReadFile(distReport)

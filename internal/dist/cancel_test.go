@@ -28,12 +28,12 @@ func TestCancelKillsSpawnedRanks(t *testing.T) {
 		t.Fatalf("Start: %v", err)
 	}
 	defer co.Close()
-	owners, err := ReceiverOwners(tc.geom, &tc.cfg)
+	owners, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
 	if err != nil {
-		t.Fatalf("ReceiverOwners: %v", err)
+		t.Fatalf("ReceiverOwnerParts: %v", err)
 	}
-	if err := co.SetReceiverOwners(owners); err != nil {
-		t.Fatalf("SetReceiverOwners: %v", err)
+	if err := co.SetReceiverParts(owners); err != nil {
+		t.Fatalf("SetReceiverParts: %v", err)
 	}
 	if _, _, err := co.Step(); err != nil {
 		t.Fatalf("healthy Step: %v", err)

@@ -70,16 +70,32 @@ type RunConfig struct {
 	// batched SoA kernel.
 	PerElement bool
 	// Ranks is the number of rank processes; Parts the decomposition
-	// width (Parts ≥ Ranks; parts map onto ranks in contiguous blocks).
+	// width (Parts ≥ Ranks; parts map onto ranks in contiguous blocks
+	// unless PartRank overrides the placement).
 	Ranks, Parts int
 	// Part is the element → part assignment, len NumElements.
 	Part []int32
+	// PartRank optionally assigns each part to an arbitrary rank
+	// (len Parts, values in [0,Ranks), every rank owning at least one
+	// part). Nil selects the default contiguous block map. Remapping
+	// parts onto ranks never changes the assembly order — contributions
+	// merge in ascending part order regardless of which process executes
+	// a part — so any PartRank produces bitwise-identical seismograms;
+	// the runtime rebalancer exploits exactly this freedom.
+	PartRank []int
 	// Sources are the resolved point forces; Receivers the recorded
 	// degrees of freedom, in facade receiver order.
 	Sources   []SourceSpec
 	Receivers []int
 	// Sponge configures absorbing boundaries; zero disables.
 	Sponge SpongeSpec
+
+	// Telemetry enables the per-part and per-level timing counters the
+	// rebalancer and auto-tuner consume: each rank times its owned
+	// parts' kernel work and appends a per-cycle busy-nanos sample to
+	// its cycle-done report. Off by default — the counters are cheap
+	// (two monotonic clock reads per part per apply) but not free.
+	Telemetry bool
 
 	// Liveness knobs, broadcast so ranks and coordinator agree. Zero
 	// selects the defaults (1 s heartbeat, 15 s heartbeat timeout, 2 min
@@ -130,7 +146,44 @@ func (c *RunConfig) validate() error {
 			return fmt.Errorf("dist: part id %d outside [0,%d)", p, c.Parts)
 		}
 	}
+	if c.PartRank != nil {
+		if len(c.PartRank) != c.Parts {
+			return fmt.Errorf("dist: part-rank map has %d entries, want %d", len(c.PartRank), c.Parts)
+		}
+		seen := make([]bool, c.Ranks)
+		for p, r := range c.PartRank {
+			if r < 0 || r >= c.Ranks {
+				return fmt.Errorf("dist: part %d mapped to rank %d outside [0,%d)", p, r, c.Ranks)
+			}
+			seen[r] = true
+		}
+		for r, ok := range seen {
+			if !ok {
+				return fmt.Errorf("dist: part-rank map leaves rank %d without parts", r)
+			}
+		}
+	}
 	return nil
+}
+
+// partRanks is the effective part → rank placement: the explicit
+// PartRank map when set, the contiguous block default otherwise.
+func (c *RunConfig) partRanks() []int {
+	if c.PartRank != nil {
+		return c.PartRank
+	}
+	return ownerRanks(c.Parts, c.Ranks)
+}
+
+// rankParts inverts a part → rank map into each rank's owned parts, in
+// ascending part order — the order owned contributions are packed and
+// assembled in, whatever the placement.
+func rankParts(partRank []int, ranks int) [][]int {
+	out := make([][]int, ranks)
+	for p, r := range partRank {
+		out[r] = append(out[r], p)
+	}
+	return out
 }
 
 // partRange returns the half-open part range [lo, hi) owned by rank r:
@@ -191,14 +244,14 @@ func buildOperator(cfg *RunConfig) (*mesh.Mesh, *mesh.Levels, geomOperator, erro
 	return m, lv, geom, nil
 }
 
-// ReceiverOwners maps every configured receiver to the rank that samples
-// it: the rank executing the lowest part whose elements touch the
-// receiver's node. The coordinator's caller and every rank compute the
-// same mapping from the broadcast configuration.
-func ReceiverOwners(op sem.Operator, cfg *RunConfig) ([]int, error) {
+// ReceiverOwnerParts maps every configured receiver to the part that
+// samples it: the lowest part whose elements touch the receiver's node.
+// Unlike the executing rank, the owning part is invariant under
+// part → rank remapping, so the coordinator stores parts and re-derives
+// ranks from the current placement after every rebalance.
+func ReceiverOwnerParts(op sem.Operator, cfg *RunConfig) ([]int, error) {
 	dp := decomp.Build(op, cfg.Part, cfg.Parts, sem.AllElements(op))
 	owners := decomp.Owners(op.NumNodes(), dp.Touched)
-	ranks := ownerRanks(cfg.Parts, cfg.Ranks)
 	nc := op.Comps()
 	out := make([]int, len(cfg.Receivers))
 	for i, dof := range cfg.Receivers {
@@ -209,6 +262,23 @@ func ReceiverOwners(op sem.Operator, cfg *RunConfig) ([]int, error) {
 		if p < 0 {
 			return nil, fmt.Errorf("dist: receiver dof %d on a node no part touches", dof)
 		}
+		out[i] = int(p)
+	}
+	return out, nil
+}
+
+// ReceiverOwners maps every configured receiver to the rank that samples
+// it under the configuration's current part → rank placement. The
+// coordinator's caller and every rank compute the same mapping from the
+// broadcast configuration.
+func ReceiverOwners(op sem.Operator, cfg *RunConfig) ([]int, error) {
+	parts, err := ReceiverOwnerParts(op, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ranks := cfg.partRanks()
+	out := make([]int, len(parts))
+	for i, p := range parts {
 		out[i] = ranks[p]
 	}
 	return out, nil

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"golts/internal/ckpt"
+	"golts/internal/tune"
 )
 
 // Handshake and stepping deadlines. Handshake failures almost always
@@ -53,6 +54,20 @@ type Config struct {
 	// ranks read the GOLTS_FAULT environment variable instead, which
 	// they inherit from this process.
 	Fault *FaultPlan
+
+	// AutoRebalance enables the runtime rebalancer: the coordinator
+	// watches the per-cycle, per-rank busy telemetry and, on sustained
+	// imbalance, snapshots the run, remaps parts onto ranks (LPT over
+	// the measured per-part costs), relaunches and resumes. Parts stay
+	// fixed — only their placement moves — so the trajectory stays
+	// bitwise identical. Implies Run.Telemetry.
+	AutoRebalance bool
+	// MaxRebalances bounds automatic rebalances per run; 0 selects the
+	// default (4) when AutoRebalance is set.
+	MaxRebalances int
+	// RebalanceDetector tunes the imbalance detector; zero fields take
+	// the tune package defaults (ratio 1.5 over 3 cycles, cooldown 10).
+	RebalanceDetector tune.DetectorConfig
 }
 
 // ctrlFrame is one control-plane message from a rank, read off the
@@ -90,10 +105,11 @@ type rankHandle struct {
 // one reader goroutine per rank; halo traffic never touches the
 // coordinator. A Coordinator is driven by one goroutine at a time.
 type Coordinator struct {
-	cfg    Config
-	ranks  []*rankHandle
-	recOwn []int // receiver index → owning rank
-	t      float64
+	cfg      Config
+	ranks    []*rankHandle
+	recParts []int // receiver index → owning part (placement-invariant)
+	recOwn   []int // receiver index → owning rank, under the current map
+	t        float64
 
 	gen       int   // spawn generation; respawned ranks run at gen ≥ 1
 	cycle     int64 // completed cycles since Start (or RestoreState)
@@ -102,6 +118,13 @@ type Coordinator struct {
 
 	recoveries   int
 	recoveryWall time.Duration
+
+	// Telemetry + rebalancer state (Run.Telemetry / AutoRebalance):
+	busy          []float64      // last cycle's per-rank busy nanos
+	trace         *tune.Trace    // recent busy samples, ring-buffered
+	det           *tune.Detector // nil unless AutoRebalance
+	rebalances    int
+	rebalanceWall time.Duration
 
 	closeOnce sync.Once
 	closeErr  error
@@ -118,6 +141,12 @@ func Start(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("dist: Start called inside a rank process — the parent binary " +
 			"did not call RankMain before starting distributed work")
 	}
+	if cfg.AutoRebalance {
+		cfg.Run.Telemetry = true
+		if cfg.MaxRebalances == 0 {
+			cfg.MaxRebalances = 4
+		}
+	}
 	if err := cfg.Run.validate(); err != nil {
 		return nil, err
 	}
@@ -125,6 +154,13 @@ func Start(cfg Config) (*Coordinator, error) {
 		cfg.MaxRecoveries = 3
 	}
 	co := &Coordinator{cfg: cfg}
+	if cfg.Run.Telemetry {
+		co.busy = make([]float64, cfg.Run.Ranks)
+		co.trace = tune.NewTrace(64)
+	}
+	if cfg.AutoRebalance {
+		co.det = tune.NewDetector(cfg.RebalanceDetector)
+	}
 	if err := co.launch(); err != nil {
 		return nil, err
 	}
@@ -284,6 +320,7 @@ func (co *Coordinator) launch() error {
 			}
 		}(h)
 	}
+	co.applyRecOwn()
 	return nil
 }
 
@@ -353,21 +390,41 @@ func (co *Coordinator) recvFrame(ctx context.Context, i int, timeout time.Durati
 // Receivers returns the number of configured receiver dofs.
 func (co *Coordinator) Receivers() int { return len(co.cfg.Run.Receivers) }
 
-// SetReceiverOwners installs the receiver → sampling-rank mapping (see
-// ReceiverOwners). Operator construction is the caller's concern — the
-// facade already holds the geometry operator — so the owners arrive
-// precomputed; Step refuses to run without them.
-func (co *Coordinator) SetReceiverOwners(owners []int) error {
-	if len(owners) != len(co.cfg.Run.Receivers) {
-		return fmt.Errorf("dist: %d owners for %d receivers", len(owners), len(co.cfg.Run.Receivers))
+// SetReceiverParts installs the receiver → owning-part mapping (see
+// ReceiverOwnerParts). Operator construction is the caller's concern —
+// the facade already holds the geometry operator — so the parts arrive
+// precomputed; Step refuses to run without them. The coordinator
+// derives the sampling rank of each receiver from the current
+// part → rank placement, and re-derives it after every rebalance (the
+// owning part never moves; the executing rank may).
+func (co *Coordinator) SetReceiverParts(parts []int) error {
+	if len(parts) != len(co.cfg.Run.Receivers) {
+		return fmt.Errorf("dist: %d owner parts for %d receivers", len(parts), len(co.cfg.Run.Receivers))
 	}
-	for _, r := range owners {
-		if r < 0 || r >= co.cfg.Run.Ranks {
-			return fmt.Errorf("dist: receiver owner rank %d outside [0,%d)", r, co.cfg.Run.Ranks)
+	for _, p := range parts {
+		if p < 0 || p >= co.cfg.Run.Parts {
+			return fmt.Errorf("dist: receiver owner part %d outside [0,%d)", p, co.cfg.Run.Parts)
 		}
 	}
-	co.recOwn = append([]int(nil), owners...)
+	co.recParts = make([]int, len(parts))
+	copy(co.recParts, parts)
+	co.applyRecOwn()
 	return nil
+}
+
+// applyRecOwn recomputes the receiver → sampling-rank table from the
+// stored owner parts and the current part → rank placement. launch
+// calls it too, so a relaunch under a new map (rebalance, or recovery
+// after a failed rebalance) always scatters samples consistently.
+func (co *Coordinator) applyRecOwn() {
+	if co.recParts == nil {
+		return
+	}
+	ranks := co.cfg.Run.partRanks()
+	co.recOwn = make([]int, len(co.recParts))
+	for i, p := range co.recParts {
+		co.recOwn[i] = ranks[p]
+	}
 }
 
 // Step advances every rank by one coarse cycle and returns the cycle
@@ -387,7 +444,7 @@ func (co *Coordinator) Step() (t float64, samples []float64, err error) {
 // the caller.
 func (co *Coordinator) StepCtx(ctx context.Context) (t float64, samples []float64, err error) {
 	if co.recOwn == nil {
-		return 0, nil, fmt.Errorf("dist: Step before SetReceiverOwners")
+		return 0, nil, fmt.Errorf("dist: Step before SetReceiverParts")
 	}
 	if err := ctx.Err(); err != nil {
 		co.Abort()
@@ -405,6 +462,9 @@ func (co *Coordinator) StepCtx(ctx context.Context) (t float64, samples []float6
 		t, samples, err = co.stepCycle(ctx)
 	}
 	co.cycle++
+	if co.trace != nil {
+		co.trace.Record(co.cycle, co.busy)
+	}
 	if co.cfg.CheckpointEvery > 0 && co.cycle%int64(co.cfg.CheckpointEvery) == 0 {
 		for {
 			st, ferr := co.fetchState(ctx)
@@ -423,7 +483,106 @@ func (co *Coordinator) StepCtx(ctx context.Context) (t float64, samples []float6
 			}
 		}
 	}
+	if rerr := co.maybeRebalance(ctx); rerr != nil {
+		if ctx.Err() != nil {
+			co.Abort()
+			return 0, nil, ctx.Err()
+		}
+		// A failed rebalance attempt is a rank failure like any other:
+		// recovery replays up to co.cycle, so this cycle's samples stay
+		// valid; only an unrecoverable error surfaces.
+		if rerr = co.tryRecover(ctx, rerr); rerr != nil {
+			return 0, nil, rerr
+		}
+	}
 	return t, samples, nil
+}
+
+// maybeRebalance runs the imbalance detector over the cycle's busy
+// telemetry and, when it fires and budget remains, performs an
+// automatic rebalance: per-part costs are gathered from the ranks and
+// LPT-remapped onto the rank set. A remap identical to the current
+// placement (the load is as balanced as the parts allow) is skipped.
+func (co *Coordinator) maybeRebalance(ctx context.Context) error {
+	if co.det == nil || co.rebalances >= co.cfg.MaxRebalances {
+		return nil
+	}
+	if !co.det.Observe(co.busy) {
+		return nil
+	}
+	stats, err := co.Stats()
+	if err != nil {
+		return err
+	}
+	cost := make([]float64, co.cfg.Run.Parts)
+	for _, st := range stats {
+		for j, p := range st.OwnedParts {
+			if j < len(st.PartNanos) {
+				cost[p] = float64(st.PartNanos[j])
+			}
+		}
+	}
+	next := tune.Remap(cost, co.cfg.Run.Ranks)
+	if tune.Equal(next, co.cfg.Run.partRanks()) {
+		return nil
+	}
+	return co.rebalance(ctx, next)
+}
+
+// Rebalance moves the parts → ranks placement mid-run: snapshot the
+// replicated state, tear the current generation down, relaunch every
+// rank under the new map, and restore the snapshot. Parts — and with
+// them the ascending-part assembly order — never change, so the
+// resumed trajectory is bitwise identical to one that ran under either
+// placement throughout. The receiver sampling ranks are re-derived
+// from their (placement-invariant) owning parts.
+func (co *Coordinator) Rebalance(partRank []int) error {
+	return co.rebalance(context.Background(), partRank)
+}
+
+func (co *Coordinator) rebalance(ctx context.Context, partRank []int) error {
+	trial := co.cfg.Run
+	trial.PartRank = append([]int(nil), partRank...)
+	if err := trial.validate(); err != nil {
+		return err
+	}
+	st, err := co.fetchState(ctx)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	co.teardown(false)
+	co.cfg.Run.PartRank = trial.PartRank
+	co.gen++
+	if err := co.launch(); err != nil {
+		return err
+	}
+	if err := co.restoreAll(ctx, st); err != nil {
+		return err
+	}
+	co.rebalances++
+	co.rebalanceWall += time.Since(start)
+	return nil
+}
+
+// Rebalances reports how many part → rank rebalances this run has
+// performed and the wall-clock time spent inside them.
+func (co *Coordinator) Rebalances() (int, time.Duration) {
+	return co.rebalances, co.rebalanceWall
+}
+
+// PartRanks returns the current part → rank placement.
+func (co *Coordinator) PartRanks() []int {
+	return append([]int(nil), co.cfg.Run.partRanks()...)
+}
+
+// TraceSamples returns the recent per-cycle busy telemetry (oldest
+// first); empty unless Run.Telemetry is enabled.
+func (co *Coordinator) TraceSamples() []tune.Sample {
+	if co.trace == nil {
+		return nil
+	}
+	return co.trace.Samples()
 }
 
 // stepCycle drives one lockstep cycle across the ranks.
@@ -454,11 +613,17 @@ func (co *Coordinator) stepCycle(ctx context.Context) (float64, []float64, error
 				want++
 			}
 		}
+		if co.cfg.Run.Telemetry {
+			want++ // trailing per-cycle busy-nanos sample
+		}
 		if len(vals) != want {
 			return 0, nil, fmt.Errorf("dist: rank %d reported %d values, want %d", i, len(vals), want)
 		}
 		if i == 0 {
 			co.t = vals[0]
+		}
+		if co.cfg.Run.Telemetry {
+			co.busy[i] = vals[len(vals)-1]
 		}
 		k := 1
 		for ri, o := range co.recOwn {

@@ -134,12 +134,12 @@ func runDist(t *testing.T, tc *testConfig, cycles int, inProcess bool) ([]float6
 			t.Errorf("Close: %v", err)
 		}
 	}()
-	owners, err := ReceiverOwners(tc.geom, &tc.cfg)
+	owners, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
 	if err != nil {
-		t.Fatalf("ReceiverOwners: %v", err)
+		t.Fatalf("ReceiverOwnerParts: %v", err)
 	}
-	if err := co.SetReceiverOwners(owners); err != nil {
-		t.Fatalf("SetReceiverOwners: %v", err)
+	if err := co.SetReceiverParts(owners); err != nil {
+		t.Fatalf("SetReceiverParts: %v", err)
 	}
 	var times []float64
 	var samples [][]float64
@@ -311,12 +311,12 @@ func TestStats(t *testing.T) {
 		t.Fatalf("Start: %v", err)
 	}
 	defer co.Close()
-	owners, err := ReceiverOwners(tc.geom, &tc.cfg)
+	owners, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
 	if err != nil {
-		t.Fatalf("ReceiverOwners: %v", err)
+		t.Fatalf("ReceiverOwnerParts: %v", err)
 	}
-	if err := co.SetReceiverOwners(owners); err != nil {
-		t.Fatalf("SetReceiverOwners: %v", err)
+	if err := co.SetReceiverParts(owners); err != nil {
+		t.Fatalf("SetReceiverParts: %v", err)
 	}
 	for c := 0; c < 3; c++ {
 		if _, _, err := co.Step(); err != nil {
@@ -347,19 +347,32 @@ func TestStats(t *testing.T) {
 }
 
 // TestReceiverOwnersCover: every receiver is owned by exactly one valid
-// rank, and every dof of the mesh has an owner part.
+// part, and the rank-level mapping agrees with the placement.
 func TestReceiverOwnersCover(t *testing.T) {
 	tc := newTestConfig(t, "elastic", true, 3, 3)
+	parts, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
+	if err != nil {
+		t.Fatalf("ReceiverOwnerParts: %v", err)
+	}
+	if len(parts) != len(tc.cfg.Receivers) {
+		t.Fatalf("got %d owner parts for %d receivers", len(parts), len(tc.cfg.Receivers))
+	}
+	for i, p := range parts {
+		if p < 0 || p >= tc.cfg.Parts {
+			t.Errorf("receiver %d owner part %d outside [0,%d)", i, p, tc.cfg.Parts)
+		}
+	}
 	owners, err := ReceiverOwners(tc.geom, &tc.cfg)
 	if err != nil {
 		t.Fatalf("ReceiverOwners: %v", err)
 	}
-	if len(owners) != len(tc.cfg.Receivers) {
-		t.Fatalf("got %d owners for %d receivers", len(owners), len(tc.cfg.Receivers))
-	}
+	ranks := tc.cfg.partRanks()
 	for i, r := range owners {
 		if r < 0 || r >= tc.cfg.Ranks {
-			t.Errorf("receiver %d owner %d outside [0,%d)", i, r, tc.cfg.Ranks)
+			t.Errorf("receiver %d owner rank %d outside [0,%d)", i, r, tc.cfg.Ranks)
+		}
+		if r != ranks[parts[i]] {
+			t.Errorf("receiver %d owner rank %d != placement of part %d (%d)", i, r, parts[i], ranks[parts[i]])
 		}
 	}
 }

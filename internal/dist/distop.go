@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"golts/internal/decomp"
 	"golts/internal/sem"
@@ -52,7 +53,8 @@ type Operator struct {
 	// individual substeps within a cycle.
 	OnApply func()
 
-	pLo, pHi int         // owned part range
+	owned    []int       // owned parts, ascending
+	localIdx []int       // part → index into owned/acc, -1 for remote parts
 	acc      [][]float64 // per owned part, full-length accumulation buffers
 	scr      sem.Scratch
 	bscr     sem.BatchScratch
@@ -65,7 +67,14 @@ type Operator struct {
 	// on the full footprint to keep the replicated state exact there.
 	rankNodes [][]int32
 
-	partRank []int // part → executing rank
+	partRank []int   // part → executing rank
+	ownedBy  [][]int // rank → its owned parts, ascending
+
+	// partNanos accumulates per-owned-part compute wall time (indexed
+	// like owned/acc) when cfg.Telemetry is set; the rebalancer reads it
+	// through RankStats to cost parts before remapping them.
+	telemetry bool
+	partNanos []int64
 
 	plans      *decomp.Cache
 	ext        map[*decomp.Plan]*distPlan
@@ -92,26 +101,27 @@ type distPlan struct {
 	// Both sides derive both lists from the shared plan, so the pairing
 	// always matches.
 	sendRanks, recvRanks []int
-	// sendNodes[q][i] lists, for rank q and owned part pLo+i, the
-	// ascending nodes of Touched[pLo+i] ∩ rankNodes[q] whose
+	// sendNodes[q][i] lists, for rank q and the i-th owned part, the
+	// ascending nodes of Touched[owned[i]] ∩ rankNodes[q] whose
 	// contributions we send to q. recvNodes[p] lists, for each remote
 	// part p, the ascending nodes of Touched[p] ∩ rankNodes[self] we
-	// receive; remote parts of one rank are consecutive, so one message
-	// is consumed sequentially while assembling parts in ascending
-	// order.
+	// receive. A rank packs its parts in ascending part order and the
+	// global assembly sweep also visits parts ascending, so each
+	// neighbour's single message is consumed sequentially whatever the
+	// part → rank placement — owned parts need not be contiguous.
 	sendNodes map[int][][]int32
 	recvNodes [][]int32
 	sendCount map[int]int // total nodes sent to q per apply
-	// batch[i] is the inner batch plan of owned part pLo+i (nil for empty
-	// parts); built lazily on the first batched apply so per-element
-	// configurations never hold the packed constants.
+	// batch[i] is the inner batch plan of the i-th owned part (nil for
+	// empty parts); built lazily on the first batched apply so
+	// per-element configurations never hold the packed constants.
 	batch      []sem.BatchPlan
 	batchTried bool
 }
 
 // NewOperator builds the rank-local distributed operator. part maps
 // every element to a part in [0, cfg.Parts); parts map onto ranks in
-// contiguous blocks.
+// contiguous blocks unless cfg.PartRank places them explicitly.
 func NewOperator(inner sem.Operator, cfg *RunConfig, rank int, ex exchanger) (*Operator, error) {
 	if rank < 0 || rank >= cfg.Ranks {
 		return nil, fmt.Errorf("dist: rank %d outside [0,%d)", rank, cfg.Ranks)
@@ -129,12 +139,22 @@ func NewOperator(inner sem.Operator, cfg *RunConfig, rank int, ex exchanger) (*O
 		ext:   make(map[*decomp.Plan]*distPlan),
 	}
 	d.bk, _ = inner.(sem.BatchKernel)
-	d.partRank = ownerRanks(cfg.Parts, cfg.Ranks)
-	d.pLo, d.pHi = partRange(rank, cfg.Parts, cfg.Ranks)
-	d.acc = make([][]float64, d.pHi-d.pLo)
+	d.partRank = cfg.partRanks()
+	d.ownedBy = rankParts(d.partRank, cfg.Ranks)
+	d.owned = d.ownedBy[rank]
+	d.localIdx = make([]int, cfg.Parts)
+	for p := range d.localIdx {
+		d.localIdx[p] = -1
+	}
+	for i, p := range d.owned {
+		d.localIdx[p] = i
+	}
+	d.acc = make([][]float64, len(d.owned))
 	for i := range d.acc {
 		d.acc[i] = make([]float64, inner.NDof())
 	}
+	d.telemetry = cfg.Telemetry
+	d.partNanos = make([]int64, len(d.owned))
 	// Global per-rank element-node footprints: one list of element ids
 	// per rank, then the shared touched-set construction.
 	rankElems := make([][]int32, cfg.Ranks)
@@ -150,6 +170,13 @@ func NewOperator(inner sem.Operator, cfg *RunConfig, rank int, ex exchanger) (*O
 
 // Stats returns the accumulated communication counters.
 func (d *Operator) Stats() Stats { return d.stats }
+
+// OwnedParts returns this rank's owned parts, ascending.
+func (d *Operator) OwnedParts() []int { return d.owned }
+
+// PartNanos returns the cumulative compute wall time of each owned part
+// (indexed like OwnedParts), measured only when cfg.Telemetry is set.
+func (d *Operator) PartNanos() []int64 { return d.partNanos }
 
 // OwnedNodes returns this rank's global element-node footprint: the
 // ascending nodes its owned elements touch. On exactly these nodes the
@@ -204,11 +231,11 @@ func (d *Operator) buildHalo(dp *decomp.Plan) *distPlan {
 		}
 		// Outgoing: per owned part, the slice of this level's touched set
 		// inside q's footprint.
-		send := make([][]int32, d.pHi-d.pLo)
+		send := make([][]int32, len(d.owned))
 		total := 0
-		for p := d.pLo; p < d.pHi; p++ {
-			send[p-d.pLo] = decomp.Shared(dp.Touched[p], d.rankNodes[q])
-			total += len(send[p-d.pLo])
+		for i, p := range d.owned {
+			send[i] = decomp.Shared(dp.Touched[p], d.rankNodes[q])
+			total += len(send[i])
 		}
 		if total > 0 {
 			pl.sendRanks = append(pl.sendRanks, q)
@@ -218,9 +245,8 @@ func (d *Operator) buildHalo(dp *decomp.Plan) *distPlan {
 		// Incoming: per remote part of q, the slice of its touched set
 		// inside our footprint. The sender computes the identical lists
 		// from the same plan, so the payload needs no index header.
-		lo, hi := partRange(q, d.cfg.Parts, d.cfg.Ranks)
 		recvTotal := 0
-		for p := lo; p < hi; p++ {
+		for _, p := range d.ownedBy[q] {
 			pl.recvNodes[p] = decomp.Shared(dp.Touched[p], mine)
 			recvTotal += len(pl.recvNodes[p])
 		}
@@ -246,9 +272,15 @@ func (d *Operator) apply(dst []float64, pl *distPlan, compute func(i, p int)) {
 	// Phase 1 — compute: every owned part accumulates its elements into
 	// its private buffer (the request-order, per-part accumulation that
 	// matches one shared-memory rank worker bitwise).
-	for p := d.pLo; p < d.pHi; p++ {
+	for i, p := range d.owned {
 		if len(dp.Parts[p]) > 0 {
-			compute(p-d.pLo, p)
+			if d.telemetry {
+				start := time.Now()
+				compute(i, p)
+				d.partNanos[i] += time.Since(start).Nanoseconds()
+			} else {
+				compute(i, p)
+			}
 		}
 	}
 
@@ -291,13 +323,14 @@ func (d *Operator) apply(dst []float64, pl *distPlan, compute func(i, p int)) {
 
 	// Phase 3 — assemble: add every part's contribution in ascending
 	// part order. Local parts drain (and re-zero) their buffers; remote
-	// parts consume their neighbour's frame sequentially (remote parts of
-	// one rank are consecutive in part order). The ascending-part adds
+	// parts consume their neighbour's frame sequentially (a rank's parts
+	// are met in ascending order during the sweep, matching the sender's
+	// packing order, whatever the placement). The ascending-part adds
 	// reproduce the shared-memory merge bitwise at every locally-touched
 	// node.
 	for p := 0; p < dp.P; p++ {
-		if p >= d.pLo && p < d.pHi {
-			acc := d.acc[p-d.pLo]
+		if li := d.localIdx[p]; li >= 0 {
+			acc := d.acc[li]
 			for _, n := range dp.Touched[p] {
 				base := int(n) * nc
 				for c := 0; c < nc; c++ {
@@ -384,14 +417,15 @@ func (d *Operator) NewBatchPlan(elems []int32) sem.BatchPlan {
 	pl := d.lookup(elems)
 	if !pl.batchTried {
 		pl.batchTried = true
-		b := make([]sem.BatchPlan, d.pHi-d.pLo)
+		b := make([]sem.BatchPlan, len(d.owned))
 		ok := true
-		for p := d.pLo; p < d.pHi && ok; p++ {
+		for i, p := range d.owned {
 			if len(pl.dp.Parts[p]) == 0 {
 				continue
 			}
-			if b[p-d.pLo] = d.bk.NewBatchPlan(pl.dp.Parts[p]); b[p-d.pLo] == nil {
+			if b[i] = d.bk.NewBatchPlan(pl.dp.Parts[p]); b[i] == nil {
 				ok = false // wrapper whose inner operator cannot batch
+				break
 			}
 		}
 		if ok {

@@ -60,11 +60,11 @@ func TestRankDeathReturnsTypedFailure(t *testing.T) {
 		t.Fatalf("Start: %v", err)
 	}
 	defer co.Abort()
-	owners, err := ReceiverOwners(tc.geom, &tc.cfg)
+	owners, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := co.SetReceiverOwners(owners); err != nil {
+	if err := co.SetReceiverParts(owners); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := co.Step(); err != nil {
@@ -103,11 +103,11 @@ func TestStallDetectedByHeartbeat(t *testing.T) {
 	// The stalled rank goroutine parks forever by design; Abort (not
 	// Close) so teardown does not wait politely for it.
 	defer co.Abort()
-	owners, err := ReceiverOwners(tc.geom, &tc.cfg)
+	owners, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := co.SetReceiverOwners(owners); err != nil {
+	if err := co.SetReceiverParts(owners); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
@@ -143,11 +143,11 @@ func runRecovered(t *testing.T, tc *testConfig, cycles int, inProcess bool, faul
 			t.Errorf("Close: %v", err)
 		}
 	}()
-	owners, err := ReceiverOwners(tc.geom, &tc.cfg)
+	owners, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := co.SetReceiverOwners(owners); err != nil {
+	if err := co.SetReceiverParts(owners); err != nil {
 		t.Fatal(err)
 	}
 	var times []float64
@@ -233,11 +233,11 @@ func TestFetchRestoreState(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Start: %v", err)
 		}
-		owners, err := ReceiverOwners(tc.geom, &tc.cfg)
+		owners, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := co.SetReceiverOwners(owners); err != nil {
+		if err := co.SetReceiverParts(owners); err != nil {
 			t.Fatal(err)
 		}
 		return co, func() { co.Close() }
@@ -320,11 +320,11 @@ func TestFetchStateExactGlobalField(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer co.Abort()
-	owners, err := ReceiverOwners(tc.geom, &tc.cfg)
+	owners, err := ReceiverOwnerParts(tc.geom, &tc.cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := co.SetReceiverOwners(owners); err != nil {
+	if err := co.SetReceiverParts(owners); err != nil {
 		t.Fatal(err)
 	}
 	for c := 0; c < mid; c++ {
@@ -372,7 +372,7 @@ func TestFetchStateExactGlobalField(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer co2.Abort()
-	if err := co2.SetReceiverOwners(owners); err != nil {
+	if err := co2.SetReceiverParts(owners); err != nil {
 		t.Fatal(err)
 	}
 	if err := co2.RestoreState(st); err != nil {

@@ -213,6 +213,15 @@ type RankStats struct {
 	Cycles                    int64
 	EffectiveSpeedup          float64
 	Efficiency                float64
+
+	// Telemetry (populated only when RunConfig.Telemetry is set):
+	// LevelNanos is the cumulative per-LTS-level kernel wall time of this
+	// rank; OwnedParts its owned parts (ascending) and PartNanos the
+	// cumulative compute wall time of each, indexed like OwnedParts —
+	// the per-part costs the rebalancer feeds to the remapper.
+	LevelNanos []int64
+	OwnedParts []int
+	PartNanos  []int64
 }
 
 // rankRun is the live state of one rank process.
@@ -228,6 +237,9 @@ type rankRun struct {
 	// recIdx lists the indices into cfg.Receivers this rank owns,
 	// ascending; samples are reported in this order.
 	recIdx []int
+	// lastBusy is the owned-part compute nanos already reported, so each
+	// cycle-done frame carries only the cycle's delta (telemetry only).
+	lastBusy int64
 
 	// Fault-injection state (nil fault = none armed).
 	fault   *FaultPlan
@@ -412,6 +424,7 @@ func (r *rankRun) build() error {
 			return err
 		}
 		sch.Kernel = kern
+		sch.Telemetry = r.cfg.Telemetry
 		sch.SetSources(srcs)
 		sch.Sigma = sigma
 		r.ltsS = sch
@@ -496,6 +509,13 @@ func (r *rankRun) serve() error {
 				st.ElemApplies = r.gS.ElementSteps
 				st.Cycles = r.gS.StepCount()
 			}
+			if r.cfg.Telemetry {
+				if r.ltsS != nil {
+					st.LevelNanos = append([]int64(nil), r.ltsS.Work.LevelNanos...)
+				}
+				st.OwnedParts = append([]int(nil), r.dop.OwnedParts()...)
+				st.PartNanos = append([]int64(nil), r.dop.PartNanos()...)
+			}
 			if err := r.coord.sendGob(msgStatsResp, &st); err != nil {
 				return err
 			}
@@ -567,10 +587,20 @@ func (r *rankRun) stepOnce() (err error) {
 	}
 	r.st.Step()
 	u := r.st.State()
-	vals := make([]float64, 0, 1+len(r.recIdx))
+	vals := make([]float64, 0, 2+len(r.recIdx))
 	vals = append(vals, r.st.Time())
 	for _, i := range r.recIdx {
 		vals = append(vals, u[r.cfg.Receivers[i]])
+	}
+	if r.cfg.Telemetry {
+		// Trailing busy-nanos sample: this cycle's owned-part compute
+		// time, the imbalance signal the coordinator's detector watches.
+		var busy int64
+		for _, n := range r.dop.PartNanos() {
+			busy += n
+		}
+		vals = append(vals, float64(busy-r.lastBusy))
+		r.lastBusy = busy
 	}
 	return r.coord.send(msgCycleDone, putFloats(nil, vals))
 }

@@ -32,6 +32,10 @@ func TestStepZeroAllocs(t *testing.T) {
 				t.Fatal(err)
 			}
 			s.Kernel = kern
+			// Telemetry must stay free on the warm path: the per-level
+			// counters are preallocated and the monotonic clock reads do
+			// not allocate.
+			s.Telemetry = true
 			s.SetSources([]sem.Source{{Dof: 3, W: sem.Ricker{F0: 1, T0: 1.2}}})
 			s.Step() // warm-up: scratch grows, first-cycle branch taken
 			s.Step()

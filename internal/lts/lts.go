@@ -27,6 +27,7 @@ package lts
 
 import (
 	"fmt"
+	"time"
 
 	"golts/internal/mesh"
 	"golts/internal/sem"
@@ -38,6 +39,10 @@ type Work struct {
 	ElemApplies int64
 	// PerLevel[li] is the element-application count of level li.
 	PerLevel []int64
+	// LevelNanos[li] is the cumulative wall time of level li's stiffness
+	// kernel calls. Populated only when the scheme's Telemetry flag is
+	// set (two monotonic clock reads per apply); zero otherwise.
+	LevelNanos []int64
 	// Cycles is the number of completed LTS cycles (coarse steps).
 	Cycles int64
 }
@@ -62,6 +67,10 @@ type Scheme struct {
 	// Set sem.KernelPerElement before stepping to force the per-element
 	// reference path.
 	Kernel sem.Kernel
+	// Telemetry enables per-level kernel wall-time accounting in
+	// Work.LevelNanos. Off by default: the hot path then carries one
+	// predictable branch and no clock reads.
+	Telemetry bool
 
 	// U is the displacement at t_n; V the velocity at t_{n-1/2}.
 	U, V []float64
@@ -129,6 +138,7 @@ func New(op sem.Operator, elemLevel []uint8, numLevels int, dt float64, optimize
 		sem.Prepare(op, st.forceElems[li])
 	}
 	s.Work.PerLevel = make([]int64, numLevels)
+	s.Work.LevelNanos = make([]int64, numLevels)
 	s.zbuf = make([][]float64, numLevels)
 	s.fbuf = make([][]float64, numLevels)
 	s.vbuf = make([][]float64, numLevels)
@@ -198,10 +208,17 @@ func (s *Scheme) applyAP(li int, u []float64, t float64, dst []float64) {
 			s.mask[int(n)*nc+c] = u[int(n)*nc+c]
 		}
 	}
+	var kstart time.Time
+	if s.Telemetry {
+		kstart = time.Now()
+	}
 	if s.Kernel == sem.KernelBatched && s.ensureBatch() {
 		s.batch.AddKuBatch(s.kbuf, s.mask, s.bplans[li], &s.bscr)
 	} else {
 		s.Op.AddKuScratch(s.kbuf, s.mask, s.sets.forceElems[li], &s.scr)
+	}
+	if s.Telemetry {
+		s.Work.LevelNanos[li] += time.Since(kstart).Nanoseconds()
 	}
 	s.Work.ElemApplies += int64(len(s.sets.forceElems[li]))
 	s.Work.PerLevel[li] += int64(len(s.sets.forceElems[li]))

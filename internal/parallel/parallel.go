@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"golts/internal/sem"
 )
@@ -79,8 +80,27 @@ type PartitionedOperator struct {
 	// never touches the pool there.
 	scrPool sync.Pool
 
+	// telemetry gates the per-worker compute-time counters (read by the
+	// workers on every compute task, so atomic rather than a plain bool).
+	telemetry atomic.Bool
+
 	mu    sync.Mutex
 	stats Stats
+}
+
+// SetTelemetry enables or disables per-worker compute wall-time
+// accounting. Off by default; when off the compute path performs a
+// single atomic load and no clock reads.
+func (p *PartitionedOperator) SetTelemetry(on bool) { p.telemetry.Store(on) }
+
+// WorkerBusyNanos returns each worker's cumulative compute wall time,
+// indexed by worker id. All zeros unless SetTelemetry(true) was called.
+func (p *PartitionedOperator) WorkerBusyNanos() []int64 {
+	out := make([]int64, p.K)
+	for r, w := range p.workers {
+		out[r] = w.busy.Load()
+	}
+	return out
 }
 
 // DefaultWorkers returns the default rank count: one per GOMAXPROCS slot.

@@ -1,6 +1,11 @@
 package parallel
 
-import "golts/internal/sem"
+import (
+	"sync/atomic"
+	"time"
+
+	"golts/internal/sem"
+)
 
 // taskKind selects the phase a dispatched task belongs to.
 type taskKind uint8
@@ -38,6 +43,7 @@ type rankWorker struct {
 	acc  []float64
 	scr  sem.Scratch
 	bscr sem.BatchScratch
+	busy atomic.Int64 // cumulative compute nanos (telemetry only)
 }
 
 // serve processes tasks until the channel closes. The master's
@@ -47,10 +53,18 @@ func (w *rankWorker) serve(p *PartitionedOperator) {
 	for t := range w.ch {
 		switch t.kind {
 		case taskCompute:
+			var start time.Time
+			tel := p.telemetry.Load()
+			if tel {
+				start = time.Now()
+			}
 			if t.bplan != nil {
 				w.bop.AddKuBatch(w.acc, t.u, t.bplan, &w.bscr)
 			} else {
 				w.op.AddKuScratch(w.acc, t.u, t.plan.dp.Parts[w.id], &w.scr)
+			}
+			if tel {
+				w.busy.Add(time.Since(start).Nanoseconds())
 			}
 		case taskMerge:
 			t.plan.mergeShard(t.shard, t.dst, p.workers)

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -72,6 +73,14 @@ type Config struct {
 	// an infrastructure error; it doubles per retry, capped at 30 s.
 	// Default 500 ms.
 	RetryBaseDelay time.Duration
+	// AutoTune, when positive, runs every job under wave.WithAutoTune
+	// with this probing budget: the first build of each configuration
+	// calibrates a deployment shape (worker count, kernel) and the plan is
+	// cached in the shared artifact cache, so same-config jobs pay the
+	// probes once. Zero disables tuning (jobs run at their requested
+	// worker count). Note the budget accounting still charges each job its
+	// requested Workers — the tuned count applies inside the simulation.
+	AutoTune time.Duration
 }
 
 // ErrQueueFull is returned by Submit when the pending queue is at
@@ -167,6 +176,7 @@ type Server struct {
 	submitted, done, failed, cancelled int64
 	replayed, retried, resumed         int64
 	checkpoints, recoveries            int64
+	rebalances                         int64
 
 	// testRunFault, when set, is invoked before each attempt's Run; a
 	// non-nil return is treated as that attempt's infrastructure failure.
@@ -469,6 +479,9 @@ func (s *Server) runSim(ctx context.Context, j *Job, attempt int) error {
 		wave.WithSeed(j.req.Seed),
 		wave.WithArtifactCache(s.cache),
 	)
+	if s.cfg.AutoTune > 0 {
+		opts = append(opts, wave.WithAutoTune(s.cfg.AutoTune))
+	}
 
 	// A retry rebuilds the stream, so the buffer restarts empty (and is
 	// refilled from the spooled prefix on resume).
@@ -511,6 +524,7 @@ func (s *Server) runSim(ctx context.Context, j *Job, attempt int) error {
 	s.mu.Lock()
 	s.checkpoints += stats.Checkpoints
 	s.recoveries += int64(stats.Recoveries)
+	s.rebalances += int64(stats.Rebalances)
 	s.mu.Unlock()
 
 	if runErr != nil {
@@ -666,11 +680,30 @@ type StatsResponse struct {
 	Resumed     int64 `json:"resumed"`
 	Checkpoints int64 `json:"checkpoints"`
 	Recoveries  int64 `json:"recoveries"`
+	// Rebalances aggregates the mid-run part→rank remaps of every
+	// completed attempt (zero unless jobs ran distributed with automatic
+	// rebalancing on).
+	Rebalances int64 `json:"rebalances"`
+	// Jobs lists, per completed attempt, the tuned deployment shape and
+	// rebalance count — the observable effect of Config.AutoTune and the
+	// runtime load balancer on each job.
+	Jobs []JobSummary `json:"jobs,omitempty"`
 	// Cache reports the artifact cache: traffic counters plus residency.
 	Cache struct {
 		decomp.MemoCounters
 		Entries int `json:"entries"`
 	} `json:"cache"`
+}
+
+// JobSummary is one job's tuning line in the /stats payload. Jobs whose
+// attempts have not produced stats yet (queued, still running their
+// first attempt) are omitted.
+type JobSummary struct {
+	ID           string `json:"id"`
+	State        State  `json:"state"`
+	TunedWorkers int    `json:"tuned_workers,omitempty"`
+	TunedRanks   int    `json:"tuned_ranks,omitempty"`
+	Rebalances   int    `json:"rebalances,omitempty"`
 }
 
 // Stats returns a snapshot of the server counters.
@@ -690,8 +723,25 @@ func (s *Server) Stats() StatsResponse {
 		Resumed:      s.resumed,
 		Checkpoints:  s.checkpoints,
 		Recoveries:   s.recoveries,
+		Rebalances:   s.rebalances,
+	}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.hasStats {
+			resp.Jobs = append(resp.Jobs, JobSummary{
+				ID:           j.ID,
+				State:        j.state,
+				TunedWorkers: j.stats.TunedWorkers,
+				TunedRanks:   j.stats.TunedRanks,
+				Rebalances:   j.stats.Rebalances,
+			})
+		}
+		j.mu.Unlock()
 	}
 	s.mu.Unlock()
+	sort.Slice(resp.Jobs, func(a, b int) bool {
+		return jobNum(resp.Jobs[a].ID) < jobNum(resp.Jobs[b].ID)
+	})
 	resp.Cache.MemoCounters = s.cache.Counters()
 	resp.Cache.Entries = s.cache.Len()
 	return resp

@@ -463,3 +463,66 @@ func TestServerClose(t *testing.T) {
 		t.Errorf("Submit after Close: %v", err)
 	}
 }
+
+// TestAutoTuneJobs: with Config.AutoTune set, jobs are placed with a
+// calibrated deployment shape, the plan is cached so a same-config job
+// reuses it without re-probing, and GET /stats lists each job's tuned
+// shape.
+func TestAutoTuneJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probes skipped in -short")
+	}
+	s := mustNew(t, Config{Concurrency: 1, WorkerBudget: 1, AutoTune: 30 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, sn1 := postJob(t, ts.URL, tinyReq())
+	j1, _ := s.Job(sn1.ID)
+	waitTerminal(t, j1)
+	if st := j1.StateNow(); st != StateDone {
+		t.Fatalf("tuned job finished %s (%s)", st, j1.Err())
+	}
+	st1, ok := j1.Stats()
+	if !ok || st1.TunedWorkers < 1 {
+		t.Fatalf("tuned job carries no plan: %+v", st1)
+	}
+	if st1.Workers != st1.TunedWorkers {
+		t.Errorf("tuned shape not applied: ran %d workers, plan %d", st1.Workers, st1.TunedWorkers)
+	}
+
+	// Second identical job: the cached plan is reused (one tune artifact,
+	// no second probe sweep) and reports the same shape.
+	misses := s.Cache().Counters().Misses
+	_, sn2 := postJob(t, ts.URL, tinyReq())
+	j2, _ := s.Job(sn2.ID)
+	waitTerminal(t, j2)
+	st2, ok := j2.Stats()
+	if !ok || st2.TunedWorkers != st1.TunedWorkers {
+		t.Errorf("cached plan not reused: %+v vs %+v", st2, st1)
+	}
+	if d := s.Cache().Counters().Misses - misses; d != 0 {
+		t.Errorf("second same-config job rebuilt %d artifacts, want 0", d)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	resp.Body.Close()
+	if len(stats.Jobs) != 2 {
+		t.Fatalf("stats lists %d jobs, want 2: %+v", len(stats.Jobs), stats.Jobs)
+	}
+	for _, js := range stats.Jobs {
+		if js.TunedWorkers != st1.TunedWorkers {
+			t.Errorf("job %s tuned_workers %d, want %d", js.ID, js.TunedWorkers, st1.TunedWorkers)
+		}
+		if js.State != StateDone {
+			t.Errorf("job %s state %s in summary", js.ID, js.State)
+		}
+	}
+}

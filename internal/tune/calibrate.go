@@ -1,0 +1,128 @@
+package tune
+
+import (
+	"fmt"
+	"time"
+)
+
+// Candidate is one deployment shape of the calibration grid. Ranks == 0
+// probes the shared-memory backend with Workers workers; Ranks > 0
+// probes the distributed backend. Kernel is "batched" or "perelement".
+type Candidate struct {
+	Workers int    `json:"workers"`
+	Ranks   int    `json:"ranks"`
+	Kernel  string `json:"kernel"`
+}
+
+func (c Candidate) String() string {
+	if c.Ranks > 0 {
+		return fmt.Sprintf("ranks=%d/%s", c.Ranks, c.Kernel)
+	}
+	return fmt.Sprintf("workers=%d/%s", c.Workers, c.Kernel)
+}
+
+// Result is what a probe run reports back to Calibrate: measured wall
+// time per coarse cycle, the per-level kernel telemetry, and the
+// cluster cost model's predicted cycle time for the same shape (model
+// seconds; Calibrate fits the nanos-per-model-second scale).
+type Result struct {
+	CycleNanos   float64
+	LevelNanos   []int64
+	ModelSeconds float64
+}
+
+// Runner executes one probe: a short run of the caller's configuration
+// under candidate c for the given number of coarse cycles. The wave
+// facade supplies it — this package never builds simulations itself.
+type Runner func(c Candidate, cycles int) (Result, error)
+
+// Measurement is one candidate's calibration row: measured next to
+// predicted, the table BENCH_tune.json publishes.
+type Measurement struct {
+	Candidate
+	CycleNanos     float64 `json:"cycle_ns"`
+	ModelSeconds   float64 `json:"model_s"`
+	PredictedNanos float64 `json:"predicted_ns"`
+	LevelNanos     []int64 `json:"level_ns,omitempty"`
+	Err            string  `json:"error,omitempty"`
+}
+
+// Plan is the calibration outcome: the winning shape plus the full
+// measured-vs-predicted table behind the choice.
+type Plan struct {
+	Best         Candidate     `json:"best"`
+	ProbeCycles  int           `json:"probe_cycles"`
+	FitScale     float64       `json:"fit_ns_per_model_s"`
+	Measurements []Measurement `json:"measurements"`
+}
+
+// Valid reports whether the plan selects an executable shape.
+func (p *Plan) Valid() bool {
+	return p != nil && (p.Best.Workers > 0 || p.Best.Ranks > 0) &&
+		(p.Best.Kernel == "batched" || p.Best.Kernel == "perelement")
+}
+
+// Calibrate probes the candidate grid with short runs and returns the
+// plan. Each candidate runs probeCycles coarse cycles; once the wall
+// budget is spent, remaining candidates are skipped (at least one
+// always runs — a zero or tiny budget degenerates to probing the first
+// candidate only). The winner is the lowest measured per-cycle time;
+// the fit scale is the least-squares nanos-per-model-second factor
+// between the cluster model's predictions and the measurements, so
+// PredictedNanos is directly comparable to CycleNanos in the report.
+func Calibrate(cands []Candidate, budget time.Duration, probeCycles int, run Runner) (*Plan, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("tune: no candidates")
+	}
+	if run == nil {
+		return nil, fmt.Errorf("tune: nil runner")
+	}
+	if probeCycles < 1 {
+		probeCycles = 3
+	}
+	start := time.Now()
+	plan := &Plan{ProbeCycles: probeCycles}
+	ran := 0
+	for _, c := range cands {
+		if ran > 0 && budget > 0 && time.Since(start) >= budget {
+			break
+		}
+		m := Measurement{Candidate: c}
+		res, err := run(c, probeCycles)
+		if err != nil {
+			m.Err = err.Error()
+		} else {
+			m.CycleNanos = res.CycleNanos
+			m.ModelSeconds = res.ModelSeconds
+			m.LevelNanos = res.LevelNanos
+		}
+		plan.Measurements = append(plan.Measurements, m)
+		ran++
+	}
+	// Least-squares fit measured = scale · model over successful probes.
+	var num, den float64
+	for _, m := range plan.Measurements {
+		if m.Err == "" && m.ModelSeconds > 0 {
+			num += m.CycleNanos * m.ModelSeconds
+			den += m.ModelSeconds * m.ModelSeconds
+		}
+	}
+	if den > 0 {
+		plan.FitScale = num / den
+	}
+	best := -1
+	for i := range plan.Measurements {
+		m := &plan.Measurements[i]
+		if m.ModelSeconds > 0 {
+			m.PredictedNanos = plan.FitScale * m.ModelSeconds
+		}
+		if m.Err == "" && (best < 0 || m.CycleNanos < plan.Measurements[best].CycleNanos) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("tune: every probe failed (first: %s)", plan.Measurements[0].Err)
+	}
+	plan.Best = plan.Measurements[best].Candidate
+	return plan, nil
+}

@@ -1,0 +1,86 @@
+package tune
+
+// DetectorConfig tunes the imbalance detector. Zero values select the
+// defaults.
+type DetectorConfig struct {
+	// Threshold is the max/mean per-rank busy ratio that counts as an
+	// imbalanced cycle. Default 1.5: the slowest rank runs 50% over the
+	// average, i.e. the paper's parallel efficiency drops under ~2/3.
+	Threshold float64
+	// Window is how many consecutive imbalanced cycles arm a rebalance
+	// (transient noise — GC pauses, scheduler hiccups — should not).
+	// Default 3.
+	Window int
+	// Cooldown is how many cycles the detector stays quiet after
+	// triggering, giving the new placement time to show in the signal.
+	// Default 10.
+	Cooldown int
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Threshold <= 1 {
+		c.Threshold = 1.5
+	}
+	if c.Window < 1 {
+		c.Window = 3
+	}
+	if c.Cooldown < 1 {
+		c.Cooldown = 10
+	}
+	return c
+}
+
+// Detector watches the per-cycle, per-rank busy signal for sustained
+// imbalance. It is a small deterministic state machine: Observe returns
+// true exactly when Window consecutive cycles exceeded Threshold and no
+// cooldown is pending.
+type Detector struct {
+	cfg      DetectorConfig
+	streak   int
+	cooldown int
+}
+
+// NewDetector builds a detector; zero config fields take defaults.
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Ratio returns max/mean of the busy sample, or 0 when the sample is
+// degenerate (empty, or an idle cycle with zero mean).
+func Ratio(busy []float64) float64 {
+	if len(busy) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, b := range busy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return max / (sum / float64(len(busy)))
+}
+
+// Observe feeds one cycle's busy sample and reports whether a rebalance
+// should fire now.
+func (d *Detector) Observe(busy []float64) bool {
+	if d.cooldown > 0 {
+		d.cooldown--
+		return false
+	}
+	r := Ratio(busy)
+	if r >= d.cfg.Threshold {
+		d.streak++
+	} else {
+		d.streak = 0
+	}
+	if d.streak >= d.cfg.Window {
+		d.streak = 0
+		d.cooldown = d.cfg.Cooldown
+		return true
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package tune
+
+import "sort"
+
+// Remap assigns parts to ranks by longest-processing-time-first greedy
+// scheduling over measured per-part costs: parts in descending cost
+// order (ties broken by ascending part id) each go to the currently
+// least-loaded rank (ties broken by lowest rank id). The procedure is
+// fully deterministic, and with len(cost) ≥ ranks every rank receives
+// at least one part — zero or negative measured costs are floored at
+// one nanosecond so empty-looking parts still spread out.
+//
+// The returned map is a valid RunConfig.PartRank: remapping placement
+// never changes the ascending-part assembly order, so deploying it
+// mid-run keeps the trajectory bitwise identical.
+func Remap(cost []float64, ranks int) []int {
+	if ranks < 1 {
+		ranks = 1
+	}
+	parts := len(cost)
+	order := make([]int, parts)
+	for p := range order {
+		order[p] = p
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := flooredCost(cost[order[a]]), flooredCost(cost[order[b]])
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	load := make([]float64, ranks)
+	out := make([]int, parts)
+	for _, p := range order {
+		r := 0
+		for q := 1; q < ranks; q++ {
+			if load[q] < load[r] {
+				r = q
+			}
+		}
+		out[p] = r
+		load[r] += flooredCost(cost[p])
+	}
+	return out
+}
+
+func flooredCost(c float64) float64 {
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// Imbalance returns max/mean rank load of a placement under the given
+// per-part costs — the predicted post-remap counterpart of Ratio.
+func Imbalance(cost []float64, partRank []int, ranks int) float64 {
+	load := make([]float64, ranks)
+	for p, r := range partRank {
+		load[r] += flooredCost(cost[p])
+	}
+	return Ratio(load)
+}
+
+// Equal reports whether two part → rank maps are identical.
+func Equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"golts/internal/dist"
+	"golts/internal/tune"
 )
 
 // Backend selects the execution engine behind the facade. Two backends
@@ -51,6 +52,34 @@ type Distributed struct {
 	CheckpointEvery int
 	// MaxRecoveries bounds recoveries per run; 0 selects the default (3).
 	MaxRecoveries int
+	// Telemetry enables the per-rank, per-level timing counters
+	// (surfaced through Stats.Levels and the coordinator's busy trace).
+	// Cheap — two monotonic clock reads per owned part per apply — but
+	// off by default.
+	Telemetry bool
+	// AutoRebalance enables the runtime load balancer: on sustained
+	// per-rank imbalance the coordinator snapshots the run, remaps
+	// parts onto ranks by measured cost, relaunches and resumes. Parts
+	// stay fixed, so receiver output is bitwise identical with or
+	// without rebalances. Implies Telemetry.
+	AutoRebalance bool
+	// MaxRebalances bounds automatic rebalances per run; 0 selects the
+	// default (4).
+	MaxRebalances int
+	// PartRank optionally places each part on a rank explicitly
+	// (len Parts, every rank owning at least one part); nil selects
+	// contiguous blocks. Any placement produces bitwise-identical
+	// seismograms — only wall time changes — which is what lets the
+	// rebalancer move placement mid-run.
+	PartRank []int
+	// RebalanceThreshold, RebalanceWindow and RebalanceCooldown tune
+	// the imbalance detector: a rebalance arms after Window consecutive
+	// cycles whose max/mean per-rank busy ratio is at least Threshold,
+	// then stays quiet for Cooldown cycles. Zero values select the
+	// defaults (1.5, 3, 10).
+	RebalanceThreshold float64
+	RebalanceWindow    int
+	RebalanceCooldown  int
 }
 
 func (Distributed) backendName() string { return "distributed" }
@@ -102,6 +131,11 @@ func WithBackend(b Backend) Option {
 			if be.Parts != 0 && be.Parts < be.Ranks {
 				return optErr("WithBackend", ErrPartsRange,
 					"parts %d below ranks %d", be.Parts, be.Ranks)
+			}
+			if be.PartRank != nil && len(be.PartRank) != be.parts() {
+				return optErr("WithBackend", ErrPartsRange,
+					"part-rank map has %d entries for %d parts",
+					len(be.PartRank), be.parts())
 			}
 			s.backend = be
 		default:
@@ -155,21 +189,32 @@ func buildDistributed(s *Simulation, set *settings, be Distributed, semSrcs []sr
 		recDofs[i] = r.Dof
 	}
 	cfg.Receivers = recDofs
+	cfg.Telemetry = be.Telemetry
+	if be.PartRank != nil {
+		cfg.PartRank = append([]int(nil), be.PartRank...)
+	}
 
 	co, err := dist.Start(dist.Config{
 		Run:             cfg,
 		CheckpointEvery: be.ckptEvery(),
 		MaxRecoveries:   be.maxRecoveries(),
+		AutoRebalance:   be.AutoRebalance,
+		MaxRebalances:   be.MaxRebalances,
+		RebalanceDetector: tune.DetectorConfig{
+			Threshold: be.RebalanceThreshold,
+			Window:    be.RebalanceWindow,
+			Cooldown:  be.RebalanceCooldown,
+		},
 	})
 	if err != nil {
 		return fmt.Errorf("wave: distributed backend: %w", err)
 	}
-	owners, err := dist.ReceiverOwners(s.geom, &cfg)
+	parts, err := dist.ReceiverOwnerParts(s.geom, &cfg)
 	if err != nil {
 		co.Close()
 		return fmt.Errorf("wave: distributed backend: %w", err)
 	}
-	if err := co.SetReceiverOwners(owners); err != nil {
+	if err := co.SetReceiverParts(parts); err != nil {
 		co.Close()
 		return fmt.Errorf("wave: distributed backend: %w", err)
 	}

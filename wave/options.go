@@ -3,6 +3,7 @@ package wave
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"golts/internal/mesh"
 	"golts/internal/partition"
@@ -61,6 +62,9 @@ var (
 	// file was written by a run with a different result-determining
 	// configuration (mesh, physics, decomposition width, sources, ...).
 	ErrCheckpointMismatch = errors.New("checkpoint does not match configuration")
+	// ErrTuneSpec is returned for a malformed WithAutoTune request
+	// (non-positive budget).
+	ErrTuneSpec = errors.New("invalid auto-tune spec")
 	// ErrNilArgument is returned when an option receives a nil sink or
 	// probe.
 	ErrNilArgument = errors.New("nil argument")
@@ -205,6 +209,8 @@ type settings struct {
 	artifacts   *ArtifactCache
 	ckptPath    string
 	ckptEvery   int
+	telemetry   bool
+	autoTune    time.Duration
 }
 
 // levelCFL is the normalised Courant number handed to mesh.AssignLevels:

@@ -1,0 +1,219 @@
+package wave
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"golts/internal/cluster"
+	"golts/internal/tune"
+)
+
+// WithTelemetry enables the per-level, per-worker timing counters on the
+// local backend (the distributed backend has its own knob,
+// Distributed.Telemetry). The counters are two monotonic clock reads per
+// kernel invocation — cheap, but not free, so they are off by default.
+// Stats reports them through LevelTimes and WorkerBusyNanos.
+func WithTelemetry() Option {
+	return func(s *settings) error {
+		s.telemetry = true
+		return nil
+	}
+}
+
+// WithAutoTune makes New calibrate the deployment shape before building
+// the simulation: short probe runs (a few coarse cycles each) sweep a
+// candidate grid — worker counts and both stiffness kernels on the local
+// backend, rank counts and kernels on the distributed one — until the
+// wall budget is spent, and the fastest measured shape is applied to the
+// configuration. The resulting plan, including the measured-vs-predicted
+// table against the internal/cluster cost model, is available from
+// Simulation.TunePlan, and is cached in the attached ArtifactCache by
+// configuration key so a job server calibrates each configuration once.
+//
+// Auto-tuned worker counts depend on the host (like WithWorkers(0)), so
+// results are bitwise reproducible per (configuration, plan) — not
+// across machines with different calibration outcomes. Distributed
+// tuning only moves the rank count and kernel; the decomposition width
+// Parts stays fixed, so those results do not change at all.
+func WithAutoTune(budget time.Duration) Option {
+	return func(s *settings) error {
+		if budget <= 0 {
+			return optErr("WithAutoTune", ErrTuneSpec, "budget must be positive, got %v", budget)
+		}
+		s.autoTune = budget
+		return nil
+	}
+}
+
+// tuneProbeCycles is the length of each calibration probe run.
+const tuneProbeCycles = 3
+
+// tuneKey is the calibration plan's artifact-cache key: every option
+// that changes what the probes measure (mesh, discretization, scheme,
+// partitioner, backend family and its fixed decomposition width).
+func (s *settings) tuneKey() string {
+	shape := "local"
+	if be, ok := s.backend.(Distributed); ok {
+		shape = fmt.Sprintf("dist%d", be.parts())
+	}
+	return fmt.Sprintf("tune|%s|%.17g|%.17g|%s|%d|%t|%s|%d|%s|%d",
+		s.mesh, s.scale, s.cfl, s.physics, s.degree, s.lts,
+		s.partitioner, s.seed, shape, runtime.GOMAXPROCS(0))
+}
+
+// applyAutoTune resolves (or retrieves) the calibration plan for the
+// settings and applies its best shape in place. Called at the top of
+// build; probe runs recurse into build with autoTune cleared.
+func applyAutoTune(set *settings) (*tune.Plan, error) {
+	resolve := func() (*tune.Plan, error) {
+		return tune.Calibrate(tuneCandidates(set), set.autoTune, tuneProbeCycles, tuneRunner(set))
+	}
+	var plan *tune.Plan
+	var err error
+	if set.artifacts != nil {
+		var v any
+		v, _, err = set.artifacts.memo.Get(set.tuneKey(), func() (any, error) { return resolve() })
+		if err == nil {
+			plan = v.(*tune.Plan)
+		}
+	} else {
+		plan, err = resolve()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wave: auto-tune: %w", err)
+	}
+	best := plan.Best
+	if best.Kernel == string(PerElement) {
+		set.kernel = PerElement
+	} else {
+		set.kernel = Batched
+	}
+	if be, ok := set.backend.(Distributed); ok {
+		// Parts stays fixed: only the process count moves, which the
+		// decomposition-pinned assembly order makes bitwise-invisible.
+		be.Parts = be.parts()
+		be.Ranks = best.Ranks
+		set.backend = be
+	} else {
+		set.workers = best.Workers
+	}
+	return plan, nil
+}
+
+// tuneCandidates builds the probe grid. Local: worker counts 1, 2, 4,
+// ... up to GOMAXPROCS (capped at 8) × both kernels. Distributed: rank
+// counts {1, Ranks} at fixed Parts × both kernels.
+func tuneCandidates(set *settings) []tune.Candidate {
+	kernels := []string{string(Batched), string(PerElement)}
+	var cands []tune.Candidate
+	if be, ok := set.backend.(Distributed); ok {
+		ranks := []int{1}
+		if be.Ranks > 1 {
+			ranks = append(ranks, be.Ranks)
+		}
+		for _, r := range ranks {
+			for _, k := range kernels {
+				cands = append(cands, tune.Candidate{Ranks: r, Kernel: k})
+			}
+		}
+		return cands
+	}
+	max := runtime.GOMAXPROCS(0)
+	if max > 8 {
+		max = 8
+	}
+	for _, k := range kernels {
+		for w := 1; w <= max; w *= 2 {
+			cands = append(cands, tune.Candidate{Workers: w, Kernel: k})
+		}
+	}
+	return cands
+}
+
+// tuneRunner returns the probe executor: each probe builds a stripped
+// copy of the configuration (no sinks, probes or checkpoints; telemetry
+// on) under the candidate shape, runs tuneProbeCycles coarse cycles
+// against the wall clock, and pairs the measurement with the
+// internal/cluster cost model's predicted cycle time for the same
+// decomposition.
+func tuneRunner(set *settings) tune.Runner {
+	return func(c tune.Candidate, cycles int) (tune.Result, error) {
+		probe := *set
+		probe.autoTune = 0
+		probe.telemetry = true
+		probe.sinks = nil
+		probe.probes = nil
+		probe.ckptPath = ""
+		probe.ckptEvery = 0
+		probe.cycles = cycles
+		probe.kernel = Kernel(c.Kernel)
+		if c.Kernel == string(PerElement) {
+			probe.kernel = PerElement
+		}
+		k := c.Workers
+		if be, ok := set.backend.(Distributed); ok {
+			be.Parts = be.parts()
+			be.Ranks = c.Ranks
+			be.Telemetry = true
+			probe.backend = be
+			k = be.Parts
+		} else {
+			probe.workers = c.Workers
+			probe.backend = Local
+		}
+
+		sim, err := build(&probe)
+		if err != nil {
+			return tune.Result{}, err
+		}
+		defer sim.Close()
+		start := time.Now()
+		if err := sim.Run(context.Background(), cycles); err != nil {
+			return tune.Result{}, err
+		}
+		wall := time.Since(start)
+
+		res := tune.Result{CycleNanos: float64(wall.Nanoseconds()) / float64(cycles)}
+		st := sim.Stats()
+		for _, lt := range st.LevelTimes {
+			var n int64
+			for _, rn := range lt.RankNanos {
+				n += rn
+			}
+			res.LevelNanos = append(res.LevelNanos, n)
+		}
+		res.ModelSeconds = modelCycleSeconds(sim, &probe, k)
+		return res, nil
+	}
+}
+
+// modelCycleSeconds asks the internal/cluster simulator for the
+// predicted coarse-cycle time of the probe's decomposition under the
+// CPU cost model; 0 when the prediction is unavailable (the fit simply
+// skips the probe).
+func modelCycleSeconds(sim *Simulation, probe *settings, k int) float64 {
+	if !probe.lts || k < 1 {
+		return 0
+	}
+	var part []int32
+	if k == 1 {
+		part = make([]int32, sim.m.NumElements())
+	} else {
+		var err error
+		if part, err = partitionAssign(sim.m, sim.lv, k, probe); err != nil {
+			return 0
+		}
+	}
+	a, err := cluster.NewAssignment(sim.m, sim.lv, part, k)
+	if err != nil {
+		return 0
+	}
+	return cluster.Simulate(a, cluster.CPUModel).Time
+}
+
+// TunePlan returns the calibration plan applied by WithAutoTune (nil
+// without it): the selected shape plus the measured-vs-predicted table
+// behind the choice.
+func (s *Simulation) TunePlan() *tune.Plan { return s.tunePlan }

@@ -37,6 +37,7 @@ import (
 	"golts/internal/parallel"
 	"golts/internal/partition"
 	"golts/internal/sem"
+	"golts/internal/tune"
 )
 
 // geomOperator is what the facade needs beyond sem.Operator: node
@@ -88,6 +89,10 @@ type Simulation struct {
 	// artLookups and artHits record the build's artifact-cache traffic
 	// (zero without WithArtifactCache).
 	artLookups, artHits int64
+
+	// tunePlan is the calibration outcome applied by WithAutoTune (nil
+	// without it).
+	tunePlan *tune.Plan
 }
 
 // New builds a Simulation from the given options. The zero configuration
@@ -107,6 +112,13 @@ func New(opts ...Option) (*Simulation, error) {
 func build(set *settings) (*Simulation, error) {
 	if _, ok := mesh.Generators[set.mesh]; !ok {
 		return nil, optErr("WithMesh", ErrUnknownMesh, "%q", set.mesh)
+	}
+	var tunePlan *tune.Plan
+	if set.autoTune > 0 {
+		var err error
+		if tunePlan, err = applyAutoTune(set); err != nil {
+			return nil, err
+		}
 	}
 	// ac accumulates this build's artifact-cache traffic: [lookups, hits].
 	var ac [2]int64
@@ -140,7 +152,7 @@ func build(set *settings) (*Simulation, error) {
 		}
 	}
 
-	s := &Simulation{set: set, m: m, lv: lv, geom: geom}
+	s := &Simulation{set: set, m: m, lv: lv, geom: geom, tunePlan: tunePlan}
 
 	// Cross-backend validation: the distributed backend owns all the
 	// parallelism, so shared-memory workers cannot be layered on top.
@@ -187,6 +199,7 @@ func build(set *settings) (*Simulation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("wave: parallel engine: %w", err)
 		}
+		pop.SetTelemetry(set.telemetry)
 		s.pop = pop
 		step = pop
 	}
@@ -261,6 +274,7 @@ func build(set *settings) (*Simulation, error) {
 			return nil, fmt.Errorf("wave: %w", err)
 		}
 		sch.Kernel = kern
+		sch.Telemetry = set.telemetry
 		sch.SetSources(semSrcs)
 		sch.Sigma = sigma
 		s.ltsS = sch
@@ -573,6 +587,33 @@ type Stats struct {
 	// consumed. Both are zero for the local backend.
 	Recoveries     int
 	RecoveryMillis int64
+	// LevelTimes is the telemetry timing table (WithTelemetry locally,
+	// Distributed.Telemetry remotely; nil otherwise): one row per LTS
+	// level, with the cumulative stiffness-kernel nanoseconds each rank
+	// spent on that level. The local backend reports a single column.
+	LevelTimes []LevelStats
+	// WorkerBusyNanos is the local engine's cumulative per-worker kernel
+	// time (telemetry only; nil for the distributed backend or without
+	// workers).
+	WorkerBusyNanos []int64
+	// Rebalances counts the distributed backend's automatic part→rank
+	// rebalances (Distributed.AutoRebalance); RebalanceMillis is the
+	// wall time the snapshots, relaunches and restores consumed.
+	Rebalances      int
+	RebalanceMillis int64
+	// TunedWorkers, TunedRanks and TunedKernel report the shape selected
+	// by WithAutoTune (zero values without it).
+	TunedWorkers, TunedRanks int
+	TunedKernel              Kernel
+}
+
+// LevelStats is one LTS level's telemetry row.
+type LevelStats struct {
+	// Level is the 0-based p-level (0 = coarsest).
+	Level int
+	// RankNanos[r] is rank r's cumulative stiffness-kernel nanoseconds
+	// in this level (a single entry for the local backend).
+	RankNanos []int64
 }
 
 // Stats returns the simulation's metadata and work counters. It may be
@@ -597,10 +638,18 @@ func (s *Simulation) Stats() Stats {
 	}
 	st.Backend = s.set.backend.backendName()
 	st.Checkpoints = s.ckptWrites
+	if s.tunePlan != nil {
+		st.TunedWorkers = s.tunePlan.Best.Workers
+		st.TunedRanks = s.tunePlan.Best.Ranks
+		st.TunedKernel = Kernel(s.tunePlan.Best.Kernel)
+	}
 	if s.dist != nil {
 		n, d := s.dist.Recoveries()
 		st.Recoveries = n
 		st.RecoveryMillis = d.Milliseconds()
+		n, d = s.dist.Rebalances()
+		st.Rebalances = n
+		st.RebalanceMillis = d.Milliseconds()
 	}
 	switch {
 	case s.ltsS != nil:
@@ -608,6 +657,11 @@ func (s *Simulation) Stats() Stats {
 		st.ElemApplies = s.ltsS.Work.ElemApplies
 		st.EffectiveSpeedup = s.ltsS.EffectiveSpeedup()
 		st.Efficiency = s.ltsS.Efficiency()
+		if s.ltsS.Telemetry {
+			for li, n := range s.ltsS.Work.LevelNanos {
+				st.LevelTimes = append(st.LevelTimes, LevelStats{Level: li, RankNanos: []int64{n}})
+			}
+		}
 	case s.gS != nil:
 		st.Cycles = s.gS.StepCount() / int64(s.lv.PMax())
 		st.ElemApplies = s.gS.ElementSteps
@@ -634,12 +688,26 @@ func (s *Simulation) Stats() Stats {
 				eng.Volume += r.Volume
 			}
 			st.Engine = eng
+			if s.distCfg.Telemetry && len(rs[0].LevelNanos) > 0 {
+				for li := range rs[0].LevelNanos {
+					row := LevelStats{Level: li, RankNanos: make([]int64, len(rs))}
+					for r, rst := range rs {
+						if li < len(rst.LevelNanos) {
+							row.RankNanos[r] = rst.LevelNanos[li]
+						}
+					}
+					st.LevelTimes = append(st.LevelTimes, row)
+				}
+			}
 		}
 	}
 	if s.pop != nil {
 		st.Partitioner = s.set.partitioner
 		es := s.pop.Stats()
 		st.Engine = &EngineStats{Applies: es.Applies, Messages: es.Messages, Volume: es.Volume}
+		if s.set.telemetry {
+			st.WorkerBusyNanos = s.pop.WorkerBusyNanos()
+		}
 	}
 	return st
 }
