@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-kernels bench-smoke dist-smoke serve-smoke fault-smoke tune-smoke lint vet fmt check examples
+.PHONY: build test race bench bench-kernels bench-smoke dist-smoke serve-smoke fault-smoke tune-smoke chaos-smoke lint vet fmt check examples
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,44 @@ fault-smoke:
 	@rm -rf .fault-smoke
 	@echo "fault-smoke: rank-kill recovery and waved restart both byte-identical at nonzero amplitude"
 
+# Degraded-mode & wire-fault smoke — the failure taxonomy end to end,
+# every leg at scale 0.015 x 40 cycles with -require-nonzero so the
+# byte-comparisons cannot pass vacuously on all-zero samples:
+#  1. corrupt: a rank flips a bit in one outbound frame; the CRC check
+#     must reject it and recovery must restore the run byte-identically;
+#  2. droplink: a rank drops its coordinator connection mid-cycle; the
+#     typed link failure must recover byte-identically;
+#  3. degraded: a rank is SIGKILLed in generation 0 and again during the
+#     recovery replay (gen=1 plan), exhausting -max-recoveries 1; the
+#     coordinator must retire it (-expect-degraded), redistribute its
+#     parts onto the survivor and finish byte-identically, with the
+#     counters written to BENCH_chaos.json;
+#  4. service: wavedload -degraded-smoke drives the same permanent-loss
+#     path through waved's job API (degraded_ranks in the job JSON,
+#     byte-identical rows), reported in BENCH_degraded.json.
+chaos-smoke:
+	@rm -rf .chaos-smoke && mkdir -p .chaos-smoke
+	$(GO) build -o .chaos-smoke/distrun ./cmd/distrun
+	./.chaos-smoke/distrun -ranks 2 -parts 4 -scale 0.015 -cycles 40 -require-nonzero \
+		-out .chaos-smoke/ref.csv
+	GOLTS_FAULT=corrupt:rank=1,cycle=12,substep=1 ./.chaos-smoke/distrun \
+		-ranks 2 -parts 4 -scale 0.015 -cycles 40 -recover-every 4 \
+		-expect-recovery -require-nonzero -out .chaos-smoke/corrupt.csv
+	cmp .chaos-smoke/ref.csv .chaos-smoke/corrupt.csv
+	GOLTS_FAULT=droplink:rank=1,cycle=18,substep=1 ./.chaos-smoke/distrun \
+		-ranks 2 -parts 4 -scale 0.015 -cycles 40 -recover-every 4 \
+		-expect-recovery -require-nonzero -out .chaos-smoke/droplink.csv
+	cmp .chaos-smoke/ref.csv .chaos-smoke/droplink.csv
+	GOLTS_FAULT='kill:rank=1,cycle=20,substep=1;kill:rank=1,cycle=1,substep=1,gen=1' \
+		./.chaos-smoke/distrun -ranks 2 -parts 4 -scale 0.015 -cycles 40 \
+		-recover-every 4 -max-recoveries 1 -min-ranks 1 \
+		-expect-degraded -require-nonzero \
+		-chaos-report BENCH_chaos.json -out .chaos-smoke/degraded.csv
+	cmp .chaos-smoke/ref.csv .chaos-smoke/degraded.csv
+	$(GO) run ./cmd/wavedload -degraded-smoke -scale 0.015 -out BENCH_degraded.json
+	@rm -rf .chaos-smoke
+	@echo "chaos-smoke: corrupt, droplink and permanent-loss runs all byte-identical at nonzero amplitude"
+
 # Auto-tune & load-balance smoke, both halves of internal/tune:
 #  1. calibration: a tiny distributed run probes its deployment-shape
 #     grid under -auto-tune and writes the measured-vs-predicted table
@@ -137,4 +175,4 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: fmt vet lint build test race examples dist-smoke serve-smoke fault-smoke tune-smoke
+check: fmt vet lint build test race examples dist-smoke serve-smoke fault-smoke tune-smoke chaos-smoke

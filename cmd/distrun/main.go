@@ -12,6 +12,7 @@
 //	        [-degree 4] [-cfl 0.4] [-partitioner scotch-p] [-seed 1]
 //	        [-out seismograms.csv]
 //	        [-recover-every N] [-max-recoveries 3]
+//	        [-min-ranks 0] [-expect-degraded] [-chaos-report chaos.json]
 //	        [-expect-recovery] [-fault-report report.json]
 //	        [-level-times] [-part-rank 0,0,0,1] [-auto-rebalance]
 //	        [-rebalance-threshold 1.5] [-rebalance-window 3]
@@ -34,7 +35,17 @@
 // seismograms match a fault-free run byte for byte. -expect-recovery
 // exits 1 when the run finishes without recovering anything (the
 // injected fault never fired); -fault-report writes recovery-latency
-// numbers as JSON.
+// numbers as JSON. The fault grammar also carries the network verbs
+// droplink, stall-link, corrupt and partition, plus ';'-separated
+// multi-plans and gen=G addressing for faults during recovery itself.
+//
+// -min-ranks N enables degraded mode: a rank that exhausts
+// -max-recoveries is retired for good, its parts are redistributed onto
+// the survivors, and the run continues with fewer ranks (never below N).
+// The decomposition width is pinned by -parts, so the degraded
+// seismograms stay byte-identical — `make chaos-smoke` asserts exactly
+// that. -expect-degraded exits 1 unless at least one rank was retired;
+// -chaos-report writes the degraded/recovery/link counters as JSON.
 //
 // -level-times turns on the timing telemetry and prints the per-rank,
 // per-level stiffness-kernel table after the run (also embedded in the
@@ -83,6 +94,9 @@ func main() {
 	outPath := flag.String("out", "", "seismogram output file (.csv or .json)")
 	recoverEvery := flag.Int("recover-every", 0, "checkpoint every N cycles and recover failed ranks (0: off)")
 	maxRecoveries := flag.Int("max-recoveries", 0, "rank recoveries before giving up (0: default 3)")
+	minRanks := flag.Int("min-ranks", 0, "degraded mode: survive permanent rank loss down to this many ranks (0: off)")
+	expectDegraded := flag.Bool("expect-degraded", false, "exit 1 unless at least one rank was permanently retired")
+	chaosReport := flag.String("chaos-report", "", "write degraded/recovery/link counters as JSON to this path")
 	expectRecovery := flag.Bool("expect-recovery", false, "exit 1 unless at least one rank recovery happened")
 	requireNonzero := flag.Bool("require-nonzero", false, "exit 1 unless some receiver sample is nonzero (guards byte-comparisons against vacuously-zero traces)")
 	faultReport := flag.String("fault-report", "", "write recovery-latency numbers as JSON to this path")
@@ -102,8 +116,11 @@ func main() {
 		scheme = wave.WithGlobalNewmark()
 	}
 	ckptEvery := -1 // Distributed semantics: negative disables
-	if *recoverEvery > 0 {
+	switch {
+	case *recoverEvery > 0:
 		ckptEvery = *recoverEvery
+	case *minRanks > 0:
+		ckptEvery = 0 // degraded mode needs checkpoints; take the default interval
 	}
 	placement, err := parsePartRank(*partRank)
 	if err != nil {
@@ -122,6 +139,7 @@ func main() {
 		wave.WithBackend(wave.Distributed{
 			Ranks: *ranks, Parts: *parts,
 			CheckpointEvery: ckptEvery, MaxRecoveries: *maxRecoveries,
+			DegradedMode: *minRanks > 0, MinRanks: *minRanks,
 			Telemetry:          *levelTimes,
 			PartRank:           placement,
 			AutoRebalance:      *autoRebalance,
@@ -173,9 +191,13 @@ func main() {
 		fmt.Printf("halo exchange: %d applies/rank, %d messages, %d node-values over the wire\n",
 			st.Engine.Applies, st.Engine.Messages, st.Engine.Volume)
 	}
-	if *recoverEvery > 0 {
-		fmt.Printf("fault tolerance: %d rank recoveries (%d ms recovering)\n",
-			st.Recoveries, st.RecoveryMillis)
+	if *recoverEvery > 0 || *minRanks > 0 {
+		fmt.Printf("fault tolerance: %d rank recoveries (%d ms recovering), %d corrupt frames rejected, %d link retries\n",
+			st.Recoveries, st.RecoveryMillis, st.CorruptFrames, st.LinkRetries)
+	}
+	if *minRanks > 0 {
+		fmt.Printf("degraded mode: %d ranks permanently retired (%d ms shrinking), %d of %d ranks finished the run\n",
+			st.DegradedRanks, st.DegradedMillis, st.Ranks-st.DegradedRanks, st.Ranks)
 	}
 	if *autoTune > 0 {
 		fmt.Printf("auto-tune: selected ranks=%d kernel=%s\n", st.TunedRanks, st.TunedKernel)
@@ -265,8 +287,37 @@ func main() {
 		}
 		fmt.Printf("calibration report written to %s\n", *tuneReport)
 	}
+	if *chaosReport != "" {
+		rep := struct {
+			Ranks         int     `json:"ranks"`
+			Parts         int     `json:"parts"`
+			Cycles        int64   `json:"cycles"`
+			DegradedRanks int     `json:"degraded_ranks"`
+			DegradedMS    int64   `json:"degraded_ms"`
+			Recoveries    int     `json:"recoveries"`
+			RecoveryMS    int64   `json:"recovery_ms"`
+			LinkRetries   int64   `json:"link_retries"`
+			CorruptFrames int64   `json:"corrupt_frames"`
+			WallS         float64 `json:"wall_seconds"`
+			NumCPU        int     `json:"num_cpu"`
+			GoMaxProcs    int     `json:"gomaxprocs"`
+			Fault         string  `json:"fault,omitempty"`
+		}{st.Ranks, st.Parts, st.Cycles, st.DegradedRanks, st.DegradedMillis,
+			st.Recoveries, st.RecoveryMillis, st.LinkRetries, st.CorruptFrames,
+			wall, runtime.NumCPU(), runtime.GOMAXPROCS(0), os.Getenv("GOLTS_FAULT")}
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*chaosReport, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chaos report written to %s\n", *chaosReport)
+	}
 	if *expectRecovery && st.Recoveries == 0 {
 		fmt.Fprintln(os.Stderr, "distrun: -expect-recovery set but the run recovered nothing (fault never fired?)")
+		os.Exit(1)
+	}
+	if *expectDegraded && st.DegradedRanks == 0 {
+		fmt.Fprintln(os.Stderr, "distrun: -expect-degraded set but no rank was retired (fault never exhausted the budget?)")
 		os.Exit(1)
 	}
 	if *expectRebalance && st.Rebalances == 0 {

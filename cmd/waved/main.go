@@ -24,7 +24,11 @@
 // Endpoints (see golts/internal/serve):
 //
 //	POST   /jobs            submit a simulation (cmd/wavesim JSON config
-//	                        plus priority/workers/partitioner/seed);
+//	                        plus priority/workers/partitioner/seed; with
+//	                        "ranks" the job runs on the distributed
+//	                        backend, and "min_ranks"/"max_recoveries"
+//	                        control degraded-mode survival of permanent
+//	                        rank loss — rows stay byte-identical);
 //	                        202 with the job id, 429 when the queue is full
 //	GET    /jobs/{id}       poll state, timings and final stats
 //	GET    /jobs/{id}/rows  stream seismogram CSV rows as produced
@@ -49,9 +53,13 @@ import (
 	"time"
 
 	"golts/internal/serve"
+	"golts/wave"
 )
 
 func main() {
+	// Jobs submitted with "ranks" run on the distributed backend, which
+	// re-execs this binary as its rank processes.
+	wave.RankMain()
 	addr := flag.String("addr", ":8457", "listen address")
 	queue := flag.Int("queue", 64, "maximum queued jobs (beyond this, submissions get 429)")
 	concurrency := flag.Int("concurrency", 2, "simulations run simultaneously")

@@ -23,6 +23,15 @@
 //	    resume latency numbers to -out; -dist-report embeds a distrun
 //	    -fault-report JSON so one artifact carries both recovery paths.
 //
+//	wavedload -degraded-smoke [-out BENCH_degraded.json] [-scale 0.015]
+//	    Degraded-mode smoke: runs a local reference job (with nonzero
+//	    receiver amplitude, enforced), then the same configuration as a
+//	    distributed job whose rank 1 is killed in generation 0 and again
+//	    during the recovery replay, exhausting max_recoveries=1. The
+//	    service must finish the job degraded (the dead rank retired, its
+//	    parts redistributed), report degraded_ranks in the job JSON and
+//	    /stats, and deliver rows byte-identical to the local reference.
+//
 // With no -addr, an in-process service is started on a loopback port so
 // the tool is self-contained (the CI serve-smoke and fault-smoke jobs run
 // it this way); requests still travel through real HTTP.
@@ -45,9 +54,13 @@ import (
 	"time"
 
 	"golts/internal/serve"
+	"golts/wave"
 )
 
 func main() {
+	// The -degraded-smoke service runs distributed jobs, whose rank
+	// processes are re-execs of this binary.
+	wave.RankMain()
 	addr := flag.String("addr", "", "waved address (empty: start an in-process service)")
 	smoke := flag.Bool("smoke", false, "run the acceptance smoke instead of load generation")
 	jobs := flag.Int("jobs", 32, "total jobs to submit in load mode")
@@ -58,10 +71,15 @@ func main() {
 	out := flag.String("out", "BENCH_serve.json", "load-mode report path")
 	restart := flag.Bool("restart-smoke", false, "run the checkpoint/restart durability smoke (owns its own services; ignores -addr)")
 	distReport := flag.String("dist-report", "", "distrun -fault-report JSON to embed in the -restart-smoke report")
+	degraded := flag.Bool("degraded-smoke", false, "run the degraded-mode smoke: a distributed job survives permanent rank loss byte-identically (owns its own service; ignores -addr)")
 	flag.Parse()
 
 	if *restart {
 		runRestartSmoke(*out, *distReport, *scale)
+		return
+	}
+	if *degraded {
+		runDegradedSmoke(*out, *scale)
 		return
 	}
 
@@ -106,11 +124,12 @@ func config(scale float64, cycles, seed int) map[string]any {
 
 // jobStatus mirrors the service's job snapshot wire form.
 type jobStatus struct {
-	ID    string `json:"id"`
-	Hash  string `json:"hash"`
-	State string `json:"state"`
-	Error string `json:"error"`
-	Rows  int    `json:"rows"`
+	ID            string `json:"id"`
+	Hash          string `json:"hash"`
+	State         string `json:"state"`
+	Error         string `json:"error"`
+	Rows          int    `json:"rows"`
+	DegradedRanks int    `json:"degraded_ranks"`
 }
 
 func submit(url string, cfg map[string]any) (jobStatus, error) {
@@ -516,4 +535,112 @@ func runRestartSmoke(out, distReport string, scale float64) {
 	}
 	fmt.Printf("restart smoke ok: %d rows byte-identical after interrupt at %d, resume took %.2fs\n",
 		1+cycles, interruptRows, resumeWall.Seconds())
+}
+
+// degradedReport is the BENCH_degraded.json schema.
+type degradedReport struct {
+	Scale         float64 `json:"scale"`
+	Cycles        int     `json:"cycles"`
+	Ranks         int     `json:"ranks"`
+	MinRanks      int     `json:"min_ranks"`
+	DegradedRanks int     `json:"degraded_ranks"`
+	RowsBytes     int     `json:"rows_bytes"`
+	ByteIdentical bool    `json:"byte_identical"`
+	HashEqual     bool    `json:"hash_equal"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	NumCPU        int     `json:"num_cpu"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+}
+
+// runDegradedSmoke checks the service's degraded-mode path end to end: a
+// distributed job whose rank is killed past its recovery budget must
+// finish on the survivor, mark itself degraded in the job JSON and
+// /stats, and stream rows byte-identical to the local reference.
+func runDegradedSmoke(out string, scale float64) {
+	const cycles, workers, ranks, minRanks = 40, 4, 2, 1
+	_, url, stop := startService(serve.Config{Concurrency: 1, WorkerBudget: workers})
+	defer stop()
+
+	// Local reference at the same decomposition width (workers parts),
+	// before the fault plan enters the environment.
+	refCfg := config(scale, cycles, 1)
+	refCfg["workers"] = workers
+	ref, err := submit(url, refCfg)
+	if err != nil {
+		fatal("reference submit: %v", err)
+	}
+	refRows, err := streamRows(url, ref.ID)
+	if err != nil {
+		fatal("reference rows: %v", err)
+	}
+	if st, err := waitState(url, ref.ID, 10*time.Minute); err != nil || st.State != "done" {
+		fatal("reference job: %+v (%v)", st, err)
+	}
+	if !csvHasNonzeroSample(refRows) {
+		fatal("vacuous reference: every sample in the row stream is zero (raise -scale)")
+	}
+
+	// Kill rank 1 in generation 0, then again during the recovery replay
+	// (gen=1 plan; rank-local cycle counters reset per generation), so
+	// MaxRecoveries=1 is exhausted and the coordinator must degrade. The
+	// spawned rank processes inherit this process's environment.
+	os.Setenv("GOLTS_FAULT", "kill:rank=1,cycle=20,substep=1;kill:rank=1,cycle=1,substep=1,gen=1")
+	defer os.Unsetenv("GOLTS_FAULT")
+	degCfg := config(scale, cycles, 1)
+	degCfg["workers"] = workers
+	degCfg["ranks"] = ranks
+	degCfg["min_ranks"] = minRanks
+	degCfg["max_recoveries"] = 1
+	t0 := time.Now()
+	deg, err := submit(url, degCfg)
+	if err != nil {
+		fatal("degraded submit: %v", err)
+	}
+	degRows, err := streamRows(url, deg.ID)
+	if err != nil {
+		fatal("degraded rows: %v", err)
+	}
+	st, err := waitState(url, deg.ID, 10*time.Minute)
+	if err != nil || st.State != "done" {
+		fatal("degraded job: %+v (%v)", st, err)
+	}
+	wall := time.Since(t0)
+	stats, err := serviceStats(url)
+	if err != nil {
+		fatal("stats: %v", err)
+	}
+
+	identical := bytes.Equal(refRows, degRows)
+	rep := degradedReport{
+		Scale:         scale,
+		Cycles:        cycles,
+		Ranks:         ranks,
+		MinRanks:      minRanks,
+		DegradedRanks: st.DegradedRanks,
+		RowsBytes:     len(degRows),
+		ByteIdentical: identical,
+		HashEqual:     ref.Hash == deg.Hash,
+		WallSeconds:   wall.Seconds(),
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	raw, _ := json.MarshalIndent(rep, "", "  ")
+	raw = append(raw, '\n')
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		fatal("write %s: %v", out, err)
+	}
+	os.Stdout.Write(raw)
+
+	switch {
+	case ref.Hash != deg.Hash:
+		fatal("rank count leaked into the canonical hash: %s vs %s", ref.Hash, deg.Hash)
+	case st.DegradedRanks != 1:
+		fatal("job JSON degraded_ranks = %d, want 1 (fault did not fire or degrade?)", st.DegradedRanks)
+	case stats.DegradedRanks < 1:
+		fatal("/stats degraded_ranks = %d, want >= 1", stats.DegradedRanks)
+	case !identical:
+		fatal("degraded stream differs from the local reference (%d vs %d bytes)", len(degRows), len(refRows))
+	}
+	fmt.Printf("degraded smoke ok: rank retired past its recovery budget, %d rows byte-identical in %.2fs\n",
+		1+cycles, wall.Seconds())
 }

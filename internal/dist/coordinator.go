@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,13 +48,30 @@ type Config struct {
 	// bitwise identical and its samples are discarded). 0 disables both
 	// checkpointing and recovery.
 	CheckpointEvery int
-	// MaxRecoveries bounds the number of recoveries per run; 0 selects
-	// the default (3) when CheckpointEvery > 0.
+	// MaxRecoveries bounds the number of recoveries per rank
+	// configuration; 0 selects the default (3) when CheckpointEvery > 0.
+	// With DegradedMode the budget resets after each successful shrink.
 	MaxRecoveries int
 	// Fault arms a fault-injection plan on in-process ranks. Spawned
 	// ranks read the GOLTS_FAULT environment variable instead, which
 	// they inherit from this process.
 	Fault *FaultPlan
+	// Faults arms additional fault-injection plans on in-process ranks
+	// (the multi-plan analogue of Fault: several ranks, cycles or spawn
+	// generations at once).
+	Faults []*FaultPlan
+
+	// DegradedMode keeps the run alive through permanent rank loss: when
+	// a rank exhausts the recovery budget, the coordinator — instead of
+	// failing — LPT-remaps the dead rank's parts onto the survivors,
+	// relaunches with one rank fewer, restores the checkpoint and
+	// replays. The decomposition width never changes, so the degraded
+	// trajectory stays bitwise identical to the fault-free one. Requires
+	// CheckpointEvery > 0.
+	DegradedMode bool
+	// MinRanks is the floor DegradedMode will not shrink below; 0
+	// selects 1 (a run survives down to a single rank).
+	MinRanks int
 
 	// AutoRebalance enables the runtime rebalancer: the coordinator
 	// watches the per-cycle, per-rank busy telemetry and, on sustained
@@ -68,6 +86,15 @@ type Config struct {
 	// RebalanceDetector tunes the imbalance detector; zero fields take
 	// the tune package defaults (ratio 1.5 over 3 cycles, cooldown 10).
 	RebalanceDetector tune.DetectorConfig
+}
+
+// faultPlans merges the legacy single-plan Fault field with the
+// multi-plan Faults list, for in-process ranks.
+func (cfg *Config) faultPlans() []*FaultPlan {
+	if cfg.Fault == nil {
+		return cfg.Faults
+	}
+	return append([]*FaultPlan{cfg.Fault}, cfg.Faults...)
 }
 
 // ctrlFrame is one control-plane message from a rank, read off the
@@ -116,13 +143,21 @@ type Coordinator struct {
 	ckpt      *ckpt.StepperState
 	ckptCycle int64 // cycle the held snapshot belongs to
 
-	recoveries   int
+	recoveries   int // cumulative, across degrades
+	budgetUsed   int // recoveries charged against the current rank set
 	recoveryWall time.Duration
+
+	// Degraded-mode state: ranks permanently lost (each one shrink of
+	// the rank set), wall time spent shrinking, and CRC failures seen.
+	degradedRanks int
+	degradeWall   time.Duration
+	corruptFrames int64
 
 	// Telemetry + rebalancer state (Run.Telemetry / AutoRebalance):
 	busy          []float64      // last cycle's per-rank busy nanos
 	trace         *tune.Trace    // recent busy samples, ring-buffered
 	det           *tune.Detector // nil unless AutoRebalance
+	partCost      []float64      // last measured per-part costs (LPT input)
 	rebalances    int
 	rebalanceWall time.Duration
 
@@ -152,6 +187,17 @@ func Start(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.CheckpointEvery > 0 && cfg.MaxRecoveries == 0 {
 		cfg.MaxRecoveries = 3
+	}
+	if cfg.DegradedMode {
+		if cfg.CheckpointEvery <= 0 {
+			return nil, fmt.Errorf("dist: DegradedMode requires CheckpointEvery > 0 (shrinking restores from a checkpoint)")
+		}
+		if cfg.MinRanks <= 0 {
+			cfg.MinRanks = 1
+		}
+		if cfg.MinRanks > cfg.Run.Ranks {
+			return nil, fmt.Errorf("dist: MinRanks %d exceeds rank count %d", cfg.MinRanks, cfg.Run.Ranks)
+		}
 	}
 	co := &Coordinator{cfg: cfg}
 	if cfg.Run.Telemetry {
@@ -209,7 +255,7 @@ func (co *Coordinator) launch() error {
 			co.ranks[i] = h
 			params := rankParams{
 				rank: i, addr: ln.Addr().String(), token: token,
-				gen: co.gen, fault: cfg.Fault,
+				gen: co.gen, faults: cfg.faultPlans(),
 			}
 			go func() { h.done <- runRank(params) }()
 			continue
@@ -355,14 +401,29 @@ func (co *Coordinator) recvFrame(ctx context.Context, i int, timeout time.Durati
 		select {
 		case fr, ok := <-h.frames:
 			if !ok {
-				return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("connection lost: %w", <-h.errs)}
+				// Classify the read error: a failed CRC means the link
+				// delivered garbage (FailureCorrupt); anything else is a
+				// silent disappearance.
+				err := <-h.errs
+				kind := FailureCrash
+				var ce *CorruptFrameError
+				if errors.As(err, &ce) {
+					kind = FailureCorrupt
+					co.corruptFrames++
+				}
+				return ctrlFrame{}, &RankFailure{Rank: i, Kind: kind, Err: fmt.Errorf("connection lost: %w", err)}
 			}
 			if fr.t == msgErr {
 				// During stepping a remote error report almost always means
 				// some *other* rank died mid-exchange and this one noticed
 				// first; typing it as a RankFailure lets recovery handle
 				// either order of detection.
-				return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("remote error: %s", fr.payload)}
+				kind := FailureCrash
+				if strings.Contains(string(fr.payload), "corrupt frame") {
+					kind = FailureCorrupt
+					co.corruptFrames++
+				}
+				return ctrlFrame{}, &RankFailure{Rank: i, Kind: kind, Err: fmt.Errorf("remote error: %s", fr.payload)}
 			}
 			return fr, nil
 		case <-dead:
@@ -374,14 +435,14 @@ func (co *Coordinator) recvFrame(ctx context.Context, i int, timeout time.Durati
 				}
 			default:
 			}
-			return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("process exited: %v", h.procErr)}
+			return ctrlFrame{}, &RankFailure{Rank: i, Kind: FailureCrash, Err: fmt.Errorf("process exited: %v", h.procErr)}
 		case <-ctx.Done():
 			return ctrlFrame{}, ctx.Err()
 		case <-overall.C:
-			return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("no response within %v", timeout)}
+			return ctrlFrame{}, &RankFailure{Rank: i, Kind: FailureTimeout, Err: fmt.Errorf("no response within %v", timeout)}
 		case <-beatC:
 			if since := time.Duration(time.Now().UnixNano() - h.lastBeat.Load()); since > hbTimeout {
-				return ctrlFrame{}, &RankFailure{Rank: i, Err: fmt.Errorf("no heartbeat for %v", since.Round(time.Millisecond))}
+				return ctrlFrame{}, &RankFailure{Rank: i, Kind: FailureTimeout, Err: fmt.Errorf("no heartbeat for %v", since.Round(time.Millisecond))}
 			}
 		}
 	}
@@ -522,6 +583,7 @@ func (co *Coordinator) maybeRebalance(ctx context.Context) error {
 			}
 		}
 	}
+	co.partCost = cost // degraded-mode shrinks reuse the freshest costs
 	next := tune.Remap(cost, co.cfg.Run.Ranks)
 	if tune.Equal(next, co.cfg.Run.partRanks()) {
 		return nil
@@ -591,10 +653,17 @@ func (co *Coordinator) stepCycle(ctx context.Context) (float64, []float64, error
 	binary.LittleEndian.PutUint32(cmd[:], 1)
 	for i, h := range co.ranks {
 		if err := h.c.send(msgStep, cmd[:]); err != nil {
-			return 0, nil, &RankFailure{Rank: i, Err: fmt.Errorf("sending step: %w", err)}
+			return 0, nil, &RankFailure{Rank: i, Kind: FailureLink, Err: fmt.Errorf("sending step: %w", err)}
 		}
 	}
 	samples := make([]float64, len(co.cfg.Run.Receivers))
+	ranks := co.cfg.Run.Ranks
+	// maxWait[q] is the longest any rank spent this cycle waiting for
+	// rank q's halo frames (telemetry only).
+	var maxWait []float64
+	if co.cfg.Run.Telemetry {
+		maxWait = make([]float64, ranks)
+	}
 	for i := range co.ranks {
 		fr, err := co.recvFrame(ctx, i, stepTimeout)
 		if err != nil {
@@ -614,7 +683,8 @@ func (co *Coordinator) stepCycle(ctx context.Context) (float64, []float64, error
 			}
 		}
 		if co.cfg.Run.Telemetry {
-			want++ // trailing per-cycle busy-nanos sample
+			// Trailing compute busy-nanos plus per-peer halo-wait nanos.
+			want += 1 + ranks
 		}
 		if len(vals) != want {
 			return 0, nil, fmt.Errorf("dist: rank %d reported %d values, want %d", i, len(vals), want)
@@ -623,7 +693,12 @@ func (co *Coordinator) stepCycle(ctx context.Context) (float64, []float64, error
 			co.t = vals[0]
 		}
 		if co.cfg.Run.Telemetry {
-			co.busy[i] = vals[len(vals)-1]
+			co.busy[i] = vals[len(vals)-1-ranks]
+			for q, w := range vals[len(vals)-ranks:] {
+				if w > maxWait[q] {
+					maxWait[q] = w
+				}
+			}
 		}
 		k := 1
 		for ri, o := range co.recOwn {
@@ -633,6 +708,15 @@ func (co *Coordinator) stepCycle(ctx context.Context) (float64, []float64, error
 			}
 		}
 	}
+	if co.cfg.Run.Telemetry {
+		// Charge each rank the worst wait its peers paid for it: a rank
+		// behind a delayed or stalled link reads as busy even when its
+		// compute is light, which is exactly the skew the imbalance
+		// detector should fire on.
+		for q, w := range maxWait {
+			co.busy[q] += w
+		}
+	}
 	return co.t, samples, nil
 }
 
@@ -640,8 +724,9 @@ func (co *Coordinator) stepCycle(ctx context.Context) (float64, []float64, error
 // held checkpoint, budget left) and if so performs recovery: tear down
 // the current generation, relaunch every rank, restore the snapshot and
 // replay up to the current cycle. It loops on failures *during*
-// recovery until the budget runs out. A nil return means the run is
-// healthy again at exactly co.cycle completed cycles.
+// recovery until the budget runs out — at which point DegradedMode
+// shrinks the rank set instead of giving up. A nil return means the run
+// is healthy again at exactly co.cycle completed cycles.
 func (co *Coordinator) tryRecover(ctx context.Context, cause error) error {
 	var rf *RankFailure
 	if !errors.As(cause, &rf) {
@@ -651,9 +736,13 @@ func (co *Coordinator) tryRecover(ctx context.Context, cause error) error {
 		return cause
 	}
 	for {
-		if co.recoveries >= co.cfg.MaxRecoveries {
-			return fmt.Errorf("dist: recovery budget (%d) exhausted: %w", co.cfg.MaxRecoveries, cause)
+		if co.budgetUsed >= co.cfg.MaxRecoveries {
+			// Same-width recovery is not working: this rank (or its link)
+			// is permanently gone. Degrade by redistributing its parts onto
+			// the survivors, or fail the run if that is not allowed.
+			return co.degrade(ctx, cause)
 		}
+		co.budgetUsed++
 		co.recoveries++
 		start := time.Now()
 		err := co.restartRanks(ctx)
@@ -671,6 +760,98 @@ func (co *Coordinator) tryRecover(ctx context.Context, cause error) error {
 		cause = err
 	}
 }
+
+// degrade is the permanent-loss path: recovery at the current width has
+// exhausted its budget, so shrink the rank set by one and continue on
+// the survivors. It loops — a failure during the shrunken relaunch
+// shrinks again — until the run is healthy, the MinRanks floor blocks
+// further shrinking, or an unrecoverable error surfaces. Each
+// successful shrink resets the recovery budget: the new configuration
+// earns a fresh chance before degrading further.
+func (co *Coordinator) degrade(ctx context.Context, cause error) error {
+	if !co.cfg.DegradedMode {
+		return fmt.Errorf("dist: recovery budget (%d) exhausted: %w", co.cfg.MaxRecoveries, cause)
+	}
+	for {
+		if co.cfg.Run.Ranks <= co.cfg.MinRanks {
+			return fmt.Errorf("dist: recovery budget (%d) exhausted at the MinRanks floor (%d): %w",
+				co.cfg.MaxRecoveries, co.cfg.MinRanks, cause)
+		}
+		start := time.Now()
+		err := co.shrink(ctx)
+		co.degradeWall += time.Since(start)
+		if err == nil {
+			co.degradedRanks++
+			co.budgetUsed = 0
+			return nil
+		}
+		if ctx.Err() != nil {
+			co.Abort()
+			return ctx.Err()
+		}
+		var rf *RankFailure
+		if !errors.As(err, &rf) {
+			return err
+		}
+		cause = err
+	}
+}
+
+// shrink relaunches the run with one rank fewer: the parts are
+// LPT-remapped over the last measured per-part costs (unit costs when
+// telemetry never ran) onto Ranks−1 ranks, the held checkpoint is
+// restored, and the cycles since it replay silently. Parts — and with
+// them the ascending-part assembly order — never change, so the
+// degraded trajectory is bitwise identical to the fault-free one.
+func (co *Coordinator) shrink(ctx context.Context) error {
+	newRanks := co.cfg.Run.Ranks - 1
+	cost := co.partCost
+	if len(cost) != co.cfg.Run.Parts {
+		// No telemetry measured yet: unit costs (Remap floors zeros to
+		// 1 ns) spread the parts evenly.
+		cost = make([]float64, co.cfg.Run.Parts)
+	}
+	trial := co.cfg.Run
+	trial.Ranks = newRanks
+	trial.PartRank = tune.Remap(cost, newRanks)
+	if err := trial.validate(); err != nil {
+		return err
+	}
+	co.teardown(false)
+	co.cfg.Run.Ranks = newRanks
+	co.cfg.Run.PartRank = trial.PartRank
+	if co.busy != nil {
+		co.busy = make([]float64, newRanks)
+	}
+	co.gen++
+	if err := co.launch(); err != nil {
+		return err
+	}
+	if err := co.restoreAll(ctx, co.ckpt); err != nil {
+		return err
+	}
+	for c := co.ckptCycle; c < co.cycle; c++ {
+		if _, _, err := co.stepCycle(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Degraded reports how many ranks this run has permanently lost (each
+// one a shrink of the rank set) and the wall-clock time spent inside
+// the shrinks.
+func (co *Coordinator) Degraded() (int, time.Duration) {
+	return co.degradedRanks, co.degradeWall
+}
+
+// CorruptFrames reports how many CRC-failed frames the coordinator has
+// rejected (each one routed into recovery).
+func (co *Coordinator) CorruptFrames() int64 { return co.corruptFrames }
+
+// Ranks reports the current rank count (smaller than the configured
+// count after degraded-mode shrinks).
+func (co *Coordinator) Ranks() int { return co.cfg.Run.Ranks }
 
 // restartRanks is one recovery attempt: kill the current generation,
 // launch the next, restore the held snapshot on every rank, and replay
@@ -706,7 +887,7 @@ func (co *Coordinator) restartRanks(ctx context.Context) error {
 func (co *Coordinator) fetchState(ctx context.Context) (*ckpt.StepperState, error) {
 	for i, h := range co.ranks {
 		if err := h.c.send(msgCkpt, nil); err != nil {
-			return nil, &RankFailure{Rank: i, Err: fmt.Errorf("requesting checkpoint: %w", err)}
+			return nil, &RankFailure{Rank: i, Kind: FailureLink, Err: fmt.Errorf("requesting checkpoint: %w", err)}
 		}
 	}
 	var st *ckpt.StepperState
@@ -748,7 +929,7 @@ func (co *Coordinator) fetchState(ctx context.Context) (*ckpt.StepperState, erro
 func (co *Coordinator) restoreAll(ctx context.Context, st *ckpt.StepperState) error {
 	for i, h := range co.ranks {
 		if err := h.c.sendGob(msgRestore, st); err != nil {
-			return &RankFailure{Rank: i, Err: fmt.Errorf("sending restore: %w", err)}
+			return &RankFailure{Rank: i, Kind: FailureLink, Err: fmt.Errorf("sending restore: %w", err)}
 		}
 	}
 	for i := range co.ranks {

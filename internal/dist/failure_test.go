@@ -17,6 +17,10 @@ func TestFaultPlanParse(t *testing.T) {
 		"stall:rank=0,cycle=1,substep=0",
 		"delay:rank=2,cycle=4,substep=1,ms=150",
 		"kill:rank=1,cycle=2,substep=0,gen=1",
+		"droplink:rank=1,cycle=2,substep=0",
+		"stall-link:rank=1,cycle=3,substep=0,ms=2000",
+		"corrupt:rank=0,cycle=5,substep=0",
+		"partition:rank=1,cycle=4,substep=1",
 	}
 	for _, spec := range cases {
 		p, err := ParseFaultPlan(spec)
@@ -394,21 +398,33 @@ func TestFetchStateExactGlobalField(t *testing.T) {
 	requireBitwise(t, "restored-tail", refT[mid:], gotT, refS[mid:], got)
 }
 
-// TestStallSpecParsesFromEnv keeps the env plumbing honest without
-// spawning anything.
+// TestFaultFromEnv keeps the env plumbing honest without spawning
+// anything: single plans, ';'-separated multi-plans, and rejects.
 func TestFaultFromEnv(t *testing.T) {
 	t.Setenv(EnvFault, "delay:rank=0,cycle=1,substep=0,ms=5")
-	p, err := faultFromEnv()
-	if err != nil || p == nil || p.Kind != FaultDelay || p.Delay != 5*time.Millisecond {
-		t.Fatalf("faultFromEnv: %+v, %v", p, err)
+	ps, err := faultsFromEnv()
+	if err != nil || len(ps) != 1 || ps[0].Kind != FaultDelay || ps[0].Delay != 5*time.Millisecond {
+		t.Fatalf("faultsFromEnv: %+v, %v", ps, err)
+	}
+	t.Setenv(EnvFault, "kill:rank=0,cycle=2;kill:rank=1,cycle=2;kill:rank=1,cycle=2,gen=1")
+	ps, err = faultsFromEnv()
+	if err != nil || len(ps) != 3 {
+		t.Fatalf("multi-plan env: %+v, %v", ps, err)
+	}
+	if ps[1].Rank != 1 || ps[2].Gen != 1 {
+		t.Fatalf("multi-plan fields: %+v", ps)
 	}
 	t.Setenv(EnvFault, "nonsense")
-	if _, err := faultFromEnv(); err == nil {
+	if _, err := faultsFromEnv(); err == nil {
 		t.Fatal("bad env spec accepted")
 	}
+	t.Setenv(EnvFault, "kill:rank=0,cycle=1;nonsense")
+	if _, err := faultsFromEnv(); err == nil {
+		t.Fatal("bad multi-plan spec accepted")
+	}
 	t.Setenv(EnvFault, "")
-	if p, err := faultFromEnv(); p != nil || err != nil {
-		t.Fatalf("empty env: %+v, %v", p, err)
+	if ps, err := faultsFromEnv(); ps != nil || err != nil {
+		t.Fatalf("empty env: %+v, %v", ps, err)
 	}
 	if !strings.Contains((&FaultPlan{Kind: FaultKill, Rank: 1, Cycle: 2}).String(), "kill:") {
 		t.Fatal("String misses kind")

@@ -8,15 +8,43 @@ import (
 	"time"
 )
 
+// FailureKind classifies how a rank was lost, for reporting and for
+// routing: every kind recovers the same way (checkpoint restore), but
+// the taxonomy tells operators whether they are fighting crashing
+// processes, a hung host, a flaky NIC, or data corruption in flight.
+type FailureKind string
+
+const (
+	// FailureCrash is a silent disappearance: the process exited or its
+	// connection dropped without a farewell frame.
+	FailureCrash FailureKind = "crash"
+	// FailureTimeout is unresponsiveness: heartbeats stopped, or a step
+	// overran the configured timeout, while connections stayed open.
+	FailureTimeout FailureKind = "timeout"
+	// FailureCorrupt is a frame whose CRC did not match its contents —
+	// the link delivered bytes that were never sent.
+	FailureCorrupt FailureKind = "corrupt"
+	// FailureLink is a send-side transport error: the coordinator could
+	// not deliver a frame to the rank.
+	FailureLink FailureKind = "link"
+)
+
 // RankFailure reports the loss (or unresponsiveness) of one rank during
 // a distributed run. Callers detect it with errors.As; when the
 // coordinator holds a checkpoint it recovers from these automatically.
 type RankFailure struct {
 	Rank int
+	Kind FailureKind
 	Err  error
 }
 
-func (e *RankFailure) Error() string { return fmt.Sprintf("dist: rank %d failed: %v", e.Rank, e.Err) }
+func (e *RankFailure) Error() string {
+	kind := e.Kind
+	if kind == "" {
+		kind = FailureCrash
+	}
+	return fmt.Sprintf("dist: rank %d failed (%s): %v", e.Rank, kind, e.Err)
+}
 
 func (e *RankFailure) Unwrap() error { return e.Err }
 
@@ -36,6 +64,24 @@ const (
 	// FaultDelay pauses the target rank once for Delay, modelling a
 	// transient network hiccup; the run must ride it out unharmed.
 	FaultDelay FaultKind = "delay"
+	// FaultDropLink severs the target rank's coordinator connection,
+	// modelling a failed uplink: the rank's serve loop dies on the closed
+	// socket and the coordinator sees the drop as a crash to recover.
+	FaultDropLink FaultKind = "droplink"
+	// FaultStallLink freezes the target rank's coordinator link for
+	// Delay, at the conn layer with the write mutex held: frames and
+	// heartbeats alike queue behind it. A short stall rides out; one
+	// longer than the heartbeat timeout is indistinguishable from a hung
+	// host and triggers recovery.
+	FaultStallLink FaultKind = "stall-link"
+	// FaultCorrupt flips bits in the CRC tail of the target rank's next
+	// coordinator-bound frame, modelling in-flight data corruption; the
+	// coordinator's checksum verification must catch it and recover.
+	FaultCorrupt FaultKind = "corrupt"
+	// FaultPartition severs every connection of the target rank —
+	// coordinator and peers — modelling a network partition that
+	// isolates the host completely.
+	FaultPartition FaultKind = "partition"
 )
 
 // EnvFault names the environment variable carrying a fault-plan spec.
@@ -69,7 +115,8 @@ type FaultPlan struct {
 //
 //	kind:rank=R,cycle=C[,substep=S][,ms=D][,gen=G]
 //
-// with kind one of kill, stall, delay.
+// with kind one of kill, stall, delay, droplink, stall-link, corrupt,
+// partition.
 func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	kind, rest, ok := strings.Cut(spec, ":")
 	if !ok {
@@ -77,7 +124,8 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) {
 	}
 	p := &FaultPlan{Kind: FaultKind(kind)}
 	switch p.Kind {
-	case FaultKill, FaultStall, FaultDelay:
+	case FaultKill, FaultStall, FaultDelay,
+		FaultDropLink, FaultStallLink, FaultCorrupt, FaultPartition:
 	default:
 		return nil, fmt.Errorf("dist: fault spec %q: unknown kind %q", spec, kind)
 	}
@@ -124,13 +172,33 @@ func (p *FaultPlan) String() string {
 	return b.String()
 }
 
-// faultFromEnv reads the process's fault plan, if any, from EnvFault.
-func faultFromEnv() (*FaultPlan, error) {
-	spec := os.Getenv(EnvFault)
-	if spec == "" {
+// ParseFaultPlans parses a ';'-separated list of fault specs, so one
+// GOLTS_FAULT value can target several ranks, cycles or generations at
+// once (two ranks killed in the same cycle; a rank killed again during
+// the replay of its own recovery via gen=1; ...).
+func ParseFaultPlans(specs string) ([]*FaultPlan, error) {
+	var plans []*FaultPlan
+	for _, spec := range strings.Split(specs, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		p, err := ParseFaultPlan(spec)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// faultsFromEnv reads the process's fault plans, if any, from EnvFault.
+func faultsFromEnv() ([]*FaultPlan, error) {
+	specs := os.Getenv(EnvFault)
+	if specs == "" {
 		return nil, nil
 	}
-	return ParseFaultPlan(spec)
+	return ParseFaultPlans(specs)
 }
 
 // killPanic aborts an in-process rank from inside the stepper the way

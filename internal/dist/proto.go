@@ -6,20 +6,25 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"golts/internal/ckpt"
 )
 
-// Wire format: every message is one length-prefixed frame
+// Wire format: every message is one length-prefixed, checksummed frame
 //
-//	[u32 payload length (little-endian)] [u8 type] [payload]
+//	[u32 payload length (little-endian)] [u8 type] [payload] [u32 crc]
 //
-// over a stream connection (TCP on 127.0.0.1). Control payloads
+// over a stream connection (TCP on 127.0.0.1). The trailing CRC32-IEEE
+// covers the type byte and the payload; a mismatch on receive is a
+// typed *CorruptFrameError, which the coordinator routes into checkpoint
+// recovery rather than aborting the run. Control payloads
 // (configuration, peer lists, statistics) are gob-encoded structs; hot
 // payloads (halo contributions, receiver samples) are raw little-endian
 // float64 arrays with a small fixed header, so the per-substep exchange
@@ -74,19 +79,58 @@ const maxFrame = 1 << 30
 // stopped reading and the sender must not hang on it.
 const writeFrameTimeout = 60 * time.Second
 
+// CorruptFrameError reports a frame whose CRC32 tail did not match its
+// contents (or whose header is structurally impossible): the stream
+// delivered bytes, but not the bytes that were sent. The coordinator
+// classifies it as FailureCorrupt and recovers the affected rank from
+// the last checkpoint instead of trusting anything further on the
+// stream.
+type CorruptFrameError struct {
+	Type byte   // frame type byte as received
+	Len  int    // payload length as received
+	Want uint32 // checksum carried by the frame
+	Got  uint32 // checksum computed over the received bytes
+}
+
+func (e *CorruptFrameError) Error() string {
+	if e.Want == e.Got {
+		return fmt.Sprintf("dist: corrupt frame: type %d with impossible length %d", e.Type, e.Len)
+	}
+	return fmt.Sprintf("dist: corrupt frame: type %d len %d: crc %08x, frame claims %08x",
+		e.Type, e.Len, e.Got, e.Want)
+}
+
 // conn wraps a stream connection with buffered framed I/O. Sends are
 // serialized by a mutex (the heartbeat goroutine shares the rank →
 // coordinator direction with the serve loop); the receive direction
 // still admits exactly one goroutine.
+//
+// corruptNext and stallNanos are fault-injection hooks driven by the
+// corrupt / stall-link GOLTS_FAULT verbs: the former flips bits in the
+// next frame's CRC tail after it is computed (so the receiver sees a
+// checksum mismatch on an otherwise well-formed frame), the latter is
+// drained and slept inside send while the write mutex is held, so every
+// sender sharing the conn — the heartbeat goroutine included — blocks
+// behind the stalled link.
 type conn struct {
 	c   net.Conn
 	r   *bufio.Reader
 	wmu sync.Mutex
 	w   *bufio.Writer
+
+	corruptNext atomic.Bool
+	stallNanos  atomic.Int64
 }
 
 func newConn(c net.Conn) *conn {
 	return &conn{c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
+}
+
+// frameCRC is the checksum carried in a frame's tail: CRC32-IEEE over
+// the type byte followed by the payload.
+func frameCRC(t byte, payload []byte) uint32 {
+	crc := crc32.ChecksumIEEE([]byte{t})
+	return crc32.Update(crc, crc32.IEEETable, payload)
 }
 
 // send writes one framed message and flushes it, under a per-frame
@@ -94,6 +138,9 @@ func newConn(c net.Conn) *conn {
 func (c *conn) send(t byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if d := c.stallNanos.Swap(0); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	c.c.SetWriteDeadline(time.Now().Add(writeFrameTimeout))
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
@@ -104,11 +151,19 @@ func (c *conn) send(t byte, payload []byte) error {
 	if _, err := c.w.Write(payload); err != nil {
 		return err
 	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], frameCRC(t, payload))
+	if c.corruptNext.CompareAndSwap(true, false) {
+		tail[0] ^= 0xff
+	}
+	if _, err := c.w.Write(tail[:]); err != nil {
+		return err
+	}
 	return c.w.Flush()
 }
 
-// recv reads one framed message. The returned payload is freshly
-// allocated and owned by the caller.
+// recv reads one framed message, verifying the CRC tail. The returned
+// payload is freshly allocated and owned by the caller.
 func (c *conn) recv() (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
@@ -116,11 +171,16 @@ func (c *conn) recv() (byte, []byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+		return 0, nil, &CorruptFrameError{Type: hdr[4], Len: int(n)}
 	}
-	payload := make([]byte, n)
+	payload := make([]byte, n+4)
 	if _, err := io.ReadFull(c.r, payload); err != nil {
 		return 0, nil, err
+	}
+	want := binary.LittleEndian.Uint32(payload[n:])
+	payload = payload[:n]
+	if got := frameCRC(hdr[4], payload); got != want {
+		return 0, nil, &CorruptFrameError{Type: hdr[4], Len: int(n), Want: want, Got: got}
 	}
 	return hdr[4], payload, nil
 }

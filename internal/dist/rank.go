@@ -43,7 +43,7 @@ func RankMain() {
 		os.Exit(2)
 	}
 	gen, _ := strconv.Atoi(os.Getenv(envGen))
-	fault, err := faultFromEnv()
+	faults, err := faultsFromEnv()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dist: rank %d: %v\n", rank, err)
 		os.Exit(2)
@@ -53,7 +53,7 @@ func RankMain() {
 		addr:    os.Getenv(envAddr),
 		token:   os.Getenv(envToken),
 		gen:     gen,
-		fault:   fault,
+		faults:  faults,
 		spawned: true,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "dist: rank %d: %v\n", rank, err)
@@ -68,9 +68,9 @@ type rankParams struct {
 	rank    int
 	addr    string // coordinator address
 	token   string
-	gen     int        // coordinator spawn generation (0 = initial launch)
-	fault   *FaultPlan // injected fault, if any
-	spawned bool       // true in a separate rank process
+	gen     int          // coordinator spawn generation (0 = initial launch)
+	faults  []*FaultPlan // injected faults, if any
+	spawned bool         // true in a separate rank process
 }
 
 // haloFrame is one received halo message, decoded off the wire by the
@@ -128,6 +128,13 @@ type peerFabric struct {
 	links   []*peerLink // indexed by rank; nil for self
 	buf     []byte      // reusable send frame
 	timeout time.Duration
+	// telemetry enables waitNanos: cumulative time the stepping
+	// goroutine spent blocked waiting for halo frames, per peer rank.
+	// The coordinator charges each rank the time its peers spent
+	// waiting on it, so the imbalance signal sees a slow or delayed
+	// link — not only a slow CPU.
+	telemetry bool
+	waitNanos []int64 // per peer rank; accessed only by the stepping goroutine
 }
 
 func (f *peerFabric) sendHalo(rank int, seq, planID uint32, values []float64) error {
@@ -143,6 +150,10 @@ func (f *peerFabric) sendHalo(rank int, seq, planID uint32, values []float64) er
 
 func (f *peerFabric) recvHalo(rank int) (uint32, uint32, []float64, error) {
 	l := f.links[rank]
+	if f.telemetry {
+		start := time.Now()
+		defer func() { f.waitNanos[rank] += time.Since(start).Nanoseconds() }()
+	}
 	if f.timeout <= 0 {
 		fr, ok := <-l.frames
 		if !ok {
@@ -214,6 +225,11 @@ type RankStats struct {
 	EffectiveSpeedup          float64
 	Efficiency                float64
 
+	// LinkRetries counts connection attempts beyond the first that this
+	// rank needed to reach the coordinator or a peer — nonzero means the
+	// bounded reconnect-with-backoff path absorbed transient link errors.
+	LinkRetries int64
+
 	// Telemetry (populated only when RunConfig.Telemetry is set):
 	// LevelNanos is the cumulative per-LTS-level kernel wall time of this
 	// rank; OwnedParts its owned parts (ascending) and PartNanos the
@@ -237,15 +253,39 @@ type rankRun struct {
 	// recIdx lists the indices into cfg.Receivers this rank owns,
 	// ascending; samples are reported in this order.
 	recIdx []int
-	// lastBusy is the owned-part compute nanos already reported, so each
-	// cycle-done frame carries only the cycle's delta (telemetry only).
+	// lastBusy / lastWait are the owned-part compute nanos and per-peer
+	// halo-wait nanos already reported, so each cycle-done frame carries
+	// only the cycle's deltas (telemetry only).
 	lastBusy int64
+	lastWait []int64
+	// linkRetries counts reconnect attempts beyond the first.
+	linkRetries int64
 
 	// Fault-injection state (nil fault = none armed).
 	fault   *FaultPlan
 	fcycle  int64       // 1-based cycle in progress
 	fsub    int         // stiffness applies seen in the current cycle
 	stalled atomic.Bool // silences the heartbeat during an injected stall
+}
+
+// dialRetry dials with bounded retry and exponential backoff, absorbing
+// transient link errors (a listener mid-restart, an exhausted accept
+// backlog). Attempts beyond the first are counted into *retries.
+func dialRetry(addr string, timeout time.Duration, retries *int64) (net.Conn, error) {
+	backoff := 50 * time.Millisecond
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			*retries++
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var c net.Conn
+		if c, err = net.DialTimeout("tcp", addr, timeout); err == nil {
+			return c, nil
+		}
+	}
+	return nil, err
 }
 
 // runRank executes one rank to completion: handshake, deterministic
@@ -265,13 +305,17 @@ func runRank(params rankParams) (err error) {
 			panic(rec)
 		}
 	}()
-	nc, err := net.Dial("tcp", params.addr)
+	r := &rankRun{params: params}
+	nc, err := dialRetry(params.addr, handshakeTimeout, &r.linkRetries)
 	if err != nil {
 		return fmt.Errorf("dialing coordinator: %w", err)
 	}
-	r := &rankRun{params: params, coord: newConn(nc)}
-	if f := params.fault; f != nil && f.Rank == params.rank && f.Gen == params.gen {
-		r.fault = f
+	r.coord = newConn(nc)
+	for _, f := range params.faults {
+		if f != nil && f.Rank == params.rank && f.Gen == params.gen {
+			r.fault = f
+			break
+		}
 	}
 	defer r.coord.close()
 	if err := r.handshake(); err != nil {
@@ -336,7 +380,7 @@ func (r *rankRun) handshake() error {
 
 	links := make([]*peerLink, r.cfg.Ranks)
 	for q := 0; q < r.params.rank; q++ {
-		c, err := net.DialTimeout("tcp", addrs[q], handshakeTimeout)
+		c, err := dialRetry(addrs[q], handshakeTimeout, &r.linkRetries)
 		if err != nil {
 			return fmt.Errorf("dialing rank %d: %w", q, err)
 		}
@@ -373,7 +417,11 @@ func (r *rankRun) handshake() error {
 		links[from] = newPeerLink(pc)
 		connected++
 	}
-	r.fabric = &peerFabric{links: links, timeout: r.cfg.peerTimeout()}
+	r.fabric = &peerFabric{links: links, timeout: r.cfg.peerTimeout(), telemetry: r.cfg.Telemetry}
+	if r.cfg.Telemetry {
+		r.fabric.waitNanos = make([]int64, r.cfg.Ranks)
+		r.lastWait = make([]int64, r.cfg.Ranks)
+	}
 	return nil
 }
 
@@ -509,6 +557,7 @@ func (r *rankRun) serve() error {
 				st.ElemApplies = r.gS.ElementSteps
 				st.Cycles = r.gS.StepCount()
 			}
+			st.LinkRetries = r.linkRetries
 			if r.cfg.Telemetry {
 				if r.ltsS != nil {
 					st.LevelNanos = append([]int64(nil), r.ltsS.Work.LevelNanos...)
@@ -593,14 +642,21 @@ func (r *rankRun) stepOnce() (err error) {
 		vals = append(vals, u[r.cfg.Receivers[i]])
 	}
 	if r.cfg.Telemetry {
-		// Trailing busy-nanos sample: this cycle's owned-part compute
-		// time, the imbalance signal the coordinator's detector watches.
+		// Trailing telemetry: this cycle's owned-part compute nanos,
+		// then this rank's halo-wait nanos per peer. The coordinator
+		// charges each rank the time its peers spent waiting on it, so
+		// the busy trace sees a slow or delayed *link* — not only a
+		// slow CPU.
 		var busy int64
 		for _, n := range r.dop.PartNanos() {
 			busy += n
 		}
 		vals = append(vals, float64(busy-r.lastBusy))
 		r.lastBusy = busy
+		for q, w := range r.fabric.waitNanos {
+			vals = append(vals, float64(w-r.lastWait[q]))
+			r.lastWait[q] = w
+		}
 	}
 	return r.coord.send(msgCycleDone, putFloats(nil, vals))
 }
@@ -641,5 +697,24 @@ func (r *rankRun) trigger() {
 			os.Exit(137)
 		}
 		panic(&killPanic{})
+	case FaultDropLink:
+		// Sever the uplink only: the next coordinator-bound frame fails,
+		// the serve loop exits, and the coordinator sees a silent drop.
+		r.coord.close()
+	case FaultStallLink:
+		// Freeze the uplink at the conn layer for Delay: the next sender
+		// to grab the write mutex sleeps it off, and heartbeats queue
+		// behind it, so a stall beyond the heartbeat timeout reads as a
+		// dead host.
+		r.coord.stallNanos.Store(int64(p.Delay))
+	case FaultCorrupt:
+		// Flip bits in the next coordinator-bound frame's CRC tail; the
+		// coordinator's checksum verification must reject it.
+		r.coord.corruptNext.Store(true)
+	case FaultPartition:
+		// Total isolation: every connection — coordinator and peers —
+		// goes down at once.
+		r.coord.close()
+		r.fabric.close()
 	}
 }

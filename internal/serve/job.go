@@ -72,6 +72,9 @@ type snapshot struct {
 	Started   *time.Time  `json:"started,omitempty"`
 	Finished  *time.Time  `json:"finished,omitempty"`
 	Stats     *wave.Stats `json:"stats,omitempty"`
+	// DegradedRanks surfaces permanent rank retirements (degraded mode)
+	// without making clients dig through Stats.
+	DegradedRanks int `json:"degraded_ranks,omitempty"`
 }
 
 func (j *Job) snapshot() snapshot {
@@ -98,6 +101,7 @@ func (j *Job) snapshot() snapshot {
 	if j.hasStats {
 		st := j.stats
 		sn.Stats = &st
+		sn.DegradedRanks = st.DegradedRanks
 	}
 	return sn
 }

@@ -112,6 +112,35 @@ type JobRequest struct {
 	// exponential backoff before the job fails for good. Excluded from
 	// the canonical hash: it does not affect results.
 	MaxRetries int `json:"max_retries"`
+	// Ranks, when positive, runs the job on the distributed backend with
+	// this many spawned rank processes, decomposed at Workers parts — the
+	// decomposition, not the process count, pins the assembly order, so
+	// the rows are byte-identical to the local run of the same request.
+	// Excluded from the canonical hash for the same reason. Requires
+	// Workers >= Ranks.
+	Ranks int `json:"ranks"`
+	// MinRanks, when positive, enables degraded mode for a distributed
+	// job: a rank that exhausts its recovery budget is retired and its
+	// parts are redistributed onto the survivors, down to this floor.
+	// Excluded from the canonical hash (results stay bitwise identical).
+	MinRanks int `json:"min_ranks"`
+	// MaxRecoveries bounds rank-failure recoveries per rank configuration
+	// for a distributed job (0: backend default). Excluded from the
+	// canonical hash.
+	MaxRecoveries int `json:"max_recoveries"`
+}
+
+// distBackend is the distributed backend a Ranks > 0 request resolves
+// to: Parts is pinned to Workers so the decomposition (and therefore
+// every result bit) matches the local run of the same request.
+func (r *JobRequest) distBackend() wave.Distributed {
+	return wave.Distributed{
+		Ranks:         r.Ranks,
+		Parts:         r.Workers,
+		MaxRecoveries: r.MaxRecoveries,
+		DegradedMode:  r.MinRanks > 0,
+		MinRanks:      r.MinRanks,
+	}
 }
 
 // canonicalize fills defaults so equal configurations hash equally, and
@@ -129,9 +158,24 @@ func (r *JobRequest) canonicalize() error {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
+	if r.Ranks < 0 {
+		return fmt.Errorf("serve: ranks %d out of range", r.Ranks)
+	}
+	if r.MaxRecoveries < 0 {
+		return fmt.Errorf("serve: max_recoveries %d out of range", r.MaxRecoveries)
+	}
+	if r.MinRanks > 0 && r.Ranks == 0 {
+		return fmt.Errorf("serve: min_ranks requires ranks > 0")
+	}
+	execOpt := wave.WithWorkers(r.Workers)
+	if r.Ranks > 0 {
+		// The distributed backend refuses WithWorkers > 1; Workers becomes
+		// the decomposition width instead (Parts), so it must cover Ranks.
+		execOpt = wave.WithBackend(r.distBackend())
+	}
 	return wave.Validate(
 		wave.WithMesh(r.Mesh, r.Scale),
-		wave.WithWorkers(r.Workers),
+		execOpt,
 		wave.WithPartitioner(wave.Partitioner(r.Partitioner)),
 		wave.WithSeed(r.Seed),
 	)
@@ -177,6 +221,8 @@ type Server struct {
 	replayed, retried, resumed         int64
 	checkpoints, recoveries            int64
 	rebalances                         int64
+	degraded, corruptFrames            int64
+	linkRetries                        int64
 
 	// testRunFault, when set, is invoked before each attempt's Run; a
 	// non-nil return is treated as that attempt's infrastructure failure.
@@ -473,8 +519,12 @@ func (s *Server) runSim(ctx context.Context, j *Job, attempt int) error {
 	if err != nil {
 		return &wave.OptionError{Option: "FromConfig", Err: err}
 	}
+	execOpt := wave.WithWorkers(j.req.Workers)
+	if j.req.Ranks > 0 {
+		execOpt = wave.WithBackend(j.req.distBackend())
+	}
 	opts = append(opts,
-		wave.WithWorkers(j.req.Workers),
+		execOpt,
 		wave.WithPartitioner(wave.Partitioner(j.req.Partitioner)),
 		wave.WithSeed(j.req.Seed),
 		wave.WithArtifactCache(s.cache),
@@ -525,6 +575,9 @@ func (s *Server) runSim(ctx context.Context, j *Job, attempt int) error {
 	s.checkpoints += stats.Checkpoints
 	s.recoveries += int64(stats.Recoveries)
 	s.rebalances += int64(stats.Rebalances)
+	s.degraded += int64(stats.DegradedRanks)
+	s.corruptFrames += stats.CorruptFrames
+	s.linkRetries += stats.LinkRetries
 	s.mu.Unlock()
 
 	if runErr != nil {
@@ -684,6 +737,13 @@ type StatsResponse struct {
 	// completed attempt (zero unless jobs ran distributed with automatic
 	// rebalancing on).
 	Rebalances int64 `json:"rebalances"`
+	// DegradedRanks aggregates the ranks permanently retired across every
+	// completed attempt (zero unless distributed jobs ran degraded);
+	// CorruptFrames counts wire frames rejected by CRC and LinkRetries the
+	// connection attempts retried with backoff, both summed the same way.
+	DegradedRanks int64 `json:"degraded_ranks"`
+	CorruptFrames int64 `json:"corrupt_frames"`
+	LinkRetries   int64 `json:"link_retries"`
 	// Jobs lists, per completed attempt, the tuned deployment shape and
 	// rebalance count — the observable effect of Config.AutoTune and the
 	// runtime load balancer on each job.
@@ -704,36 +764,43 @@ type JobSummary struct {
 	TunedWorkers int    `json:"tuned_workers,omitempty"`
 	TunedRanks   int    `json:"tuned_ranks,omitempty"`
 	Rebalances   int    `json:"rebalances,omitempty"`
+	// DegradedRanks is how many ranks the job's distributed run retired
+	// permanently (degraded mode); zero for local and fault-free runs.
+	DegradedRanks int `json:"degraded_ranks,omitempty"`
 }
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() StatsResponse {
 	s.mu.Lock()
 	resp := StatsResponse{
-		QueueDepth:   s.pending.Len(),
-		InFlight:     s.inFlight,
-		WorkerBudget: s.cfg.WorkerBudget,
-		WorkersInUse: s.cfg.WorkerBudget - s.availWork,
-		Submitted:    s.submitted,
-		Done:         s.done,
-		Failed:       s.failed,
-		Cancelled:    s.cancelled,
-		Replayed:     s.replayed,
-		Retried:      s.retried,
-		Resumed:      s.resumed,
-		Checkpoints:  s.checkpoints,
-		Recoveries:   s.recoveries,
-		Rebalances:   s.rebalances,
+		QueueDepth:    s.pending.Len(),
+		InFlight:      s.inFlight,
+		WorkerBudget:  s.cfg.WorkerBudget,
+		WorkersInUse:  s.cfg.WorkerBudget - s.availWork,
+		Submitted:     s.submitted,
+		Done:          s.done,
+		Failed:        s.failed,
+		Cancelled:     s.cancelled,
+		Replayed:      s.replayed,
+		Retried:       s.retried,
+		Resumed:       s.resumed,
+		Checkpoints:   s.checkpoints,
+		Recoveries:    s.recoveries,
+		Rebalances:    s.rebalances,
+		DegradedRanks: s.degraded,
+		CorruptFrames: s.corruptFrames,
+		LinkRetries:   s.linkRetries,
 	}
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		if j.hasStats {
 			resp.Jobs = append(resp.Jobs, JobSummary{
-				ID:           j.ID,
-				State:        j.state,
-				TunedWorkers: j.stats.TunedWorkers,
-				TunedRanks:   j.stats.TunedRanks,
-				Rebalances:   j.stats.Rebalances,
+				ID:            j.ID,
+				State:         j.state,
+				TunedWorkers:  j.stats.TunedWorkers,
+				TunedRanks:    j.stats.TunedRanks,
+				Rebalances:    j.stats.Rebalances,
+				DegradedRanks: j.stats.DegradedRanks,
 			})
 		}
 		j.mu.Unlock()

@@ -50,8 +50,20 @@ type Distributed struct {
 	// pins the assembly order. 0 selects the default interval (4);
 	// negative disables recovery.
 	CheckpointEvery int
-	// MaxRecoveries bounds recoveries per run; 0 selects the default (3).
+	// MaxRecoveries bounds recoveries per rank configuration; 0 selects
+	// the default (3). With DegradedMode the budget resets after each
+	// successful shrink.
 	MaxRecoveries int
+	// DegradedMode keeps the run alive through permanent rank loss: a
+	// rank that exhausts the recovery budget is retired, its parts are
+	// redistributed onto the surviving ranks (LPT over measured costs),
+	// and the run continues with fewer ranks. Parts never change, so the
+	// degraded trajectory is bitwise identical to the fault-free one.
+	// Requires recovery checkpoints (CheckpointEvery >= 0).
+	DegradedMode bool
+	// MinRanks is the floor DegradedMode will not shrink below; 0 selects
+	// 1 (a run survives down to a single rank).
+	MinRanks int
 	// Telemetry enables the per-rank, per-level timing counters
 	// (surfaced through Stats.Levels and the coordinator's busy trace).
 	// Cheap — two monotonic clock reads per owned part per apply — but
@@ -137,6 +149,14 @@ func WithBackend(b Backend) Option {
 					"part-rank map has %d entries for %d parts",
 					len(be.PartRank), be.parts())
 			}
+			if be.MinRanks < 0 || be.MinRanks > be.Ranks {
+				return optErr("WithBackend", ErrRanksRange,
+					"min ranks %d outside [0, %d]", be.MinRanks, be.Ranks)
+			}
+			if be.DegradedMode && be.CheckpointEvery < 0 {
+				return optErr("WithBackend", ErrCheckpointSpec,
+					"DegradedMode requires recovery checkpoints (CheckpointEvery >= 0)")
+			}
 			s.backend = be
 		default:
 			return optErr("WithBackend", ErrBackendSpec, "unknown backend %T", b)
@@ -194,10 +214,17 @@ func buildDistributed(s *Simulation, set *settings, be Distributed, semSrcs []sr
 		cfg.PartRank = append([]int(nil), be.PartRank...)
 	}
 
+	degraded := be.DegradedMode || set.degradedMode
+	minRanks := be.MinRanks
+	if set.degradedMode && set.minRanks > 0 {
+		minRanks = set.minRanks
+	}
 	co, err := dist.Start(dist.Config{
 		Run:             cfg,
 		CheckpointEvery: be.ckptEvery(),
 		MaxRecoveries:   be.maxRecoveries(),
+		DegradedMode:    degraded,
+		MinRanks:        minRanks,
 		AutoRebalance:   be.AutoRebalance,
 		MaxRebalances:   be.MaxRebalances,
 		RebalanceDetector: tune.DetectorConfig{

@@ -87,6 +87,53 @@ func TestSpawnedKillAtEachSubstep(t *testing.T) {
 	}
 }
 
+// TestSpawnedMultiKillSameCycle: a correlated failure — two spawned rank
+// processes SIGKILL themselves in the same cycle — recovers byte-equal
+// to the fault-free reference. One relaunch replaces the whole
+// generation, so the double loss costs a single recovery.
+func TestSpawnedMultiKillSameCycle(t *testing.T) {
+	const parts, cycles = 4, 5
+	ref, _ := runFaultCSV(t, ckptOpts(wave.Acoustic, true, cycles, wave.WithWorkers(parts))...)
+	t.Setenv("GOLTS_FAULT", "kill:rank=0,cycle=3,substep=1;kill:rank=1,cycle=3,substep=1")
+	csv, st := runFaultCSV(t, ckptOpts(wave.Acoustic, true, cycles,
+		wave.WithBackend(wave.Distributed{
+			Ranks: 2, Parts: parts,
+			CheckpointEvery: 1, MaxRecoveries: 2,
+		}))...)
+	if st.Recoveries < 1 {
+		t.Fatalf("no recovery recorded (double kill did not fire?); stats: %+v", st)
+	}
+	if !bytes.Equal(csv, ref) {
+		t.Fatalf("recovered CSV differs from fault-free reference:\nref:\n%s\ngot:\n%s", ref, csv)
+	}
+}
+
+// TestSpawnedDegradedMode: a spawned rank killed in generation 0 and
+// again during the recovery replay (gen=1 plan) exhausts MaxRecoveries
+// of 1; with WithDegradedMode the coordinator retires it, redistributes
+// its parts onto the survivor, and the finished CSV is byte-equal to the
+// fault-free reference.
+func TestSpawnedDegradedMode(t *testing.T) {
+	const parts, cycles = 4, 5
+	ref, _ := runFaultCSV(t, ckptOpts(wave.Acoustic, true, cycles, wave.WithWorkers(parts))...)
+	t.Setenv("GOLTS_FAULT", "kill:rank=1,cycle=3,substep=1;kill:rank=1,cycle=1,substep=1,gen=1")
+	csv, st := runFaultCSV(t, ckptOpts(wave.Acoustic, true, cycles,
+		wave.WithDegradedMode(1),
+		wave.WithBackend(wave.Distributed{
+			Ranks: 2, Parts: parts,
+			CheckpointEvery: 1, MaxRecoveries: 1,
+		}))...)
+	if st.DegradedRanks != 1 {
+		t.Fatalf("DegradedRanks = %d, want 1; stats: %+v", st.DegradedRanks, st)
+	}
+	if st.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1 (second failure must degrade)", st.Recoveries)
+	}
+	if !bytes.Equal(csv, ref) {
+		t.Fatalf("degraded CSV differs from fault-free reference:\nref:\n%s\ngot:\n%s", ref, csv)
+	}
+}
+
 // TestKillRecoveryNonzeroAmplitude is the facade-level regression for
 // the stale-replica checkpoint bug: the substep matrix above runs at an
 // amplitude where every sample is exactly 0.0, so it cannot see a
@@ -138,6 +185,77 @@ func TestKillRecoveryNonzeroAmplitude(t *testing.T) {
 	}
 	if sim.Stats().Recoveries < 1 {
 		t.Fatal("no recovery recorded (fault did not fire?)")
+	}
+	got := sim.Seismograms()
+	bad := 0
+	for i := range ref.Traces {
+		for k := range ref.Traces[i].Values {
+			if ref.Traces[i].Values[k] != got.Traces[i].Values[k] {
+				if bad < 6 {
+					t.Errorf("trace %d sample %d: want %.17g got %.17g",
+						i, k, ref.Traces[i].Values[k], got.Traces[i].Values[k])
+				}
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d mismatched samples", bad)
+	}
+}
+
+// TestDegradedModeNonzeroAmplitude is the tentpole acceptance: a rank
+// killed past MaxRecoveries at an amplitude where the wave has provably
+// reached the receivers, with the run completing on the survivor and the
+// seismograms matching the fault-free local reference sample for
+// sample. CheckpointEvery 4 makes both the recovery and the shrink
+// replay several cycles.
+func TestDegradedModeNonzeroAmplitude(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long nonzero-amplitude run skipped in -short")
+	}
+	opts := []wave.Option{
+		wave.WithMesh("trench", 0.015),
+		wave.WithCycles(40),
+		wave.WithLTS(),
+	}
+	full, err := wave.New(append(opts, wave.WithWorkers(4))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if err := full.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ref := full.Seismograms()
+	refMax := 0.0
+	for i := range ref.Traces {
+		for _, v := range ref.Traces[i].Values {
+			if a := math.Abs(v); a > refMax {
+				refMax = a
+			}
+		}
+	}
+	if refMax == 0 {
+		t.Fatal("vacuous reference: every receiver sample is exactly zero")
+	}
+
+	t.Setenv("GOLTS_FAULT", "kill:rank=1,cycle=20,substep=1;kill:rank=1,cycle=1,substep=1,gen=1")
+	sim, err := wave.New(append(opts,
+		wave.WithDegradedMode(1),
+		wave.WithBackend(wave.Distributed{
+			Ranks: 2, Parts: 4, CheckpointEvery: 4, MaxRecoveries: 1,
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stats()
+	if st.DegradedRanks != 1 {
+		t.Fatalf("DegradedRanks = %d, want 1; stats: %+v", st.DegradedRanks, st)
 	}
 	got := sim.Seismograms()
 	bad := 0

@@ -161,6 +161,20 @@ func build(set *settings) (*Simulation, error) {
 		return nil, optErr("WithBackend", ErrBackendConflict,
 			"distributed backend requires WithWorkers(1), got %d", set.workers)
 	}
+	if set.degradedMode {
+		if !distributed {
+			return nil, optErr("WithDegradedMode", ErrBackendConflict,
+				"requires the distributed backend")
+		}
+		if distBE.CheckpointEvery < 0 {
+			return nil, optErr("WithDegradedMode", ErrBackendConflict,
+				"requires recovery checkpoints (Distributed.CheckpointEvery >= 0)")
+		}
+		if set.minRanks > distBE.Ranks {
+			return nil, optErr("WithDegradedMode", ErrRanksRange,
+				"min ranks %d above rank count %d", set.minRanks, distBE.Ranks)
+		}
+	}
 
 	// Decomposition width against the mesh: a request for more parts than
 	// elements cannot be satisfied (the recursive bisection has nothing
@@ -601,6 +615,19 @@ type Stats struct {
 	// wall time the snapshots, relaunches and restores consumed.
 	Rebalances      int
 	RebalanceMillis int64
+	// DegradedRanks counts ranks the distributed backend permanently
+	// retired under WithDegradedMode — each one a shrink of the rank set
+	// with the lost rank's parts redistributed onto the survivors;
+	// DegradedMillis is the wall time the shrinks consumed. Both are zero
+	// for a run that never lost a rank for good.
+	DegradedRanks  int
+	DegradedMillis int64
+	// LinkRetries counts rank connection attempts beyond the first
+	// (bounded reconnect-with-backoff absorbing transient link errors);
+	// CorruptFrames counts CRC-failed frames the coordinator rejected and
+	// routed into recovery. Both are zero for the local backend.
+	LinkRetries   int64
+	CorruptFrames int64
 	// TunedWorkers, TunedRanks and TunedKernel report the shape selected
 	// by WithAutoTune (zero values without it).
 	TunedWorkers, TunedRanks int
@@ -650,6 +677,10 @@ func (s *Simulation) Stats() Stats {
 		n, d = s.dist.Rebalances()
 		st.Rebalances = n
 		st.RebalanceMillis = d.Milliseconds()
+		n, d = s.dist.Degraded()
+		st.DegradedRanks = n
+		st.DegradedMillis = d.Milliseconds()
+		st.CorruptFrames = s.dist.CorruptFrames()
 	}
 	switch {
 	case s.ltsS != nil:
@@ -686,6 +717,7 @@ func (s *Simulation) Stats() Stats {
 			for _, r := range rs {
 				eng.Messages += r.Messages
 				eng.Volume += r.Volume
+				st.LinkRetries += r.LinkRetries
 			}
 			st.Engine = eng
 			if s.distCfg.Telemetry && len(rs[0].LevelNanos) > 0 {
