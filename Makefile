@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-kernels bench-smoke dist-smoke serve-smoke fault-smoke tune-smoke chaos-smoke lint vet fmt check examples
+.PHONY: build test race bench bench-kernels bench-smoke bench-check bench-baseline dist-smoke serve-smoke fault-smoke tune-smoke chaos-smoke lint vet fmt check examples
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,24 @@ bench-kernels:
 # catches kernel regressions without benchmark flakiness.
 bench-smoke:
 	$(GO) run ./cmd/kernelbench -smoke -out /dev/null
+
+# Benchmark-regression gate: measure a fresh BENCH_kernels.json and
+# compare ns/elem row by row against the committed bench_baseline.json,
+# normalised by the median fresh/baseline ratio so a uniformly slower CI
+# runner does not trip the gate while a regressed kernel does. Rows for
+# SIMD tiers this machine cannot run are skipped with a log line. The
+# tolerance is 15% (BENCH_TOL to override): any row beyond 2x the
+# tolerance fails, as does a systemic cluster of >15% rows; isolated
+# scheduler blips between the two are tolerated (see cmd/benchcheck).
+BENCH_TOL ?= 0.15
+bench-check:
+	$(GO) run ./cmd/kernelbench -out BENCH_kernels.json
+	$(GO) run ./cmd/benchcheck -baseline bench_baseline.json -fresh BENCH_kernels.json -tol $(BENCH_TOL)
+
+# Refresh the committed benchmark baseline (run on a quiet machine, then
+# commit bench_baseline.json together with the change that moved it).
+bench-baseline:
+	$(GO) run ./cmd/kernelbench -out bench_baseline.json
 
 # Distributed smoke: a tiny trench run on 1, 2 and 4 local rank
 # processes with the decomposition width pinned to 4 parts. The

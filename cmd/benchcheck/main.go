@@ -1,0 +1,218 @@
+// Command benchcheck is the benchmark-regression gate: it compares a
+// freshly measured BENCH_kernels.json against the committed
+// bench_baseline.json and fails when any kernel row regressed beyond the
+// tolerance. `make bench-check` runs kernelbench and then this gate.
+//
+// Raw ns/elem is not comparable across machines, so by default each
+// fresh/baseline ratio is normalised by the median ratio over all rows:
+// a uniformly slower runner shifts every ratio alike and cancels out,
+// while a single kernel regressing against its peers stands out. -raw
+// disables the normalisation for same-machine comparisons.
+//
+// Shared runners are noisy per row even after normalisation, so the
+// verdict is two-level: a row beyond tolerance but within the hard cap
+// (2x tolerance) is a warning, and the gate fails only when a row
+// exceeds the hard cap or when warnings are systemic (more than
+// -max-warn rows, default 1/8 of the compared rows). A genuine kernel
+// regression shows up either as one row far beyond its peers or as a
+// cluster of correlated rows — both still fail; an isolated scheduler
+// blip does not.
+//
+// Baseline rows for SIMD tiers the runner cannot execute are skipped
+// with an explicit log line, so a baseline recorded on an AVX-512
+// machine still gates an AVX2-only runner.
+//
+// Usage:
+//
+//	benchcheck [-baseline bench_baseline.json] [-fresh BENCH_kernels.json] [-tol 0.15] [-raw]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"golts/internal/sem"
+)
+
+// benchFile mirrors the parts of kernelbench's JSON the gate compares.
+type benchFile struct {
+	SIMD    string `json:"simd"`
+	Results []struct {
+		Op        string  `json:"op"`
+		Deg       int     `json:"deg"`
+		NsPerElem float64 `json:"ns_per_elem"`
+	} `json:"results"`
+	Batched struct {
+		Results []struct {
+			Op    string `json:"op"`
+			Deg   int    `json:"deg"`
+			Sweep []struct {
+				Batch     int     `json:"batch"`
+				NsPerElem float64 `json:"ns_per_elem"`
+			} `json:"sweep"`
+		} `json:"results"`
+	} `json:"batched"`
+	PerTier struct {
+		Results []struct {
+			Tier      string  `json:"tier"`
+			Op        string  `json:"op"`
+			Deg       int     `json:"deg"`
+			NsPerElem float64 `json:"ns_per_elem"`
+		} `json:"results"`
+	} `json:"per_tier"`
+}
+
+// row is one comparable measurement; Tier is empty for tier-independent
+// rows.
+type row struct {
+	Key       string
+	Tier      string
+	NsPerElem float64
+}
+
+// flatten turns a parsed bench file into keyed rows.
+func flatten(f *benchFile) []row {
+	var rows []row
+	for _, r := range f.Results {
+		rows = append(rows, row{
+			Key:       fmt.Sprintf("scalar/%s/deg%d", r.Op, r.Deg),
+			NsPerElem: r.NsPerElem,
+		})
+	}
+	for _, r := range f.Batched.Results {
+		for _, p := range r.Sweep {
+			rows = append(rows, row{
+				Key:       fmt.Sprintf("batched/%s/deg%d@%d", r.Op, r.Deg, p.Batch),
+				NsPerElem: p.NsPerElem,
+			})
+		}
+	}
+	for _, r := range f.PerTier.Results {
+		rows = append(rows, row{
+			Key:       fmt.Sprintf("tier/%s/%s/deg%d", r.Tier, r.Op, r.Deg),
+			Tier:      r.Tier,
+			NsPerElem: r.NsPerElem,
+		})
+	}
+	return rows
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "bench_baseline.json", "committed baseline JSON")
+	fresh := flag.String("fresh", "BENCH_kernels.json", "freshly measured JSON")
+	tol := flag.Float64("tol", 0.15, "allowed fractional slowdown per row after normalisation; 2x is the per-row hard cap")
+	maxWarn := flag.Int("max-warn", -1, "rows allowed between tolerance and the hard cap before the gate fails (-1: rows/8)")
+	raw := flag.Bool("raw", false, "compare raw ratios without median normalisation (same-machine baselines only)")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		fatal(err)
+	}
+
+	usable := map[string]bool{}
+	for _, t := range sem.SIMDTiers() {
+		usable[t] = true
+	}
+	freshRows := map[string]row{}
+	for _, r := range flatten(cur) {
+		freshRows[r.Key] = r
+	}
+
+	// Pair up rows; collect fresh/baseline ratios.
+	type pair struct {
+		key         string
+		base, fresh float64
+		ratio       float64
+	}
+	var pairs []pair
+	var ratios []float64
+	for _, b := range flatten(base) {
+		if b.Tier != "" && !usable[b.Tier] {
+			fmt.Printf("skip   %-40s baseline tier %q not usable on this runner (usable: %v)\n",
+				b.Key, b.Tier, sem.SIMDTiers())
+			continue
+		}
+		f, ok := freshRows[b.Key]
+		if !ok {
+			fmt.Printf("skip   %-40s not present in fresh run\n", b.Key)
+			continue
+		}
+		if b.NsPerElem <= 0 || f.NsPerElem <= 0 {
+			fmt.Printf("skip   %-40s non-positive measurement\n", b.Key)
+			continue
+		}
+		r := f.NsPerElem / b.NsPerElem
+		pairs = append(pairs, pair{key: b.Key, base: b.NsPerElem, fresh: f.NsPerElem, ratio: r})
+		ratios = append(ratios, r)
+	}
+	if len(pairs) == 0 {
+		fatal(fmt.Errorf("no comparable rows between %s and %s", *baseline, *fresh))
+	}
+
+	norm := 1.0
+	if !*raw {
+		sorted := append([]float64(nil), ratios...)
+		sort.Float64s(sorted)
+		norm = sorted[len(sorted)/2]
+		if len(sorted)%2 == 0 {
+			norm = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+		}
+		fmt.Printf("median fresh/baseline ratio %.3f (machine-speed normaliser; -raw disables)\n", norm)
+	}
+
+	hard, warned, failed := 1+2*(*tol), 0, 0
+	for _, p := range pairs {
+		rel := p.ratio / norm
+		status := "ok    "
+		switch {
+		case rel > hard:
+			status = "REGRES"
+			failed++
+		case rel > 1+*tol:
+			status = "warn  "
+			warned++
+		}
+		fmt.Printf("%s %-40s baseline %9.1f  fresh %9.1f  ratio %5.2f  normalised %5.2f\n",
+			status, p.key, p.base, p.fresh, p.ratio, rel)
+	}
+	allow := *maxWarn
+	if allow < 0 {
+		allow = len(pairs) / 8
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d rows regressed beyond the %.0f%% hard cap (normalised)", failed, len(pairs), (hard-1)*100))
+	}
+	if warned > allow {
+		fatal(fmt.Errorf("%d of %d rows beyond %.0f%% (max %d noise outliers allowed): systemic regression", warned, len(pairs), *tol*100, allow))
+	}
+	if warned > 0 {
+		fmt.Printf("benchcheck: %d rows within %.0f%%, %d noise outlier(s) tolerated (max %d)\n", len(pairs)-warned, *tol*100, warned, allow)
+		return
+	}
+	fmt.Printf("benchcheck: %d rows within %.0f%% of baseline\n", len(pairs), *tol*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

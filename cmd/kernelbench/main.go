@@ -68,16 +68,28 @@ type batchedResult struct {
 // batchSizes is the element-list sweep of the batched kernels.
 var batchSizes = []int{1, 8, 64, 512}
 
+// tierResult is one (SIMD tier, operator) batched measurement at the
+// largest batch size: the steady-state per-element cost of that tier.
+type tierResult struct {
+	Tier        string  `json:"tier"`
+	Op          string  `json:"op"`
+	Deg         int     `json:"deg"`
+	NsPerElem   float64 `json:"ns_per_elem"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
 func main() {
 	testing.Init() // register test.* flags so test.benchtime is settable
 	out := flag.String("out", "BENCH_kernels.json", "output JSON path (- for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measurement time per kernel")
+	flag.IntVar(&repeatN, "repeat", 3, "measurement repeats per kernel; the fastest is reported (noise robustness)")
 	smoke := flag.Bool("smoke", false, "tiny-N correctness smoke: assert the batched path runs alloc-free, ignore timings")
 	flag.Parse()
 
 	const deg = 4 // the paper's 125-node configuration (specialised kernels)
 	if *smoke {
 		*benchtime = 20 * time.Millisecond
+		repeatN = 1
 	}
 	if f := flag.Lookup("test.benchtime"); f != nil {
 		f.Value.Set(benchtime.String())
@@ -118,16 +130,39 @@ func main() {
 		}
 	}
 
+	var tiers []tierResult
+	for _, c := range sweepCases {
+		trs, err := measureTiers(c.Name, deg, c.Op.(sem.BatchKernel))
+		if err != nil {
+			fatal(err)
+		}
+		for _, tr := range trs {
+			fmt.Fprintf(os.Stderr, "%-14s deg=%d  tier %-7s %10.1f ns/elem  %d allocs/op\n",
+				tr.Op, tr.Deg, tr.Tier, tr.NsPerElem, tr.AllocsPerOp)
+			if *smoke && tr.AllocsPerOp != 0 {
+				fatal(fmt.Errorf("%s tier %s: AddKuBatch allocates %d/op (want 0)", tr.Op, tr.Tier, tr.AllocsPerOp))
+			}
+		}
+		tiers = append(tiers, trs...)
+	}
+
 	enc, err := json.MarshalIndent(map[string]any{
 		"benchmark":  "AddKuScratch",
 		"unit_note":  "ns_per_elem is wall time per element stiffness application",
 		"num_cpu":    runtime.NumCPU(),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"simd":       sem.ActiveSIMDTier(),
+		"simd_tiers": sem.SIMDTiers(),
 		"results":    results,
 		"batched": map[string]any{
 			"benchmark": "AddKuBatch",
 			"unit_note": "sweep times the fused SoA batch path per element-list size; batched_vs_scalar is scalar ns/elem over batched ns/elem at the largest batch",
 			"results":   batched,
+		},
+		"per_tier": map[string]any{
+			"benchmark": "AddKuBatch",
+			"unit_note": "full-sweep batched cost per usable SIMD microkernel tier (deg=4, largest batch); tiers absent on this machine are not listed",
+			"results":   tiers,
 		},
 	}, "", "  ")
 	if err != nil {
@@ -148,6 +183,23 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// repeatN is how many times each kernel is measured; see -repeat.
+var repeatN = 3
+
+// bench runs f under testing.Benchmark repeatN times and keeps the
+// fastest run: the minimum is far less sensitive to scheduler noise on
+// shared CI runners than a single long measurement, which is what lets
+// benchcheck gate at a tight tolerance.
+func bench(f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 1; i < repeatN; i++ {
+		if r := testing.Benchmark(f); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
 // measure runs the per-element kernel under testing.Benchmark and
 // converts to per-element numbers.
 func measure(name string, deg int, op sem.Operator) result {
@@ -157,7 +209,7 @@ func measure(name string, deg int, op sem.Operator) result {
 	elems := sem.AllElements(op)
 	var sc sem.Scratch
 	op.AddKuScratch(dst, u, elems, &sc) // warm-up
-	br := testing.Benchmark(func(b *testing.B) {
+	br := bench(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			op.AddKuScratch(dst, u, elems, &sc)
@@ -186,7 +238,7 @@ func measureBatched(name string, deg int, op sem.BatchKernel) batchedResult {
 	all := sem.AllElements(op)
 	var sc sem.Scratch
 	op.AddKuScratch(dst, u, all, &sc)
-	sbr := testing.Benchmark(func(b *testing.B) {
+	sbr := bench(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			op.AddKuScratch(dst, u, all, &sc)
 		}
@@ -205,7 +257,7 @@ func measureBatched(name string, deg int, op sem.BatchKernel) batchedResult {
 		elems := all[:n]
 		plan := op.NewBatchPlan(elems)
 		op.AddKuBatch(dst, u, plan, &bs) // warm-up
-		br := testing.Benchmark(func(b *testing.B) {
+		br := bench(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				op.AddKuBatch(dst, u, plan, &bs)
@@ -222,4 +274,38 @@ func measureBatched(name string, deg int, op sem.BatchKernel) batchedResult {
 		out.BatchedVsScalar = out.ScalarNsPerElem / last.NsPerElem
 	}
 	return out
+}
+
+// measureTiers times AddKuBatch over the full sweep fixture under every
+// SIMD tier usable in this process, forcing each tier in turn.
+func measureTiers(name string, deg int, op sem.BatchKernel) ([]tierResult, error) {
+	u := make([]float64, op.NDof())
+	sem.BenchField(u)
+	dst := make([]float64, op.NDof())
+	all := sem.AllElements(op)
+	plan := op.NewBatchPlan(all)
+	var bs sem.BatchScratch
+	var out []tierResult
+	for _, tier := range sem.SIMDTiers() {
+		restore, err := sem.ForceSIMDTier(tier)
+		if err != nil {
+			return nil, err
+		}
+		op.AddKuBatch(dst, u, plan, &bs) // warm-up
+		br := bench(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op.AddKuBatch(dst, u, plan, &bs)
+			}
+		})
+		restore()
+		out = append(out, tierResult{
+			Tier:        tier,
+			Op:          name,
+			Deg:         deg,
+			NsPerElem:   float64(br.NsPerOp()) / float64(len(all)),
+			AllocsPerOp: br.AllocsPerOp(),
+		})
+	}
+	return out, nil
 }

@@ -1,11 +1,14 @@
-//go:build amd64
+//go:build amd64 && !purego
 
 package sem
 
-// Declarations for the asm microkernels (mm5_amd64.s). SSE2 is part of
-// the amd64 baseline, so no runtime feature detection is needed. The
-// pure-Go references in mm5.go compute bitwise-identical results; tests
-// pin the two against each other.
+// Declarations for the asm microkernels and their tier wrappers. Three
+// assembly tiers implement the same five primitives: SSE2 (2-lane,
+// mm5_amd64.s — part of the amd64 baseline), AVX2 (4-lane,
+// mm5_avx2_amd64.s) and AVX-512 (8-lane, mm5_avx512_amd64.s). All
+// vectorise across independent batch lanes only, so every tier is
+// bitwise-identical to the pure-Go references in mm5.go; tests pin all
+// of them against each other. Dispatch lives in simd_amd64.go.
 
 //go:noescape
 func mm5asm(dst, src, d *float64, n, blocks int)
@@ -22,47 +25,140 @@ func acStress8asm(fp, cst, w *float64)
 //go:noescape
 func anStress8asm(gp, cst, w *float64)
 
-// mul5 computes dst[g*5n+a*n+j] = Σ_m d[a*5+m]·src[g*5n+m*n+j] over
-// `blocks` consecutive 5-row groups, with the same per-lane rounding
-// chain as the scalar kernels (see mm5go).
-func mul5(dst, src, d []float64, n, blocks int) {
+//go:noescape
+func mm5avx2(dst, src, d *float64, n, blocks int)
+
+//go:noescape
+func mm5accavx2(dst, src, d *float64, n, blocks int)
+
+//go:noescape
+func elStress8avx2(gp, cst, w *float64)
+
+//go:noescape
+func acStress8avx2(fp, cst, w *float64)
+
+//go:noescape
+func anStress8avx2(gp, cst, w *float64)
+
+//go:noescape
+func mm5avx512(dst, src, d *float64, n, blocks int)
+
+//go:noescape
+func mm5accavx512(dst, src, d *float64, n, blocks int)
+
+//go:noescape
+func elStress8avx512(gp, cst, w *float64)
+
+//go:noescape
+func acStress8avx512(fp, cst, w *float64)
+
+//go:noescape
+func anStress8avx512(gp, cst, w *float64)
+
+// The slice-level tier entries below carry the bounds hints the asm
+// kernels rely on; simd_amd64.go binds them into the dispatch table.
+
+func sse2Mul5(dst, src, d []float64, n, blocks int) {
 	_ = dst[5*n*blocks-1]
 	_ = src[5*n*blocks-1]
 	_ = d[24]
 	mm5asm(&dst[0], &src[0], &d[0], n, blocks)
 }
 
-// mul5acc is mul5 accumulating into dst (see mm5accgo).
-func mul5acc(dst, src, d []float64, n, blocks int) {
+func sse2Mul5acc(dst, src, d []float64, n, blocks int) {
 	_ = dst[5*n*blocks-1]
 	_ = src[5*n*blocks-1]
 	_ = d[24]
 	mm5accasm(&dst[0], &src[0], &d[0], n, blocks)
 }
 
-// elStress8 runs the batched elastic stress pass over one 8-lane deg=4
-// block (see the pure-Go reference elStressN).
-func elStress8(g, cst, w []float64) {
+func avx2Mul5(dst, src, d []float64, n, blocks int) {
+	_ = dst[5*n*blocks-1]
+	_ = src[5*n*blocks-1]
+	_ = d[24]
+	mm5avx2(&dst[0], &src[0], &d[0], n, blocks)
+}
+
+func avx2Mul5acc(dst, src, d []float64, n, blocks int) {
+	_ = dst[5*n*blocks-1]
+	_ = src[5*n*blocks-1]
+	_ = d[24]
+	mm5accavx2(&dst[0], &src[0], &d[0], n, blocks)
+}
+
+func avx512Mul5(dst, src, d []float64, n, blocks int) {
+	_ = dst[5*n*blocks-1]
+	_ = src[5*n*blocks-1]
+	_ = d[24]
+	mm5avx512(&dst[0], &src[0], &d[0], n, blocks)
+}
+
+func avx512Mul5acc(dst, src, d []float64, n, blocks int) {
+	_ = dst[5*n*blocks-1]
+	_ = src[5*n*blocks-1]
+	_ = d[24]
+	mm5accavx512(&dst[0], &src[0], &d[0], n, blocks)
+}
+
+func sse2ElStress8(g, cst, w []float64) {
 	_ = g[9*125*batchB-1]
 	_ = cst[elCstRows*batchB-1]
 	_ = w[249]
 	elStress8asm(&g[0], &cst[0], &w[0])
 }
 
-// acStress8 runs the batched acoustic pointwise pass over one 8-lane
-// deg=4 block (see acStressN).
-func acStress8(f, cst, w []float64) {
+func sse2AcStress8(f, cst, w []float64) {
 	_ = f[3*125*batchB-1]
 	_ = cst[acCstRows*batchB-1]
 	_ = w[249]
 	acStress8asm(&f[0], &cst[0], &w[0])
 }
 
-// anStress8 runs the batched anisotropic stress pass over one 8-lane
-// deg=4 block (see anStressN).
-func anStress8(g, cst, w []float64) {
+func sse2AnStress8(g, cst, w []float64) {
 	_ = g[9*125*batchB-1]
 	_ = cst[anCstRows*batchB-1]
 	_ = w[249]
 	anStress8asm(&g[0], &cst[0], &w[0])
+}
+
+func avx2ElStress8(g, cst, w []float64) {
+	_ = g[9*125*batchB-1]
+	_ = cst[elCstRows*batchB-1]
+	_ = w[249]
+	elStress8avx2(&g[0], &cst[0], &w[0])
+}
+
+func avx2AcStress8(f, cst, w []float64) {
+	_ = f[3*125*batchB-1]
+	_ = cst[acCstRows*batchB-1]
+	_ = w[249]
+	acStress8avx2(&f[0], &cst[0], &w[0])
+}
+
+func avx2AnStress8(g, cst, w []float64) {
+	_ = g[9*125*batchB-1]
+	_ = cst[anCstRows*batchB-1]
+	_ = w[249]
+	anStress8avx2(&g[0], &cst[0], &w[0])
+}
+
+func avx512ElStress8(g, cst, w []float64) {
+	_ = g[9*125*batchB-1]
+	_ = cst[elCstRows*batchB-1]
+	_ = w[249]
+	elStress8avx512(&g[0], &cst[0], &w[0])
+}
+
+func avx512AcStress8(f, cst, w []float64) {
+	_ = f[3*125*batchB-1]
+	_ = cst[acCstRows*batchB-1]
+	_ = w[249]
+	acStress8avx512(&f[0], &cst[0], &w[0])
+}
+
+func avx512AnStress8(g, cst, w []float64) {
+	_ = g[9*125*batchB-1]
+	_ = cst[anCstRows*batchB-1]
+	_ = w[249]
+	anStress8avx512(&g[0], &cst[0], &w[0])
 }

@@ -1,10 +1,11 @@
-//go:build !amd64
+//go:build !amd64 || purego
 
 package sem
 
 // Portable fallbacks for the batched microkernel primitives: identical
 // arithmetic (and therefore bitwise-identical results) to the amd64 asm
-// kernels.
+// kernels. The `purego` build tag selects this path on amd64 too, so
+// the no-asm fallback is CI-testable on any runner.
 
 func mul5(dst, src, d []float64, n, blocks int) { mm5go(dst, src, d, n, blocks) }
 

@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+package sem
+
+// Without assembly (non-amd64 targets, or the `purego` build tag) the
+// only tier is the pure-Go reference path; the mul5/stress entry points
+// are bound directly in mm5_noasm.go, so there is no dispatch table to
+// repoint.
+
+func availableTiers() []simdTier { return []simdTier{tierGo} }
+
+func applyTier(t simdTier) { activeTier = t }

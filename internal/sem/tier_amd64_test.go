@@ -1,0 +1,32 @@
+//go:build amd64 && !purego
+
+package sem
+
+import "testing"
+
+// testSIMDCap pins the GODEBUG tier-cap ladder: disabling a feature also
+// rules out every wider tier, unknown switches are ignored, and the Go
+// runtime's own "cpu.avx512f" spelling is accepted.
+func testSIMDCap(t *testing.T) {
+	for _, tc := range []struct {
+		godebug string
+		want    simdTier
+	}{
+		{"", tierAVX512},
+		{"gctrace=1", tierAVX512},
+		{"cpu.avx512=off", tierAVX2},
+		{"cpu.avx512f=off", tierAVX2},
+		{"gctrace=1,cpu.avx512=off", tierAVX2},
+		{"cpu.avx2=off", tierSSE2},
+		{"cpu.avx512=off,cpu.avx2=off", tierSSE2},
+		{"cpu.avx2=off,cpu.avx512=off", tierSSE2},
+		{"cpu.sse2=off", tierGo},
+		{"cpu.avx512=off,cpu.avx2=off,cpu.sse2=off", tierGo},
+		{"cpu.avx2=on", tierAVX512},
+		{" cpu.avx512=off , cpu.avx2=off ", tierSSE2},
+	} {
+		if got := simdCap(tc.godebug); got != tc.want {
+			t.Errorf("simdCap(%q) = %v, want %v", tc.godebug, got, tc.want)
+		}
+	}
+}

@@ -7,7 +7,8 @@ import (
 
 // Candidate is one deployment shape of the calibration grid. Ranks == 0
 // probes the shared-memory backend with Workers workers; Ranks > 0
-// probes the distributed backend. Kernel is "batched" or "perelement".
+// probes the distributed backend. Kernel is "batched" or "per-element"
+// (the wave facade's spellings).
 type Candidate struct {
 	Workers int    `json:"workers"`
 	Ranks   int    `json:"ranks"`
@@ -56,10 +57,15 @@ type Plan struct {
 	Measurements []Measurement `json:"measurements"`
 }
 
-// Valid reports whether the plan selects an executable shape.
+// Valid reports whether the plan selects an executable shape. Both
+// spellings of the per-element kernel are accepted: the wave facade
+// probes "per-element", and plans serialised before the spellings were
+// unified carry "perelement". (The mismatch stayed invisible while the
+// batched kernel won every probe; on builds where the per-element path
+// wins — e.g. purego — a valid plan was rejected.)
 func (p *Plan) Valid() bool {
 	return p != nil && (p.Best.Workers > 0 || p.Best.Ranks > 0) &&
-		(p.Best.Kernel == "batched" || p.Best.Kernel == "perelement")
+		(p.Best.Kernel == "batched" || p.Best.Kernel == "perelement" || p.Best.Kernel == "per-element")
 }
 
 // Calibrate probes the candidate grid with short runs and returns the

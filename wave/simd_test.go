@@ -1,0 +1,97 @@
+package wave_test
+
+import (
+	"context"
+	"testing"
+
+	"golts/internal/sem"
+	"golts/wave"
+)
+
+// simdGoldenCases picks the deg=4 golden cells (the degree whose batched
+// kernels go through the dispatched microkernels) and adds an elastic
+// deg=4 LTS cell so all three stress passes run at full tier width.
+func simdGoldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, c := range goldenCases() {
+		if c.cfg.Degree == 4 {
+			cases = append(cases, c)
+		}
+	}
+	el := goldenCases()[2] // elastic-lts-4w
+	el.name = "elastic-lts-4w-deg4"
+	el.cfg.Degree = 4
+	cases = append(cases, el)
+	return cases
+}
+
+// runGolden runs one golden case through the facade and returns its
+// recorded seismogram samples plus the SIMD tier Stats reported.
+func runGolden(t *testing.T, c goldenCase) ([]float64, string) {
+	t.Helper()
+	sim, err := wave.New(facadeOptions(c)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if err := sim.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	tier := sim.Stats().SIMD
+	set := sim.Seismograms()
+	var vals []float64
+	vals = append(vals, set.Times...)
+	for _, tr := range set.Traces {
+		vals = append(vals, tr.Values...)
+	}
+	return vals, tier
+}
+
+// TestGoldenSeismogramsAllSIMDTiers runs full wave simulations at deg=4
+// under every usable microkernel tier and requires bitwise-identical
+// seismograms: the tier switch must change speed only, never physics.
+func TestGoldenSeismogramsAllSIMDTiers(t *testing.T) {
+	for _, c := range simdGoldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			restore, err := sem.ForceSIMDTier("go")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, tier := runGolden(t, c)
+			restore()
+			if tier != "go" {
+				t.Fatalf("Stats().SIMD = %q under forced go tier", tier)
+			}
+			nonzero := false
+			for _, v := range want {
+				if v != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if !nonzero {
+				t.Fatal("go-tier run recorded only zeros; the comparison is vacuous")
+			}
+			for _, name := range sem.SIMDTiers() {
+				restore, err := sem.ForceSIMDTier(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, tier := runGolden(t, c)
+				restore()
+				if tier != name {
+					t.Fatalf("Stats().SIMD = %q under forced %s tier", tier, name)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("tier %s recorded %d samples, go tier %d", name, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("tier %s sample %d = %v, go tier %v (bitwise)", name, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -577,6 +577,11 @@ type Stats struct {
 	Workers     int
 	Partitioner Partitioner
 	Kernel      Kernel
+	// SIMD is the microkernel tier the batched deg=4 kernels dispatch to
+	// in this process: "avx512", "avx2", "sse2" or "go" (see
+	// sem.ActiveSIMDTier). All tiers are bitwise-identical; the field
+	// records speed, not results.
+	SIMD string
 	// Backend reports the execution backend ("local" or "distributed").
 	Backend string
 	// Ranks is the number of rank processes and Parts the owner-computes
@@ -660,6 +665,7 @@ func (s *Simulation) Stats() Stats {
 		TheoreticalSpeedup: s.lv.TheoreticalSpeedup(),
 		Workers:            s.workers,
 		Kernel:             s.set.kernel,
+		SIMD:               sem.ActiveSIMDTier(),
 		ArtifactLookups:    s.artLookups,
 		ArtifactHits:       s.artHits,
 	}
